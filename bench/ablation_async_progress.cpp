@@ -1,0 +1,92 @@
+// Ablation A2 (paper Sec. 4.4): asynchronous progress. Inter-group
+// coordination (passive connection teardown/rebuild) needs the *other*
+// groups' processes to enter their progress engines. The helper thread
+// bounds that to ~one helper interval; without it, a group checkpointing
+// next to peers that are deep in computation stalls until those peers'
+// next library call.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace gbc;
+
+/// Establishes a world-spanning ring of connections, then computes in long
+/// uninterrupted chunks with no library entry at all — the worst case for
+/// passive coordination without a helper thread.
+class ConnectThenCompute : public workloads::Workload {
+ public:
+  ConnectThenCompute(int nranks, sim::Time chunk, int chunks)
+      : Workload(nranks), chunk_(chunk), chunks_(chunks) {
+    for (int r = 0; r < nranks; ++r) set_footprint(r, storage::mib(180));
+  }
+  sim::Task<void> run_rank(mpi::RankCtx& r, workloads::WorkloadState from)
+      override {
+    set_state(r.world_rank(), from);
+    const mpi::Comm& wc = r.mpi().world();
+    const int me = r.world_rank();
+    const int n = r.nranks();
+    if (from.iteration == 0) {
+      // Ring handshake: every adjacent pair ends up connected.
+      mpi::Request rq = r.irecv(wc, (me - 1 + n) % n, 0);
+      co_await r.send(wc, (me + 1) % n, 0, 1024);
+      co_await r.wait(rq);
+      commit_iteration(me, me);
+    }
+    for (std::uint64_t it = std::max<std::uint64_t>(from.iteration, 1);
+         it <= static_cast<std::uint64_t>(chunks_); ++it) {
+      co_await r.compute(chunk_);
+      // One MPI_Test-style library entry per chunk: without the helper
+      // thread, this is the only point where passive coordination requests
+      // get serviced.
+      co_await r.progress();
+      commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | it);
+    }
+  }
+
+ private:
+  sim::Time chunk_;
+  int chunks_;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Asynchronous progress: helper thread on/off",
+                "Sec. 4.4 (design ablation)");
+  const auto preset = harness::icpp07_cluster();
+  harness::Table t({"compute_chunk_s", "helper", "mean_individual_s",
+                    "total_ckpt_s", "effective_delay_s"});
+  for (double chunk : {1.0, 10.0, 60.0}) {
+    const int chunks = static_cast<int>(240.0 / chunk);
+    harness::WorkloadFactory factory = [chunk, chunks](int n) {
+      return std::make_unique<ConnectThenCompute>(
+          n, sim::from_seconds(chunk), chunks);
+    };
+    const double base =
+        harness::run_experiment(preset, factory, ckpt::CkptConfig{})
+            .completion_seconds();
+    for (bool helper : {true, false}) {
+      ckpt::CkptConfig cc;
+      cc.group_size = 8;
+      cc.async_progress = helper;
+      auto m = harness::measure_effective_delay_with_base(
+          preset, factory, cc, sim::from_seconds(20),
+          ckpt::Protocol::kGroupBased, base);
+      t.add_row({harness::Table::num(chunk, 0), helper ? "on" : "off",
+                 harness::Table::num(
+                     sim::to_seconds(m.checkpoint.mean_individual_time())),
+                 harness::Table::num(m.total_seconds()),
+                 harness::Table::num(m.effective_delay_seconds())});
+      std::fflush(stdout);
+    }
+  }
+  t.print();
+  t.write_csv(bench::csv_path("ablation_async_progress"));
+  std::printf(
+      "\nExpected: with the helper thread, per-process downtime and total\n"
+      "checkpoint time are independent of the peers' compute chunk length\n"
+      "(passive requests are serviced within ~100 ms). Without it, the\n"
+      "checkpointing group stalls until its peers re-enter the library, so\n"
+      "downtime grows with the chunk — by a minute for minute-long chunks.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A1 (paper Sec. 4.3): message/request *buffering* vs message
+// *logging*. Buffering holds traffic back only for the duration of the
+// deferral window and copies only already-buffered eager payloads; logging
+// must capture every payload on the failure-free critical path and forbids
+// zero-copy rendezvous. The bench separates the two costs: (a) failure-free
+// runtime overhead with no checkpoint at all, (b) data volume held/recorded.
+#include "bench_util.hpp"
+#include "ckpt/logging_hooks.hpp"
+
+namespace {
+
+using namespace gbc;
+
+/// Communication-heavy neighbour exchange: 4 MB rendezvous messages with
+/// modest compute, the regime where logging hurts most (paper Secs. 1, 2.1).
+harness::WorkloadFactory heavy_factory(std::uint64_t iters) {
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = 16;  // rings span two checkpoint groups of 8
+  cfg.compute_per_iter = 10 * sim::kMillisecond;
+  cfg.message_bytes = storage::mib(4);
+  cfg.iterations = iters;
+  cfg.footprint_mib = 180.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Buffering vs logging: volume and failure-free overhead",
+                "Sec. 4.3 (design comparison)");
+  const auto preset = harness::icpp07_cluster();
+  auto factory = heavy_factory(2000);
+  ckpt::CkptConfig cc;
+  cc.group_size = 8;
+
+  // Failure-free runtimes: plain vs always-on sender-based logging.
+  const double plain =
+      harness::run_experiment(preset, factory, cc).completion_seconds();
+  ckpt::SenderLogger logger(1200.0);
+  const double logged_rt =
+      harness::run_experiment(preset, factory, cc, {}, &logger)
+          .completion_seconds();
+
+  // One group-based checkpoint: what does buffering hold, and what does the
+  // checkpoint cost?
+  std::vector<harness::CkptRequest> reqs;
+  reqs.push_back(
+      harness::CkptRequest{sim::from_seconds(15), ckpt::Protocol::kGroupBased});
+  auto buffered = harness::run_experiment(preset, factory, cc, reqs);
+
+  // One Chandy-Lamport checkpoint for the channel-logging volume.
+  std::vector<harness::CkptRequest> cl_reqs;
+  cl_reqs.push_back(harness::CkptRequest{sim::from_seconds(15),
+                                         ckpt::Protocol::kChandyLamport});
+  auto cl = harness::run_experiment(preset, factory, cc, cl_reqs);
+
+  const double mib = static_cast<double>(storage::kMiB);
+  harness::Table t({"approach", "failure_free_overhead_pct",
+                    "volume_MB", "payload_copies_MB", "ckpt_delay_s"});
+  t.add_row({"group-based buffering", "0.0",
+             harness::Table::num(
+                 static_cast<double>(buffered.mpi_stats.request_buffered_bytes +
+                                     buffered.mpi_stats.message_buffered_bytes) /
+                 mib, 2),
+             harness::Table::num(
+                 static_cast<double>(buffered.mpi_stats.peak_message_buffer) /
+                 mib, 3),
+             harness::Table::num(buffered.completion_seconds() - plain)});
+  t.add_row({"sender-based logging (always on)",
+             harness::Table::num((logged_rt / plain - 1.0) * 100.0, 1),
+             harness::Table::num(static_cast<double>(logger.logged_bytes()) /
+                                 mib, 2),
+             harness::Table::num(static_cast<double>(logger.logged_bytes()) /
+                                 mib, 2),
+             "-"});
+  const storage::Bytes cl_logged =
+      cl.checkpoints.empty() ? 0 : cl.checkpoints.front().logged_bytes;
+  t.add_row({"Chandy-Lamport channel log",
+             "0.0",
+             harness::Table::num(static_cast<double>(cl_logged) / mib, 2),
+             harness::Table::num(static_cast<double>(cl_logged) / mib, 2),
+             harness::Table::num(cl.completion_seconds() - plain)});
+  t.print();
+  t.write_csv(bench::csv_path("ablation_buffering_vs_logging"));
+  std::printf(
+      "\nExpected: buffering adds zero failure-free overhead and holds only\n"
+      "deferral-window traffic (request buffering: no payload copies at\n"
+      "all). Always-on logging records every byte the app ever sends and\n"
+      "slows the failure-free run measurably because rendezvous can no\n"
+      "longer be zero-copy. The Chandy-Lamport channel log is nearly empty\n"
+      "here only because InfiniBand forces connections to be flushed and\n"
+      "torn down before a snapshot anyway — exactly the paper's argument\n"
+      "(Sec. 2.2) that non-blocking protocols lose their advantage on IB,\n"
+      "while still snapshotting all ranks at once (storage bottleneck).\n");
+  return 0;
+}

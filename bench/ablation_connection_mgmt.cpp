@@ -1,0 +1,51 @@
+// Ablation A4 (paper Sec. 4.2): per-connection management. Group-based
+// checkpointing must tear down and rebuild only the connections touching the
+// checkpointing group (with either side able to initiate); a global
+// teardown/rebuild — what the regular protocol does — touches every
+// connection on every cycle and scales with the job, not with the group.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("Connection management cost per checkpoint",
+                "Sec. 4.2 (design ablation)");
+  const auto preset = harness::icpp07_cluster();
+  // Neighbour-ring workload: 32 established connections.
+  auto factory = bench::comm_group_factory(32, 1200);
+  const auto base = harness::run_experiment(preset, factory,
+                                            ckpt::CkptConfig{});
+
+  harness::Table t({"ckpt_group", "teardowns_per_cycle", "setups_per_cycle",
+                    "oob_time_ms_per_cycle"});
+  for (int size : {0, 16, 8, 4, 2, 1}) {
+    ckpt::CkptConfig cc;
+    cc.group_size = size;
+    std::vector<harness::CkptRequest> reqs;
+    reqs.push_back(harness::CkptRequest{sim::from_seconds(20),
+                                        ckpt::Protocol::kGroupBased});
+    auto res = harness::run_experiment(preset, factory, cc, reqs);
+    const auto teardowns =
+        res.connection_teardowns - base.connection_teardowns;
+    const auto setups = res.connection_setups - base.connection_setups;
+    const double oob_ms =
+        static_cast<double>(setups) *
+        sim::to_milliseconds(preset.net.oob_exchange + preset.net.qp_transition) +
+        static_cast<double>(teardowns) *
+            sim::to_milliseconds(preset.net.teardown_cost);
+    t.add_row({bench::group_label(preset.nranks, size),
+               std::to_string(teardowns), std::to_string(setups),
+               harness::Table::num(oob_ms, 1)});
+    std::fflush(stdout);
+  }
+  t.print();
+  t.write_csv(bench::csv_path("ablation_connection_mgmt"));
+  std::printf(
+      "\nExpected: every group size tears down each of the job's connections\n"
+      "exactly once per global checkpoint (a connection is torn down when\n"
+      "either endpoint snapshots), so the per-cycle count is flat — but the\n"
+      "per-*group* count shrinks with the group, which is what allows the\n"
+      "non-members to keep computing. Total out-of-band time stays small\n"
+      "(milliseconds) next to the storage time (tens of seconds), matching\n"
+      "the paper's >95%% storage-dominance measurement.\n");
+  return 0;
+}

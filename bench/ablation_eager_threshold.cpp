@@ -1,0 +1,63 @@
+// Ablation: the eager/rendezvous threshold decides which buffering technique
+// (paper Sec. 4.3) a deferred message uses. Below the threshold, payloads
+// are already in communication buffers → *message buffering* (holds copies);
+// above it, transfers stay incomplete → *request buffering* (no copies).
+// This sweep shows the split and that the storage held by deferral stays
+// bounded either way — unlike logging, which grows with everything sent.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("Eager threshold vs buffering technique",
+                "Sec. 4.3 (message vs request buffering)");
+  const auto preset0 = harness::icpp07_cluster();
+
+  harness::Table t({"eager_threshold_KiB", "msgs_buffered",
+                    "msg_buffer_peak_KiB", "requests_buffered",
+                    "req_buffered_MB", "effective_delay_s"});
+  for (storage::Bytes threshold :
+       {storage::Bytes{2} * storage::kKiB, storage::Bytes{8} * storage::kKiB,
+        storage::Bytes{64} * storage::kKiB,
+        storage::Bytes{512} * storage::kKiB}) {
+    harness::ClusterPreset preset = preset0;
+    preset.mpi.eager_threshold = threshold;
+    // 16-rank rings with 32 KiB messages crossing checkpoint groups of 8.
+    workloads::CommGroupBenchConfig cfg;
+    cfg.comm_group_size = 16;
+    cfg.compute_per_iter = 50 * sim::kMillisecond;
+    cfg.message_bytes = 32 * storage::kKiB;
+    cfg.iterations = 1200;
+    cfg.footprint_mib = 180.0;
+    harness::WorkloadFactory factory = [cfg](int n) {
+      return std::make_unique<workloads::CommGroupBench>(n, cfg);
+    };
+    ckpt::CkptConfig cc;
+    cc.group_size = 8;
+    const double base =
+        harness::run_experiment(preset, factory, cc).completion_seconds();
+    std::vector<harness::CkptRequest> reqs;
+    reqs.push_back(harness::CkptRequest{sim::from_seconds(10),
+                                        ckpt::Protocol::kGroupBased});
+    auto res = harness::run_experiment(preset, factory, cc, reqs);
+    t.add_row({std::to_string(threshold / storage::kKiB),
+               std::to_string(res.mpi_stats.messages_buffered),
+               harness::Table::num(
+                   static_cast<double>(res.mpi_stats.peak_message_buffer) /
+                   1024.0, 1),
+               std::to_string(res.mpi_stats.requests_buffered),
+               harness::Table::num(
+                   static_cast<double>(res.mpi_stats.request_buffered_bytes) /
+                   static_cast<double>(storage::kMiB), 2),
+               harness::Table::num(res.completion_seconds() - base)});
+    std::fflush(stdout);
+  }
+  t.print();
+  t.write_csv(bench::csv_path("ablation_eager_threshold"));
+  std::printf(
+      "\nExpected: with the threshold below the 32 KiB message size, deferred\n"
+      "traffic is request-buffered (zero payload copies); above it, the same\n"
+      "messages are message-buffered (copies held, bounded by the deferral\n"
+      "window). The effective delay is unaffected — buffering technique is\n"
+      "a memory trade-off, not a timing one.\n");
+  return 0;
+}

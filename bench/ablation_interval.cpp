@@ -1,0 +1,54 @@
+// Extension experiment: checkpoint interval under failures. Group-based
+// checkpointing lowers the effective cost C of a checkpoint; by Young's
+// rule (interval ~ sqrt(2*C*MTBF)) that makes more frequent checkpoints
+// affordable, which shortens the expected time-to-solution when failures
+// are common. This bench measures it end-to-end with simulated Poisson
+// failures (deterministic seed).
+#include "bench_util.hpp"
+#include "harness/interval.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("Checkpoint interval under Poisson failures",
+                "extension (Young's rule meets group-based checkpointing)");
+  const auto preset = harness::icpp07_cluster();
+  auto factory = bench::comm_group_factory(4, 6000);  // ~10 min of work
+  harness::FailureModel fm;
+  fm.mtbf_seconds = 150.0;
+  fm.seed = 9;
+
+  harness::Table t({"protocol", "interval_s", "time_to_solution_s",
+                    "failures", "ckpts_completed"});
+  for (auto protocol : {ckpt::Protocol::kBlockingCoordinated,
+                        ckpt::Protocol::kGroupBased}) {
+    for (double interval : {30.0, 60.0, 120.0, 1e6}) {
+      ckpt::CkptConfig cc;
+      cc.group_size = 4;
+      auto res = harness::run_with_poisson_failures(
+          preset, factory, cc, protocol, sim::from_seconds(interval), fm);
+      t.add_row({protocol == ckpt::Protocol::kGroupBased
+                     ? "group-based(4)"
+                     : "blocking(32)",
+                 interval > 1e5 ? "none" : harness::Table::num(interval, 0),
+                 harness::Table::num(res.total_seconds, 1),
+                 std::to_string(res.failures),
+                 std::to_string(res.checkpoints_completed)});
+      std::fflush(stdout);
+    }
+  }
+  t.print();
+  t.write_csv(bench::csv_path("ablation_interval"));
+
+  std::printf("\nYoung-optimal intervals for MTBF=%.0fs: blocking C~43s -> "
+              "%.0fs; group-based C~10s -> %.0fs\n",
+              fm.mtbf_seconds,
+              harness::young_interval_seconds(43.0, fm.mtbf_seconds),
+              harness::young_interval_seconds(10.0, fm.mtbf_seconds));
+  std::printf(
+      "Expected: a U-shape in the interval. Too-frequent checkpoints thrash\n"
+      "(cycles and restart reads crowd out computation), no checkpoints\n"
+      "restart from scratch on every failure, and the sweet spot lands near\n"
+      "Young's estimate. Group-based checkpointing beats blocking at every\n"
+      "interval because each cycle costs the application ~4x less.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation A5: protocol comparison on the HPL workload — the paper's
+// group-based design vs regular blocking coordination (ICPP'06), vs
+// non-blocking Chandy-Lamport with channel logging, vs uncoordinated
+// checkpointing with always-on sender-based logging.
+#include "bench_util.hpp"
+#include "ckpt/logging_hooks.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("Protocol comparison on HPL", "Secs. 2.1/7 (baselines)");
+  const auto preset = harness::icpp07_cluster();
+  auto factory = bench::hpl_factory();
+  const double base =
+      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
+          .completion_seconds();
+  const sim::Time issuance = sim::from_seconds(100);
+
+  harness::Table t({"protocol", "effective_delay_s", "mean_individual_s",
+                    "total_ckpt_s", "peak_storage_writers",
+                    "logged_MB"});
+
+  auto add = [&](ckpt::Protocol p, const char* label, mpi::MpiHooks* hooks,
+                 storage::Bytes extra_logged) {
+    ckpt::CkptConfig cc;
+    cc.group_size = 4;
+    std::vector<harness::CkptRequest> reqs;
+    reqs.push_back(harness::CkptRequest{issuance, p});
+    double base_here = base;
+    if (hooks) {
+      // Logging changes the failure-free runtime; measure delay against the
+      // logged baseline so we charge only the checkpoint itself.
+      base_here = harness::run_experiment(preset, factory, cc, {}, hooks)
+                      .completion_seconds();
+    }
+    auto res = harness::run_experiment(preset, factory, cc, reqs, hooks);
+    const auto& gc = res.checkpoints.front();
+    const double logged_mb =
+        static_cast<double>(gc.logged_bytes + extra_logged) /
+        static_cast<double>(storage::kMiB);
+    t.add_row({label,
+               harness::Table::num(res.completion_seconds() - base_here),
+               harness::Table::num(
+                   sim::to_seconds(gc.mean_individual_time())),
+               harness::Table::num(
+                   sim::to_seconds(gc.total_checkpoint_time())),
+               std::to_string(res.storage_peak_concurrency),
+               harness::Table::num(logged_mb, 1)});
+    std::fflush(stdout);
+  };
+
+  add(ckpt::Protocol::kBlockingCoordinated, "blocking coordinated (ICPP'06)",
+      nullptr, 0);
+  add(ckpt::Protocol::kGroupBased, "group-based (this paper), groups of 4",
+      nullptr, 0);
+  add(ckpt::Protocol::kChandyLamport, "Chandy-Lamport (channel logging)",
+      nullptr, 0);
+  {
+    ckpt::SenderLogger logger(1200.0);
+    add(ckpt::Protocol::kUncoordinatedLogging,
+        "uncoordinated (sender-based logging)", &logger,
+        logger.logged_bytes());
+    std::printf("\nsender-based logging failure-free volume: %.1f MB over "
+                "the run; zero-copy rendezvous disabled.\n",
+                static_cast<double>(logger.logged_bytes()) /
+                    static_cast<double>(storage::kMiB));
+  }
+
+  t.print();
+  t.write_csv(bench::csv_path("ablation_protocols"));
+  std::printf(
+      "\nExpected: group-based has the smallest effective delay and per-rank\n"
+      "downtime; blocking and Chandy-Lamport both saturate the storage with\n"
+      "32 concurrent writers (Chandy-Lamport additionally logs channel\n"
+      "traffic); uncoordinated avoids the coordination but pays for logging\n"
+      "on every message of the failure-free run.\n");
+  return 0;
+}

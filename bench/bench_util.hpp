@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/preset.hpp"
+#include "harness/table.hpp"
+#include "workloads/hpl.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/motifminer.hpp"
+
+namespace gbc::bench {
+
+/// Where figure CSVs land (next to the binaries).
+inline std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name + ".csv";
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s of Gao et al., \"Group-based "
+              "Coordinated Checkpointing for MPI\", ICPP 2007)\n\n",
+              title.c_str(), paper_ref.c_str());
+}
+
+/// Figure 3/4 micro-benchmark factory (180 MB/process, 32 ranks).
+inline harness::WorkloadFactory comm_group_factory(int comm_group_size,
+                                                   std::uint64_t iterations) {
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = comm_group_size;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = iterations;
+  cfg.footprint_mib = 180.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+inline harness::WorkloadFactory barrier_factory(int comm_group_size,
+                                                sim::Time barrier_period,
+                                                std::uint64_t iterations) {
+  workloads::BarrierBenchConfig cfg;
+  cfg.comm_group_size = comm_group_size;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.barrier_period = barrier_period;
+  cfg.iterations = iterations;
+  cfg.footprint_mib = 180.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::BarrierBench>(n, cfg);
+  };
+}
+
+/// The paper's HPL configuration: 8x4 grid, runtime in the 400+ second range.
+inline harness::WorkloadFactory hpl_factory() {
+  workloads::HplConfig cfg;  // defaults are the paper-scale 8x4 / N=44000
+  return [cfg](int n) { return std::make_unique<workloads::HplSim>(n, cfg); };
+}
+
+inline harness::WorkloadFactory motifminer_factory() {
+  workloads::MotifMinerConfig cfg;  // ~150s run, 32 ranks
+  return [cfg](int n) {
+    return std::make_unique<workloads::MotifMinerSim>(n, cfg);
+  };
+}
+
+/// Checkpoint-group-size labels used across figures: All(32) down to 1.
+inline std::string group_label(int nranks, int size) {
+  if (size <= 0 || size >= nranks) return "All(" + std::to_string(nranks) + ")";
+  if (size == 1) return "Individual(1)";
+  return "Group(" + std::to_string(size) + ")";
+}
+
+}  // namespace gbc::bench

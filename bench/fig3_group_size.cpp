@@ -1,0 +1,40 @@
+// Figure 3: "Checkpoint Group Size" — Effective Checkpoint Delay of the
+// communication-group micro-benchmark (32 procs, 180 MB each) for checkpoint
+// group sizes All(32), 16, 8, 4, 2, 1 across communication group sizes 16,
+// 8, 4, 2 and the embarrassingly-parallel case.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("Effective Checkpoint Delay vs checkpoint group size",
+                "Figure 3");
+  const auto preset = harness::icpp07_cluster();
+  const std::uint64_t iters = 1200;  // ~120s run, outlasting any checkpoint
+  const sim::Time issuance = sim::from_seconds(5);
+
+  harness::Table t({"comm_group", "ckpt_group", "effective_delay_s"});
+  for (int comm : {16, 8, 4, 2, 1}) {
+    auto factory = bench::comm_group_factory(comm, iters);
+    const double base =
+        harness::run_experiment(preset, factory, ckpt::CkptConfig{})
+            .completion_seconds();
+    for (int ckpt_size : {0, 16, 8, 4, 2, 1}) {
+      ckpt::CkptConfig cc;
+      cc.group_size = ckpt_size;
+      auto m = harness::measure_effective_delay_with_base(
+          preset, factory, cc, issuance, ckpt::Protocol::kGroupBased, base);
+      t.add_row({comm == 1 ? "EP(1)" : std::to_string(comm),
+                 bench::group_label(preset.nranks, ckpt_size),
+                 harness::Table::num(m.effective_delay_seconds())});
+      std::fflush(stdout);
+    }
+  }
+  t.print();
+  t.write_csv(bench::csv_path("fig3_group_size"));
+  std::printf(
+      "\nExpected shape (paper): while the checkpoint group covers >= one\n"
+      "communication group, halving the checkpoint group roughly halves the\n"
+      "delay; below the communication group size the delay flattens or\n"
+      "worsens, and size 1 under-utilizes the parallel file system.\n");
+  return 0;
+}

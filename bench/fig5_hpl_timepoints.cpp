@@ -1,0 +1,41 @@
+// Figure 5: "Effective Checkpoint Delay at 8 Time Points for HPL" — the 8x4
+// HPL run (dominant communication group of four along grid rows), checkpoint
+// group sizes All(32), 16, 8, 4, 2, 1, issuance times 50..400 s.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("HPL: Effective Checkpoint Delay at 8 time points",
+                "Figure 5");
+  const auto preset = harness::icpp07_cluster();
+  auto factory = bench::hpl_factory();
+  const double base =
+      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
+          .completion_seconds();
+  std::printf("HPL failure-free makespan: %.1f s\n\n", base);
+
+  harness::Table t({"issuance_s", "All(32)", "Group(16)", "Group(8)",
+                    "Group(4)", "Group(2)", "Individual(1)"});
+  for (int issuance = 50; issuance <= 400; issuance += 50) {
+    std::vector<std::string> row{std::to_string(issuance)};
+    for (int size : {0, 16, 8, 4, 2, 1}) {
+      ckpt::CkptConfig cc;
+      cc.group_size = size;
+      auto m = harness::measure_effective_delay_with_base(
+          preset, factory, cc, sim::from_seconds(issuance),
+          ckpt::Protocol::kGroupBased, base);
+      row.push_back(harness::Table::num(m.effective_delay_seconds()));
+      std::fflush(stdout);
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  t.write_csv(bench::csv_path("fig5_hpl_timepoints"));
+  std::printf(
+      "\nExpected shape (paper): group sizes 2..16 beat All(32) at every\n"
+      "point (up to ~78%% reduction, best near sizes 4/8 matching the 8x4\n"
+      "grid's communication groups); size 1 helps little or hurts; the\n"
+      "regular delay itself varies across points because the HPL footprint\n"
+      "is not constant over the run.\n");
+  return 0;
+}

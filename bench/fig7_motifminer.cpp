@@ -1,0 +1,52 @@
+// Figure 7: "Effective Checkpoint Delay with Different Checkpoint Group
+// Sizes for MotifMiner" — 32 processes, global (allgather) communication
+// only, 4 issuance points across the run. Group-based checkpointing still
+// helps because each process has a large compute chunk per iteration
+// (paper: up to 70% reduction; avg ~28/32/27/14% for sizes 16/8/4/2).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gbc;
+  bench::banner("MotifMiner: Effective Checkpoint Delay", "Figure 7");
+  const auto preset = harness::icpp07_cluster();
+  auto factory = bench::motifminer_factory();
+  const double base =
+      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
+          .completion_seconds();
+  std::printf("MotifMiner failure-free makespan: %.1f s\n\n", base);
+
+  harness::Table t({"issuance_s", "All(32)", "Group(16)", "Group(8)",
+                    "Group(4)", "Group(2)", "Individual(1)"});
+  double all_sum = 0;
+  std::vector<double> group_sums(6, 0.0);
+  const std::vector<int> sizes{0, 16, 8, 4, 2, 1};
+  for (int issuance : {30, 60, 90, 120}) {
+    std::vector<std::string> row{std::to_string(issuance)};
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      ckpt::CkptConfig cc;
+      cc.group_size = sizes[si];
+      auto m = harness::measure_effective_delay_with_base(
+          preset, factory, cc, sim::from_seconds(issuance),
+          ckpt::Protocol::kGroupBased, base);
+      const double d = m.effective_delay_seconds();
+      group_sums[si] += d;
+      if (si == 0) all_sum += d;
+      row.push_back(harness::Table::num(d));
+      std::fflush(stdout);
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  t.write_csv(bench::csv_path("fig7_motifminer"));
+
+  std::printf("\nAverage reduction vs All(32):");
+  for (std::size_t si = 1; si < sizes.size(); ++si) {
+    std::printf("  %s: %.1f%%", bench::group_label(32, sizes[si]).c_str(),
+                (1.0 - group_sums[si] / all_sum) * 100.0);
+  }
+  std::printf(
+      "\n\nExpected shape (paper): noticeable reductions despite the global\n"
+      "communication pattern — groups that finish early continue their\n"
+      "compute chunk before the next allgather; moderate sizes (4-8) win.\n");
+  return 0;
+}

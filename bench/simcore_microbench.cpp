@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks of the simulator substrate itself:
+// event-queue throughput, coroutine task chaining, storage processor-sharing
+// re-rating, MPI p2p and collective message handling, and full checkpoint
+// cycles. These guard the simulator's performance so the figure sweeps
+// (hundreds of simulated runs) stay fast.
+#include <benchmark/benchmark.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "storage/storage.hpp"
+
+namespace {
+
+using namespace gbc;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(i, [&fired] { ++fired; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+sim::Task<void> chained_sleeper(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.delay(1);
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(chained_sleeper(eng, 1000));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_StorageRebalance(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    storage::StorageSystem fs(eng, storage::StorageConfig{});
+    for (int i = 0; i < writers; ++i) {
+      // Staggered arrivals force a re-rate per arrival and per completion.
+      eng.schedule_at(i * sim::kMillisecond, [&fs, &eng, i] {
+        eng.spawn([](storage::StorageSystem& s,
+                     storage::Bytes b) -> sim::Task<void> {
+          co_await s.write(b);
+        }(fs, storage::mib(1) + i));
+      });
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * writers);
+}
+BENCHMARK(BM_StorageRebalance)->Arg(8)->Arg(64);
+
+void BM_MpiPingPong(benchmark::State& state) {
+  const int msgs = 200;
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Fabric fabric(eng, {}, 2);
+    mpi::MiniMPI mpi(eng, fabric, {});
+    for (int r = 0; r < 2; ++r) {
+      eng.spawn([](mpi::MiniMPI& m, int me, int n) -> sim::Task<void> {
+        auto& rk = m.rank(me);
+        const mpi::Comm& wc = m.world();
+        for (int i = 0; i < n; ++i) {
+          if (me == 0) {
+            co_await rk.send(wc, 1, 0, 4096);
+            co_await rk.recv(wc, 1, 1);
+          } else {
+            co_await rk.recv(wc, 0, 0);
+            co_await rk.send(wc, 0, 1, 4096);
+          }
+        }
+      }(mpi, r, msgs));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * msgs * 2);
+}
+BENCHMARK(BM_MpiPingPong);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Fabric fabric(eng, {}, n);
+    mpi::MiniMPI mpi(eng, fabric, {});
+    for (int r = 0; r < n; ++r) {
+      eng.spawn([](mpi::MiniMPI& m, int me) -> sim::Task<void> {
+        auto& rk = m.rank(me);
+        for (int i = 0; i < 10; ++i) {
+          (void)co_await rk.allreduce(m.world(), mpi::Op::kSum,
+                                      mpi::vec(1.0));
+        }
+      }(mpi, r));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_Allreduce)->Arg(8)->Arg(32);
+
+void BM_GroupCheckpointCycle(benchmark::State& state) {
+  const int group = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Fabric fabric(eng, {}, 32);
+    storage::StorageSystem fs(eng, storage::StorageConfig{});
+    mpi::MiniMPI mpi(eng, fabric, {});
+    ckpt::CkptConfig cc;
+    cc.group_size = group;
+    ckpt::CheckpointService svc(mpi, fs, cc);
+    svc.set_footprint_provider([](int) { return storage::mib(16); });
+    svc.request_at(0, ckpt::Protocol::kGroupBased);
+    eng.run();
+    benchmark::DoNotOptimize(svc.history().size());
+  }
+}
+BENCHMARK(BM_GroupCheckpointCycle)->Arg(0)->Arg(8)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// HPL scenario: checkpoint a Linpack-style dense solver (8x4 process grid,
+// the paper's Sec. 6.2 configuration) with every protocol and compare.
+//
+// Run: ./build/examples/hpl_checkpoint [issuance_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+#include "workloads/hpl.hpp"
+
+using namespace gbc;
+
+int main(int argc, char** argv) {
+  const double issuance = argc > 1 ? std::atof(argv[1]) : 150.0;
+
+  harness::ClusterPreset cluster = harness::icpp07_cluster();
+  workloads::HplConfig hpl;  // defaults: 8x4 grid, N=44000
+  harness::WorkloadFactory factory = [hpl](int n) {
+    return std::make_unique<workloads::HplSim>(n, hpl);
+  };
+
+  std::printf("HPL %dx%d grid, N=%lld, NB=%d — checkpoint at t=%.0fs\n\n",
+              hpl.grid_p, hpl.grid_q, static_cast<long long>(hpl.n), hpl.nb,
+              issuance);
+
+  const double base =
+      harness::run_experiment(cluster, factory, ckpt::CkptConfig{})
+          .completion_seconds();
+  std::printf("failure-free makespan: %.1f s\n\n", base);
+  std::printf("%-28s %12s %12s %12s\n", "checkpoint strategy",
+              "effective(s)", "downtime(s)", "total(s)");
+
+  struct Row {
+    const char* name;
+    ckpt::Protocol protocol;
+    int group_size;
+  };
+  const Row rows[] = {
+      {"regular (all 32 at once)", ckpt::Protocol::kBlockingCoordinated, 0},
+      {"group-based, groups of 16", ckpt::Protocol::kGroupBased, 16},
+      {"group-based, groups of 8", ckpt::Protocol::kGroupBased, 8},
+      {"group-based, groups of 4", ckpt::Protocol::kGroupBased, 4},
+      {"group-based, dynamic", ckpt::Protocol::kGroupBased, -1},
+      {"Chandy-Lamport", ckpt::Protocol::kChandyLamport, 0},
+  };
+  for (const Row& row : rows) {
+    ckpt::CkptConfig cc;
+    if (row.group_size >= 0) {
+      cc.group_size = row.group_size;
+    } else {
+      cc.group_size = 4;
+      cc.dynamic_formation = true;  // learn groups from observed traffic
+    }
+    auto m = harness::measure_effective_delay_with_base(
+        cluster, factory, cc, sim::from_seconds(issuance), row.protocol,
+        base);
+    std::printf("%-28s %12.2f %12.2f %12.2f\n", row.name,
+                m.effective_delay_seconds(),
+                sim::to_seconds(m.checkpoint.mean_individual_time()),
+                m.total_seconds());
+  }
+  std::printf(
+      "\nThe 8x4 grid communicates mostly inside rows of 4, so checkpoint\n"
+      "groups of 4 line up with the communication groups and give the\n"
+      "largest reduction — the paper's headline HPL result.\n");
+  return 0;
+}

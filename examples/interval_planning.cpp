@@ -1,0 +1,54 @@
+// Interval planning: how often should this job checkpoint? Compares Young's
+// analytic estimate with end-to-end simulated time-to-solution under
+// deterministic Poisson failures, for both the regular and the group-based
+// protocol — showing how cheaper checkpoints shift the optimum.
+//
+// Run: ./build/examples/interval_planning [mtbf_seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/interval.hpp"
+#include "workloads/microbench.hpp"
+
+using namespace gbc;
+
+int main(int argc, char** argv) {
+  const double mtbf = argc > 1 ? std::atof(argv[1]) : 150.0;
+  harness::ClusterPreset cluster = harness::icpp07_cluster();
+  workloads::CommGroupBenchConfig app;
+  app.comm_group_size = 4;
+  app.iterations = 4000;  // ~7 minutes of work
+  harness::WorkloadFactory factory = [app](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, app);
+  };
+  harness::FailureModel fm;
+  fm.mtbf_seconds = mtbf;
+  fm.seed = 3;
+
+  std::printf("MTBF = %.0f s. Young's optimal interval ~ sqrt(2*C*MTBF):\n",
+              mtbf);
+  std::printf("  blocking    (C ~ 43 s): %6.0f s\n",
+              harness::young_interval_seconds(43.0, mtbf));
+  std::printf("  group-based (C ~ 10 s): %6.0f s\n\n",
+              harness::young_interval_seconds(10.0, mtbf));
+
+  std::printf("%-16s %10s %14s %10s\n", "protocol", "interval", "tts (s)",
+              "failures");
+  for (auto protocol : {ckpt::Protocol::kBlockingCoordinated,
+                        ckpt::Protocol::kGroupBased}) {
+    for (double interval : {45.0, 90.0, 180.0}) {
+      ckpt::CkptConfig cc;
+      cc.group_size = 4;
+      auto res = harness::run_with_poisson_failures(
+          cluster, factory, cc, protocol, sim::from_seconds(interval), fm);
+      std::printf("%-16s %9.0fs %14.1f %10d\n",
+                  protocol == ckpt::Protocol::kGroupBased ? "group-based(4)"
+                                                          : "blocking(32)",
+                  interval, res.total_seconds, res.failures);
+    }
+  }
+  std::printf(
+      "\nGroup-based checkpointing's cheaper cycles buy shorter intervals\n"
+      "and a better time-to-solution at every setting.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// MotifMiner scenario (paper Sec. 6.3): a data-mining workload with global
+// allgather communication and large per-iteration compute chunks. Shows that
+// group-based checkpointing helps even without a group-structured
+// communication pattern, and sweeps the checkpoint group size.
+//
+// Run: ./build/examples/motifminer_checkpoint
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "workloads/motifminer.hpp"
+
+using namespace gbc;
+
+int main() {
+  harness::ClusterPreset cluster = harness::icpp07_cluster();
+  workloads::MotifMinerConfig mm;  // defaults: 14 iterations, ~12 s chunks
+  harness::WorkloadFactory factory = [mm](int n) {
+    return std::make_unique<workloads::MotifMinerSim>(n, mm);
+  };
+
+  const double base =
+      harness::run_experiment(cluster, factory, ckpt::CkptConfig{})
+          .completion_seconds();
+  std::printf("MotifMiner: %llu iterations, ~%.0fs compute chunks, "
+              "failure-free makespan %.1f s\n\n",
+              static_cast<unsigned long long>(mm.iterations),
+              mm.mean_compute_seconds, base);
+
+  std::printf("%-18s %14s %16s\n", "checkpoint group", "effective(s)",
+              "vs regular");
+  double regular = 0;
+  for (int size : {0, 16, 8, 4, 2, 1}) {
+    ckpt::CkptConfig cc;
+    cc.group_size = size;
+    auto m = harness::measure_effective_delay_with_base(
+        cluster, factory, cc, sim::from_seconds(60),
+        ckpt::Protocol::kGroupBased, base);
+    const double d = m.effective_delay_seconds();
+    if (size == 0) regular = d;
+    std::printf("%-18s %14.2f %15.1f%%\n",
+                size == 0 ? "All(32)" : ("Group(" + std::to_string(size) + ")")
+                                            .c_str(),
+                d, (1.0 - d / regular) * 100.0);
+  }
+  std::printf(
+      "\nEven with purely global communication, groups that finish their\n"
+      "snapshot early run their next mining chunk while later groups write\n"
+      "— the overlap the paper reports for MotifMiner (Sec. 6.3).\n");
+  return 0;
+}

@@ -1,0 +1,408 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "sim/join.hpp"
+
+namespace gbc::ckpt {
+
+namespace {
+int ilog2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+}  // namespace
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kBlockingCoordinated: return "blocking-coordinated";
+    case Protocol::kGroupBased: return "group-based";
+    case Protocol::kChandyLamport: return "chandy-lamport";
+    case Protocol::kUncoordinatedLogging: return "uncoordinated+logging";
+  }
+  return "?";
+}
+
+sim::Time GlobalCheckpoint::max_individual_time() const {
+  sim::Time m = 0;
+  for (const auto& s : snapshots) m = std::max(m, s.resume_at - s.freeze_begin);
+  return m;
+}
+
+double GlobalCheckpoint::mean_individual_time() const {
+  if (snapshots.empty()) return 0;
+  double sum = 0;
+  for (const auto& s : snapshots) {
+    sum += static_cast<double>(s.resume_at - s.freeze_begin);
+  }
+  return sum / static_cast<double>(snapshots.size());
+}
+
+double GlobalCheckpoint::storage_fraction() const {
+  double down = 0, st = 0;
+  for (const auto& s : snapshots) {
+    down += static_cast<double>(s.resume_at - s.freeze_begin);
+    st += static_cast<double>(s.storage_time);
+  }
+  return down > 0 ? st / down : 0;
+}
+
+// ---------------------------------------------------------------------------
+// DeferralGate
+// ---------------------------------------------------------------------------
+
+bool CheckpointService::DeferralGate::allowed(int a, int b) const {
+  if (!svc_.defer_active_) return true;
+  // The consistency rule (DESIGN.md): traffic may flow only between ranks
+  // whose groups are on the same side of the recovery line.
+  return svc_.done_[a] == svc_.done_[b];
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointService
+// ---------------------------------------------------------------------------
+
+CheckpointService::CheckpointService(mpi::MiniMPI& mpi,
+                                     storage::StorageSystem& fs,
+                                     CkptConfig cfg)
+    : eng_(mpi.engine()), mpi_(mpi), fs_(fs), cfg_(cfg) {
+  gate_ = std::make_unique<DeferralGate>(*this);
+  cycle_done_ = std::make_unique<sim::Condition>(eng_);
+  done_.assign(mpi_.nranks(), 0);
+  last_snapshot_at_.assign(mpi_.nranks(), -1);
+  mpi_.set_gate(gate_.get());
+}
+
+CheckpointService::~CheckpointService() { mpi_.set_gate(nullptr); }
+
+GroupPlan CheckpointService::plan_groups() const {
+  const int n = mpi_.nranks();
+  if (cfg_.dynamic_formation) {
+    const int max_size = cfg_.group_size > 0 ? cfg_.group_size : n;
+    return dynamic_plan(mpi_.fabric().traffic_matrix(), n, max_size);
+  }
+  return static_plan(n, cfg_.group_size);
+}
+
+namespace {
+sim::Task<void> request_wrapper(CheckpointService* svc, Protocol p) {
+  (void)co_await svc->checkpoint(p);
+}
+}  // namespace
+
+void CheckpointService::request_at(sim::Time t, Protocol protocol) {
+  eng_.schedule_at(t, [this, protocol] {
+    eng_.spawn(request_wrapper(this, protocol));
+  });
+}
+
+namespace {
+sim::Task<void> periodic_driver(CheckpointService* svc, sim::Engine* eng,
+                                sim::Time interval, Protocol p) {
+  // Fixed *gap*, not fixed rate: the next request is issued one interval
+  // after the previous cycle completes. A fixed rate shorter than the cycle
+  // time would otherwise pile up requests and starve the application.
+  for (;;) {
+    // Stop once only this driver remains alive (the application is done).
+    if (eng->live_processes() <= 1) co_return;
+    (void)co_await svc->checkpoint(p);
+    co_await eng->delay(interval);
+  }
+}
+}  // namespace
+
+void CheckpointService::request_every(sim::Time first, sim::Time interval,
+                                      Protocol protocol) {
+  eng_.schedule_at(first, [this, interval, protocol] {
+    if (eng_.live_processes() <= 0) return;
+    eng_.spawn(periodic_driver(this, &eng_, interval, protocol));
+  });
+}
+
+Bytes CheckpointService::image_bytes_for(int rank) const {
+  const Bytes full = footprint(rank);
+  if (!cfg_.incremental || last_snapshot_at_[rank] < 0) return full;
+  const double elapsed =
+      sim::to_seconds(eng_.now() - last_snapshot_at_[rank]);
+  const double dirty =
+      cfg_.dirty_floor + cfg_.dirty_rate_per_second * elapsed;
+  if (dirty >= 1.0) return full;
+  return static_cast<Bytes>(static_cast<double>(full) * dirty);
+}
+
+sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
+  // Requests serialize: a second request issued mid-cycle waits its turn.
+  while (cycle_active_) co_await cycle_done_->wait();
+  cycle_active_ = true;
+  if (trace_) {
+    trace_->add(eng_.now(), -1, "cycle", std::string("begin ") +
+                                             protocol_name(protocol));
+  }
+  const int n = mpi_.nranks();
+  GlobalCheckpoint gc;
+  gc.protocol = protocol;
+  gc.requested_at = eng_.now();
+  gc.snapshots.resize(n);
+  for (int r = 0; r < n; ++r) gc.snapshots[r].rank = r;
+
+  switch (protocol) {
+    case Protocol::kBlockingCoordinated:
+    case Protocol::kGroupBased: {
+      gc.plan = protocol == Protocol::kGroupBased ? plan_groups()
+                                                  : static_plan(n, 0);
+      group_of_.assign(n, 0);
+      for (int g = 0; g < gc.plan.size(); ++g) {
+        for (int m : gc.plan.groups[g]) group_of_[m] = g;
+      }
+      done_.assign(n, 0);
+      defer_active_ = protocol == Protocol::kGroupBased && gc.plan.size() > 1;
+      // Initial synchronization: coordinator fans the request out.
+      co_await eng_.delay(cfg_.control_latency * (ilog2(n) + 1));
+      for (const auto& group : gc.plan.groups) {
+        // checkpoint_group flips done_[] at the snapshot instant (the
+        // recovery line) — not at thaw — so no message can slip between a
+        // group's snapshot and its resume.
+        co_await checkpoint_group(group, gc);
+        gate_->notify();  // deferred pairs on the new line may proceed
+      }
+      defer_active_ = false;
+      gate_->notify();
+      break;
+    }
+    case Protocol::kChandyLamport:
+      gc.plan = static_plan(n, 0);
+      co_await run_chandy_lamport(gc);
+      break;
+    case Protocol::kUncoordinatedLogging:
+      gc.plan = static_plan(n, 1);
+      co_await run_uncoordinated(gc);
+      break;
+  }
+
+  gc.completed_at = eng_.now();
+  if (trace_) trace_->add(eng_.now(), -1, "cycle", "complete");
+  history_.push_back(gc);
+  cycle_active_ = false;
+  cycle_done_->notify_all();
+  co_return history_.back();
+}
+
+namespace {
+
+/// Tears down one connection of a checkpointing process. A peer outside the
+/// group participates passively: the request first waits until the peer's
+/// progress engine services it (paper Sec. 4.2/4.4).
+sim::Task<void> teardown_one(mpi::MiniMPI* mpi, const CkptConfig* cfg, int m,
+                             int peer, bool peer_passive) {
+  if (peer_passive) {
+    co_await mpi->rank(peer).exec().await_service_point(cfg->async_progress,
+                                                        cfg->helper_interval);
+  }
+  co_await mpi->engine().delay(cfg->control_latency);  // disconnect RPC
+  co_await mpi->fabric().connections().disconnect(m, peer);
+}
+
+sim::Task<void> rebuild_one(mpi::MiniMPI* mpi, const CkptConfig* cfg, int m,
+                            int peer, bool peer_passive) {
+  if (peer_passive) {
+    co_await mpi->rank(peer).exec().await_service_point(cfg->async_progress,
+                                                        cfg->helper_interval);
+  }
+  co_await mpi->engine().delay(cfg->control_latency);  // reconnect RPC
+  co_await mpi->fabric().connections().ensure_connected(m, peer);
+}
+
+}  // namespace
+
+sim::Task<void> CheckpointService::snapshot_rank(int rank,
+                                                 GlobalCheckpoint& gc) {
+  auto& snap = gc.snapshots[rank];
+  snap.image_bytes = image_bytes_for(rank);
+  if (capture_) snap.app_state = capture_(rank);
+  snap.taken_at = eng_.now();
+  last_snapshot_at_[rank] = eng_.now();
+  const sim::Time t0 = eng_.now();
+  co_await fs_.write(snap.image_bytes);
+  snap.storage_time = eng_.now() - t0;
+}
+
+sim::Task<void> CheckpointService::checkpoint_group(
+    const std::vector<int>& group, GlobalCheckpoint& gc) {
+  auto in_group = [&group](int r) {
+    return std::find(group.begin(), group.end(), r) != group.end();
+  };
+
+  // Intra-group coordination fan-out.
+  co_await eng_.delay(cfg_.control_latency *
+                      (ilog2(static_cast<int>(group.size())) + 1));
+
+  // Freeze (the BLCR signal stops each member wherever it is).
+  for (int m : group) {
+    mpi_.rank(m).freeze();
+    gc.snapshots[m].freeze_begin = eng_.now();
+    if (trace_) trace_->add(eng_.now(), m, "freeze", "");
+  }
+
+  // Pre-checkpoint coordination: flush in-transit messages and tear down
+  // every connection touching a member, each pair handled exactly once.
+  std::vector<std::pair<int, int>> torn_down;
+  {
+    sim::JoinSet teardown(eng_);
+    for (int m : group) {
+      for (int peer : mpi_.fabric().connections().connected_peers(m)) {
+        if (in_group(peer) && peer < m) continue;  // counted from the other end
+        torn_down.emplace_back(m, peer);
+        teardown.launch(teardown_one(&mpi_, &cfg_, m, peer, !in_group(peer)));
+      }
+    }
+    co_await teardown.join();
+  }
+
+  // The members' state is now quiescent and flushed: this instant is their
+  // position on the recovery line. From here on, traffic between them and
+  // any group on the other side of the line must be deferred (paper
+  // Sec. 3.2) — flipping the flag any later would let a not-yet-
+  // checkpointed rank slip a message into a snapshotted one during the
+  // write/rebuild window (a lost-in-transit message on restart).
+  for (int m : group) {
+    done_[m] = 1;
+    if (trace_) trace_->add(eng_.now(), m, "snapshot", "recovery line");
+  }
+  gate_->notify();
+
+  // Local checkpointing: members write their images concurrently; with a
+  // small group each gets a large share of the storage bandwidth.
+  {
+    sim::JoinSet writes(eng_);
+    for (int m : group) writes.launch(snapshot_rank(m, gc));
+    co_await writes.join();
+  }
+
+  // Post-checkpoint coordination: resume members, then (optionally) rebuild
+  // the torn-down connections eagerly.
+  for (int m : group) {
+    mpi_.rank(m).thaw();
+    gc.snapshots[m].resume_at = eng_.now();
+    if (trace_) trace_->add(eng_.now(), m, "resume", "");
+  }
+  if (cfg_.eager_rebuild) {
+    sim::JoinSet rebuild(eng_);
+    for (const auto& [m, peer] : torn_down) {
+      rebuild.launch(rebuild_one(&mpi_, &cfg_, m, peer, !in_group(peer)));
+    }
+    co_await rebuild.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: non-blocking Chandy-Lamport with channel logging
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Counts channel-logging volume during a Chandy-Lamport cycle: messages
+/// arriving at a rank that has already recorded its snapshot belong to the
+/// channel state and must be written down.
+class ChannelLogger : public mpi::MpiHooks {
+ public:
+  explicit ChannelLogger(const std::vector<char>& snapshotted)
+      : snapshotted_(snapshotted) {}
+  void on_deliver(int /*src*/, int dst, Bytes b) override {
+    if (snapshotted_[dst]) logged_ += b;
+  }
+  Bytes logged() const noexcept { return logged_; }
+
+ private:
+  const std::vector<char>& snapshotted_;
+  Bytes logged_ = 0;
+};
+
+}  // namespace
+
+sim::Task<void> CheckpointService::run_chandy_lamport(GlobalCheckpoint& gc) {
+  const int n = mpi_.nranks();
+  // Marker propagation: every rank learns of the checkpoint within a
+  // marker-latency fan-out; nothing schedules their storage access, so all
+  // of them snapshot at (nearly) the same time — the storage bottleneck.
+  std::vector<char> snapshotted(n, 0);
+  ChannelLogger logger(snapshotted);
+  mpi::MpiHooks* prev_hooks = mpi_.hooks();
+  mpi_.set_hooks(&logger);
+
+  struct ClCtx {
+    CheckpointService* svc;
+    GlobalCheckpoint* gc;
+    std::vector<char>* snapshotted;
+  } ctx{this, &gc, &snapshotted};
+
+  auto cl_rank = [](ClCtx* c, int m) -> sim::Task<void> {
+    auto& svc = *c->svc;
+    co_await svc.eng_.delay(svc.cfg_.control_latency * (ilog2(svc.mpi_.nranks()) + 1));
+    svc.mpi_.rank(m).freeze();
+    c->gc->snapshots[m].freeze_begin = svc.eng_.now();
+    // IB still requires tearing down this process's connections (Sec. 2.2),
+    // with no global schedule to amortize it.
+    {
+      sim::JoinSet teardown(svc.eng_);
+      for (int peer : svc.mpi_.fabric().connections().connected_peers(m)) {
+        teardown.launch(
+            teardown_one(&svc.mpi_, &svc.cfg_, m, peer, /*passive=*/false));
+      }
+      co_await teardown.join();
+    }
+    (*c->snapshotted)[m] = 1;
+    co_await svc.snapshot_rank(m, *c->gc);
+    svc.mpi_.rank(m).thaw();
+    c->gc->snapshots[m].resume_at = svc.eng_.now();
+  };
+
+  sim::JoinSet all(eng_);
+  for (int m = 0; m < n; ++m) all.launch(cl_rank(&ctx, m));
+  co_await all.join();
+
+  gc.logged_bytes = logger.logged();
+  mpi_.set_hooks(prev_hooks);
+  // The channel log is part of the checkpoint and must reach stable storage.
+  if (gc.logged_bytes > 0) co_await fs_.write(gc.logged_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: uncoordinated checkpointing (independent snapshots)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> CheckpointService::run_uncoordinated(GlobalCheckpoint& gc) {
+  const int n = mpi_.nranks();
+  struct UcCtx {
+    CheckpointService* svc;
+    GlobalCheckpoint* gc;
+  } ctx{this, &gc};
+
+  auto uc_rank = [](UcCtx* c, int m) -> sim::Task<void> {
+    auto& svc = *c->svc;
+    // Each process picks its own time; consistency comes from the always-on
+    // sender-based message log, not from coordination.
+    co_await svc.eng_.delay(m * svc.cfg_.uncoordinated_stagger);
+    svc.mpi_.rank(m).freeze();
+    c->gc->snapshots[m].freeze_begin = svc.eng_.now();
+    {
+      sim::JoinSet teardown(svc.eng_);
+      for (int peer : svc.mpi_.fabric().connections().connected_peers(m)) {
+        teardown.launch(
+            teardown_one(&svc.mpi_, &svc.cfg_, m, peer, /*passive=*/true));
+      }
+      co_await teardown.join();
+    }
+    co_await svc.snapshot_rank(m, *c->gc);
+    svc.mpi_.rank(m).thaw();
+    c->gc->snapshots[m].resume_at = svc.eng_.now();
+  };
+
+  sim::JoinSet all(eng_);
+  for (int m = 0; m < n; ++m) all.launch(uc_rank(&ctx, m));
+  co_await all.join();
+}
+
+}  // namespace gbc::ckpt

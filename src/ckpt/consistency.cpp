@@ -1,0 +1,35 @@
+#include "ckpt/consistency.hpp"
+
+#include <sstream>
+
+namespace gbc::ckpt {
+
+ConsistencyReport check_recovery_line(
+    const std::vector<mpi::MessageRecord>& records,
+    const GlobalCheckpoint& gc) {
+  ConsistencyReport report;
+  for (const auto& m : records) {
+    if (m.arrival_time < 0) continue;  // never delivered (run ended first)
+    const auto& src_snap = gc.snapshots[m.src];
+    const auto& dst_snap = gc.snapshots[m.dst];
+    if (src_snap.taken_at < 0 || dst_snap.taken_at < 0) continue;
+    ++report.checked;
+    const bool sent_after_line = m.transmit_time >= src_snap.taken_at;
+    const bool recv_after_line = m.arrival_time >= dst_snap.taken_at;
+    if (sent_after_line != recv_after_line) {
+      ++report.violations;
+      if (report.details.size() < 32) {
+        std::ostringstream os;
+        os << (sent_after_line ? "orphan" : "lost-in-transit") << ": " << m.src
+           << "->" << m.dst << " bytes=" << m.bytes
+           << " tx=" << m.transmit_time << " (line " << src_snap.taken_at
+           << ") rx=" << m.arrival_time << " (line " << dst_snap.taken_at
+           << ")";
+        report.details.push_back(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gbc::ckpt

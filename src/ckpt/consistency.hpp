@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "mpi/types.hpp"
+
+namespace gbc::ckpt {
+
+/// Result of validating a recovery line against the observed message trace.
+struct ConsistencyReport {
+  int checked = 0;
+  int violations = 0;
+  std::vector<std::string> details;  // one line per violation (capped)
+  bool consistent() const { return violations == 0; }
+};
+
+/// Validates the fundamental invariant of coordinated checkpointing without
+/// message logging: for every message, "left the sender's library after the
+/// sender's snapshot" must equal "entered the receiver's library after the
+/// receiver's snapshot". A mismatch is an orphan (received before the line,
+/// sent after) or a lost in-transit message (sent before, received after) —
+/// either would make restart from this checkpoint incorrect.
+/// Requires MpiConfig::record_messages = true during the run.
+ConsistencyReport check_recovery_line(
+    const std::vector<mpi::MessageRecord>& records,
+    const GlobalCheckpoint& gc);
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,135 @@
+#include "ckpt/group_formation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gbc::ckpt {
+
+GroupPlan static_plan(int nranks, int group_size) {
+  GroupPlan plan;
+  if (group_size <= 0 || group_size >= nranks) {
+    std::vector<int> all(nranks);
+    std::iota(all.begin(), all.end(), 0);
+    plan.groups.push_back(std::move(all));
+    return plan;
+  }
+  for (int start = 0; start < nranks; start += group_size) {
+    std::vector<int> g;
+    for (int r = start; r < std::min(start + group_size, nranks); ++r) {
+      g.push_back(r);
+    }
+    plan.groups.push_back(std::move(g));
+  }
+  return plan;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+GroupPlan dynamic_plan(const std::vector<std::int64_t>& traffic, int nranks,
+                       int max_group_size, double edge_threshold) {
+  if (max_group_size <= 0) max_group_size = nranks;
+  std::int64_t heaviest = 0;
+  for (int a = 0; a < nranks; ++a) {
+    for (int b = a + 1; b < nranks; ++b) {
+      heaviest = std::max(heaviest, traffic[static_cast<std::size_t>(a) * nranks + b]);
+    }
+  }
+  if (heaviest == 0) {
+    // No traffic observed yet: nothing to learn, use the static layout.
+    GroupPlan plan = static_plan(nranks, max_group_size);
+    return plan;
+  }
+  const auto cutoff = static_cast<std::int64_t>(
+      edge_threshold * static_cast<double>(heaviest));
+
+  // Transitive closure over "frequent" edges.
+  UnionFind uf(nranks);
+  for (int a = 0; a < nranks; ++a) {
+    for (int b = a + 1; b < nranks; ++b) {
+      if (traffic[static_cast<std::size_t>(a) * nranks + b] > cutoff) {
+        uf.unite(a, b);
+      }
+    }
+  }
+  std::vector<std::vector<int>> components;
+  {
+    std::vector<int> comp_index(nranks, -1);
+    for (int r = 0; r < nranks; ++r) {
+      int root = uf.find(r);
+      if (comp_index[root] < 0) {
+        comp_index[root] = static_cast<int>(components.size());
+        components.emplace_back();
+      }
+      components[comp_index[root]].push_back(r);
+    }
+  }
+
+  // Globally-communicating application: fall back to static formation.
+  std::size_t largest = 0;
+  for (const auto& c : components) largest = std::max(largest, c.size());
+  if (largest > static_cast<std::size_t>(nranks) / 2) {
+    return static_plan(nranks, max_group_size);
+  }
+
+  // Pack components into checkpoint groups: split oversized closures; pack
+  // isolated ranks (singleton components) together up to max_group_size.
+  // Distinct multi-rank closures are never merged — they do not communicate,
+  // so co-scheduling them would only double each one's storage contention.
+  GroupPlan plan;
+  plan.used_dynamic = true;
+  std::vector<std::vector<int>> pieces;
+  std::vector<int> singletons;
+  for (auto& comp : components) {
+    if (comp.size() == 1) {
+      singletons.push_back(comp.front());
+      continue;
+    }
+    for (std::size_t at = 0; at < comp.size();
+         at += static_cast<std::size_t>(max_group_size)) {
+      std::vector<int> piece(
+          comp.begin() + at,
+          comp.begin() + std::min(comp.size(),
+                                  at + static_cast<std::size_t>(max_group_size)));
+      pieces.push_back(std::move(piece));
+    }
+  }
+  std::sort(singletons.begin(), singletons.end());
+  for (std::size_t at = 0; at < singletons.size();
+       at += static_cast<std::size_t>(max_group_size)) {
+    pieces.emplace_back(
+        singletons.begin() + at,
+        singletons.begin() + std::min(singletons.size(),
+                                      at + static_cast<std::size_t>(
+                                               max_group_size)));
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  plan.groups = std::move(pieces);
+  return plan;
+}
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+
+/// A checkpoint schedule: groups of world ranks that snapshot together,
+/// taken in vector order (paper Sec. 3.2 / 4.1).
+struct GroupPlan {
+  std::vector<std::vector<int>> groups;
+  bool used_dynamic = false;  ///< dynamic formation succeeded (no fallback)
+
+  int group_of(int rank) const {
+    for (int g = 0; g < static_cast<int>(groups.size()); ++g) {
+      for (int m : groups[g]) {
+        if (m == rank) return g;
+      }
+    }
+    return -1;
+  }
+  int size() const { return static_cast<int>(groups.size()); }
+};
+
+/// Static formation: contiguous blocks of `group_size` ranks in world-rank
+/// order ("based on a user-defined group size and the global rank").
+/// group_size <= 0 or >= nranks yields one all-ranks group (the regular
+/// blocking coordinated checkpoint).
+GroupPlan static_plan(int nranks, int group_size);
+
+/// Dynamic formation (paper Sec. 4.1): finds the transitive closure of
+/// frequently-communicating processes over the observed traffic matrix
+/// (bytes, indexed [a*n+b]). Edges carrying at least `edge_threshold` of the
+/// heaviest edge's bytes are "frequent". If the largest closure spans more
+/// than half the job, the application is considered globally-communicating
+/// and the planner falls back to static_plan (limiting analysis cost).
+/// Closures larger than `max_group_size` are split; singletons are packed
+/// together up to the max size.
+GroupPlan dynamic_plan(const std::vector<std::int64_t>& traffic_bytes,
+                       int nranks, int max_group_size,
+                       double edge_threshold = 0.05);
+
+}  // namespace gbc::ckpt

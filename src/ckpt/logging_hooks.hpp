@@ -1,0 +1,40 @@
+#pragma once
+
+#include "mpi/minimpi.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+
+/// Pessimistic sender-based message logging, the price of uncoordinated
+/// checkpointing (paper Sec. 1/2.1/4.3): every payload is copied into a log
+/// before it may be sent, and zero-copy rendezvous must be disabled because
+/// the library has to see the data. Both costs land on the failure-free
+/// critical path — that is the overhead the paper's design avoids.
+class SenderLogger : public mpi::MpiHooks {
+ public:
+  /// log_bandwidth_mbps: rate at which payloads can be copied into the log
+  /// (memory copy, possibly with a spill to local buffers).
+  explicit SenderLogger(double log_bandwidth_mbps = 1200.0)
+      : log_mbps_(log_bandwidth_mbps) {}
+
+  sim::Time send_tax(int /*src*/, int /*dst*/, storage::Bytes b) override {
+    logged_bytes_ += b;
+    ++logged_messages_;
+    const double bps = log_mbps_ * static_cast<double>(storage::kMiB);
+    return static_cast<sim::Time>(static_cast<double>(b) / bps *
+                                  static_cast<double>(sim::kSecond));
+  }
+
+  bool disable_zero_copy() const override { return true; }
+
+  storage::Bytes logged_bytes() const noexcept { return logged_bytes_; }
+  std::int64_t logged_messages() const noexcept { return logged_messages_; }
+
+ private:
+  double log_mbps_;
+  storage::Bytes logged_bytes_ = 0;
+  std::int64_t logged_messages_ = 0;
+};
+
+}  // namespace gbc::ckpt

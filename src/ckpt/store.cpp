@@ -1,0 +1,117 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+
+namespace gbc::ckpt {
+
+const CheckpointStore::CheckpointSet& CheckpointStore::commit(
+    const GlobalCheckpoint& gc, bool incremental) {
+  CheckpointSet set;
+  set.id = next_id_++;
+  set.label = "ckpt-" + std::to_string(set.id);
+  set.taken_at = gc.completed_at;
+  int prev_live = -1;
+  if (incremental) {
+    for (int i = static_cast<int>(sets_.size()) - 1; i >= 0; --i) {
+      if (!sets_[i].garbage_collected) {
+        prev_live = i;
+        break;
+      }
+    }
+  }
+  for (const auto& snap : gc.snapshots) {
+    ImageRef ref;
+    ref.rank = snap.rank;
+    ref.bytes = snap.image_bytes;
+    ref.incremental = incremental && prev_live >= 0;
+    ref.chains_to = ref.incremental ? prev_live : -1;
+    set.images.push_back(ref);
+    set.app_state.push_back(snap.app_state);
+  }
+  sets_.push_back(std::move(set));
+  collect_garbage();
+  return sets_.back();
+}
+
+const CheckpointStore::CheckpointSet* CheckpointStore::latest(
+    sim::Time t) const {
+  const CheckpointSet* best = nullptr;
+  for (const auto& s : sets_) {
+    if (s.garbage_collected || s.taken_at < 0 || s.taken_at > t) continue;
+    if (!best || s.taken_at > best->taken_at) best = &s;
+  }
+  return best;
+}
+
+const CheckpointStore::CheckpointSet* CheckpointStore::latest() const {
+  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
+    if (!it->garbage_collected) return &*it;
+  }
+  return nullptr;
+}
+
+Bytes CheckpointStore::restore_bytes(const CheckpointSet& set,
+                                     int rank) const {
+  Bytes total = 0;
+  const CheckpointSet* cur = &set;
+  for (;;) {
+    const ImageRef& ref = cur->images.at(static_cast<std::size_t>(rank));
+    total += ref.bytes;
+    if (ref.chains_to < 0) break;
+    cur = &sets_.at(static_cast<std::size_t>(ref.chains_to));
+  }
+  return total;
+}
+
+Bytes CheckpointStore::resident_bytes() const {
+  Bytes total = 0;
+  for (const auto& s : sets_) {
+    if (s.garbage_collected) continue;
+    for (const auto& img : s.images) total += img.bytes;
+  }
+  return total;
+}
+
+int CheckpointStore::live_sets() const {
+  int n = 0;
+  for (const auto& s : sets_) {
+    if (!s.garbage_collected) ++n;
+  }
+  return n;
+}
+
+bool CheckpointStore::pinned(int index) const {
+  // A set is pinned while any live set's incremental chain passes through it.
+  for (int i = index + 1; i < static_cast<int>(sets_.size()); ++i) {
+    const auto& s = sets_[i];
+    if (s.garbage_collected) continue;
+    for (const auto& img : s.images) {
+      int at = img.chains_to;
+      while (at >= 0) {
+        if (at == index) return true;
+        const auto& link =
+            sets_[static_cast<std::size_t>(at)].images[static_cast<std::size_t>(
+                img.rank)];
+        at = link.chains_to;
+      }
+    }
+  }
+  return false;
+}
+
+void CheckpointStore::collect_garbage() {
+  // Keep the newest `retention_` live sets; older ones go unless a newer
+  // incremental chain still needs them.
+  int keep = retention_;
+  for (int i = static_cast<int>(sets_.size()) - 1; i >= 0; --i) {
+    auto& s = sets_[static_cast<std::size_t>(i)];
+    if (s.garbage_collected) continue;
+    if (keep > 0) {
+      --keep;
+      continue;
+    }
+    if (!pinned(i)) s.garbage_collected = true;
+  }
+}
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace gbc::ckpt {
+
+/// Catalog of checkpoint sets kept on the central storage, the way a real
+/// C/R deployment manages its checkpoint directory: every completed global
+/// checkpoint becomes a named set of per-rank image files plus a descriptor;
+/// old sets are garbage-collected once newer ones are safely complete
+/// (keeping `retention` sets). Incremental snapshots chain back to their
+/// predecessors, so a set's *restore cost* includes every increment back to
+/// the last full image — and those chains pin their ancestors against GC.
+class CheckpointStore {
+ public:
+  struct ImageRef {
+    int rank = -1;
+    Bytes bytes = 0;
+    bool incremental = false;
+    /// Index (in the store) of the set holding the previous link of this
+    /// rank's chain; -1 for a full image.
+    int chains_to = -1;
+  };
+
+  struct CheckpointSet {
+    std::uint64_t id = 0;
+    std::string label;
+    sim::Time taken_at = -1;
+    std::vector<ImageRef> images;       // indexed by rank
+    std::vector<std::vector<std::uint64_t>> app_state;  // resume blobs
+    bool garbage_collected = false;
+  };
+
+  explicit CheckpointStore(int retention = 2) : retention_(retention) {}
+
+  /// Registers a completed global checkpoint as a new set. `incremental`
+  /// snapshots chain to the previous live set.
+  const CheckpointSet& commit(const GlobalCheckpoint& gc, bool incremental);
+
+  /// Most recent set completed at or before `t`, if any survives.
+  const CheckpointSet* latest(sim::Time t) const;
+  const CheckpointSet* latest() const;
+
+  /// Bytes that must be read back to restore rank `r` from `set` —
+  /// the image itself plus its chain of increments back to the full image.
+  Bytes restore_bytes(const CheckpointSet& set, int rank) const;
+
+  /// Bytes currently occupying the storage system (live sets only).
+  Bytes resident_bytes() const;
+  int live_sets() const;
+  const std::deque<CheckpointSet>& sets() const { return sets_; }
+
+ private:
+  void collect_garbage();
+  bool pinned(int index) const;
+
+  int retention_;
+  std::uint64_t next_id_ = 1;
+  std::deque<CheckpointSet> sets_;
+};
+
+}  // namespace gbc::ckpt

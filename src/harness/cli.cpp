@@ -1,0 +1,145 @@
+#include "harness/cli.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace gbc::harness {
+
+void FlagSet::add_string(const std::string& name, std::string default_value,
+                         std::string help) {
+  flags_[name] = Flag{Type::kString, std::move(default_value),
+                      std::move(help)};
+}
+
+void FlagSet::add_double(const std::string& name, double default_value,
+                         std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, os.str(), std::move(help)};
+}
+
+void FlagSet::add_int(const std::string& name, int default_value,
+                      std::string help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value),
+                      std::move(help)};
+}
+
+void FlagSet::add_bool(const std::string& name, bool default_value,
+                       std::string help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false",
+                      std::move(help)};
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + name + " needs a value";
+        return false;
+      }
+    }
+    // Validate typed values.
+    char* end = nullptr;
+    switch (flag.type) {
+      case Type::kDouble:
+        std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          error_ = "flag --" + name + " expects a number, got '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kInt:
+        std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          error_ =
+              "flag --" + name + " expects an integer, got '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kBool:
+        if (value != "true" && value != "false" && value != "1" &&
+            value != "0") {
+          error_ = "flag --" + name + " expects true/false";
+          return false;
+        }
+        break;
+      case Type::kString:
+        break;
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name, Type t) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && "flag not declared");
+  assert(it->second.type == t && "flag type mismatch");
+  return it == flags_.end() || it->second.type != t ? nullptr : &it->second;
+}
+
+std::string FlagSet::get_string(const std::string& name) const {
+  const Flag* f = find(name, Type::kString);
+  return f ? f->value : "";
+}
+
+double FlagSet::get_double(const std::string& name) const {
+  const Flag* f = find(name, Type::kDouble);
+  return f ? std::atof(f->value.c_str()) : 0.0;
+}
+
+int FlagSet::get_int(const std::string& name) const {
+  const Flag* f = find(name, Type::kInt);
+  return f ? std::atoi(f->value.c_str()) : 0;
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  const Flag* f = find(name, Type::kBool);
+  return f && (f->value == "true" || f->value == "1");
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kString: os << " <string>"; break;
+      case Type::kDouble: os << " <number>"; break;
+      case Type::kInt: os << " <int>"; break;
+      case Type::kBool: os << ""; break;
+    }
+    os << "  " << flag.help << " (default: " << flag.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace gbc::harness

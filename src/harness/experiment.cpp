@@ -1,0 +1,81 @@
+#include "harness/experiment.hpp"
+
+namespace gbc::harness {
+
+namespace {
+
+sim::Task<void> rank_program(workloads::Workload* wl, mpi::RankCtx* rank,
+                             workloads::WorkloadState from) {
+  co_await wl->run_rank(*rank, from);
+}
+
+}  // namespace
+
+RunResult run_experiment(const ClusterPreset& preset,
+                         const WorkloadFactory& make,
+                         const ckpt::CkptConfig& ckpt_cfg,
+                         const std::vector<CkptRequest>& requests,
+                         mpi::MpiHooks* hooks) {
+  sim::Engine eng;
+  net::Fabric fabric(eng, preset.net, preset.nranks);
+  storage::StorageSystem fs(eng, preset.storage);
+  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
+  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
+  if (hooks) mpi.set_hooks(hooks);
+
+  std::unique_ptr<workloads::Workload> wl = make(preset.nranks);
+  wl->setup(mpi);
+  wl->attach(ckpt);
+
+  for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
+
+  sim::Time completion = 0;
+  for (int r = 0; r < preset.nranks; ++r) {
+    eng.spawn([](workloads::Workload* w, mpi::RankCtx* rk,
+                 sim::Time* done) -> sim::Task<void> {
+      co_await rank_program(w, rk, {});
+      if (rk->engine().now() > *done) *done = rk->engine().now();
+    }(wl.get(), &mpi.rank(r), &completion));
+  }
+  eng.run();
+
+  RunResult res;
+  res.completion = completion;
+  res.checkpoints = ckpt.history();
+  res.mpi_stats = mpi.stats();
+  res.storage_peak_concurrency = fs.peak_concurrency();
+  res.connection_setups = fabric.connections().total_setups();
+  res.connection_teardowns = fabric.connections().total_teardowns();
+  for (int r = 0; r < preset.nranks; ++r) {
+    res.final_iterations.push_back(wl->state(r).iteration);
+    res.final_hashes.push_back(wl->state(r).hash);
+  }
+  return res;
+}
+
+DelayMeasurement measure_effective_delay(const ClusterPreset& preset,
+                                         const WorkloadFactory& make,
+                                         const ckpt::CkptConfig& ckpt_cfg,
+                                         sim::Time issuance,
+                                         ckpt::Protocol protocol) {
+  RunResult base = run_experiment(preset, make, ckpt_cfg);
+  return measure_effective_delay_with_base(preset, make, ckpt_cfg, issuance,
+                                           protocol,
+                                           base.completion_seconds());
+}
+
+DelayMeasurement measure_effective_delay_with_base(
+    const ClusterPreset& preset, const WorkloadFactory& make,
+    const ckpt::CkptConfig& ckpt_cfg, sim::Time issuance,
+    ckpt::Protocol protocol, double base_seconds) {
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(CkptRequest{issuance, protocol});
+  RunResult with = run_experiment(preset, make, ckpt_cfg, reqs);
+  DelayMeasurement m;
+  m.base_seconds = base_seconds;
+  m.with_ckpt_seconds = with.completion_seconds();
+  if (!with.checkpoints.empty()) m.checkpoint = with.checkpoints.front();
+  return m;
+}
+
+}  // namespace gbc::harness

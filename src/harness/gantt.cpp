@@ -1,0 +1,45 @@
+#include "harness/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace gbc::harness {
+
+std::string render_gantt(const ckpt::GlobalCheckpoint& gc, sim::Time horizon,
+                         int columns) {
+  std::ostringstream os;
+  os << protocol_name(gc.protocol) << ": request t=" << std::fixed
+     << std::setprecision(1) << sim::to_seconds(gc.requested_at)
+     << "s, complete t=" << sim::to_seconds(gc.completed_at) << "s\n";
+  for (std::size_t r = 0; r < gc.snapshots.size(); ++r) {
+    std::string bar(static_cast<std::size_t>(columns), '.');
+    const auto& s = gc.snapshots[r];
+    for (int c = 0; c < columns; ++c) {
+      const sim::Time t = horizon * c / columns;
+      if (s.freeze_begin >= 0 && t >= s.freeze_begin && t < s.resume_at) {
+        bar[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    os << "  rank " << (r < 10 ? " " : "") << r << " |" << bar << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_gantt_comparison(
+    const std::vector<std::pair<std::string, ckpt::GlobalCheckpoint>>& runs,
+    int columns) {
+  sim::Time horizon = 0;
+  for (const auto& [title, gc] : runs) {
+    (void)title;
+    horizon = std::max(horizon, gc.completed_at);
+  }
+  horizon += horizon / 8 + 1;
+  std::ostringstream os;
+  for (const auto& [title, gc] : runs) {
+    os << title << "\n" << render_gantt(gc, horizon, columns) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gbc::harness

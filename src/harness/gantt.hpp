@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace gbc::harness {
+
+/// Renders a global checkpoint's per-rank freeze windows as an ASCII Gantt
+/// chart ('#' = frozen for the snapshot, '.' = available to compute). Used
+/// by bench/fig2_schedule_trace and `gbcsim trace`.
+std::string render_gantt(const ckpt::GlobalCheckpoint& gc, sim::Time horizon,
+                         int columns = 64);
+
+/// Renders several checkpoints stacked with titles.
+std::string render_gantt_comparison(
+    const std::vector<std::pair<std::string, ckpt::GlobalCheckpoint>>& runs,
+    int columns = 64);
+
+}  // namespace gbc::harness

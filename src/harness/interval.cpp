@@ -1,0 +1,120 @@
+#include "harness/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace gbc::harness {
+
+double young_interval_seconds(double ckpt_cost_seconds, double mtbf_seconds) {
+  return std::sqrt(2.0 * ckpt_cost_seconds * mtbf_seconds);
+}
+
+namespace {
+
+sim::Task<void> tracked_rank(workloads::Workload* wl, mpi::RankCtx* rank,
+                             storage::StorageSystem* fs, storage::Bytes image,
+                             workloads::WorkloadState from, int* live,
+                             sim::Time* done_at) {
+  if (image > 0) co_await fs->read(image);  // restart image reload
+  co_await wl->run_rank(*rank, from);
+  if (--*live == 0) *done_at = rank->engine().now();
+}
+
+}  // namespace
+
+MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
+                                        const WorkloadFactory& make,
+                                        const ckpt::CkptConfig& ckpt_cfg,
+                                        ckpt::Protocol protocol,
+                                        sim::Time ckpt_interval,
+                                        const FailureModel& failures,
+                                        int max_failures) {
+  MtbfRunResult out;
+  sim::Rng rng(failures.seed);
+
+  // State carried across attempts.
+  std::vector<workloads::WorkloadState> resume(preset.nranks);
+  std::vector<storage::Bytes> images(preset.nranks, 0);
+
+  while (true) {
+    sim::Engine eng;
+    net::Fabric fabric(eng, preset.net, preset.nranks);
+    storage::StorageSystem fs(eng, preset.storage);
+    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
+    ckpt::CheckpointService svc(mpi, fs, ckpt_cfg);
+    auto wl = make(preset.nranks);
+    wl->setup(mpi);
+    wl->attach(svc);
+    svc.request_every(ckpt_interval, ckpt_interval, protocol);
+
+    int live = preset.nranks;
+    sim::Time done_at = -1;
+    for (int r = 0; r < preset.nranks; ++r) {
+      eng.spawn(tracked_rank(wl.get(), &mpi.rank(r), &fs, images[r],
+                             resume[r], &live, &done_at));
+    }
+
+    const sim::Time fail_at = out.failures < max_failures
+                                  ? sim::from_seconds(
+                                        rng.exponential(failures.mtbf_seconds))
+                                  : sim::Time{1} << 60;
+    eng.run_until(fail_at);
+
+    if (done_at >= 0 && done_at <= fail_at) {
+      // Completed before the failure.
+      for (const auto& gc : svc.history()) {
+        if (gc.completed_at >= 0 && gc.completed_at <= done_at) {
+          ++out.checkpoints_completed;
+        }
+      }
+      out.total_seconds += sim::to_seconds(done_at);
+      for (int r = 0; r < preset.nranks; ++r) {
+        out.final_iterations.push_back(wl->state(r).iteration);
+        out.final_hashes.push_back(wl->state(r).hash);
+      }
+      return out;
+    }
+
+    // Failure: account this attempt's wall time, roll back to the last
+    // completed checkpoint (if any).
+    ++out.failures;
+    out.total_seconds += sim::to_seconds(fail_at);
+    const ckpt::GlobalCheckpoint* last = nullptr;
+    for (const auto& gc : svc.history()) {
+      if (gc.completed_at >= 0 && gc.completed_at <= fail_at) {
+        last = &gc;
+        ++out.checkpoints_completed;
+      }
+    }
+    std::uint64_t common = resume[0].iteration;
+    if (last) {
+      common = UINT64_MAX;
+      for (int r = 0; r < preset.nranks; ++r) {
+        common = std::min(common, workloads::Workload::committed_iterations(
+                                      last->snapshots[r].app_state));
+      }
+      for (int r = 0; r < preset.nranks; ++r) {
+        resume[r] = workloads::Workload::state_for_iteration(
+            last->snapshots[r].app_state, common);
+        images[r] = last->snapshots[r].image_bytes;
+      }
+    }
+    // else: no checkpoint completed during this attempt — the previous
+    // checkpoint (already carried in resume/images) is still on stable
+    // storage and remains the rollback point.
+    // Work recomputed: everything past the rollback point was lost. Use the
+    // minimum committed iteration across ranks as the progress marker.
+    std::uint64_t reached = UINT64_MAX;
+    for (int r = 0; r < preset.nranks; ++r) {
+      reached = std::min(reached, wl->state(r).iteration);
+    }
+    if (reached != UINT64_MAX && reached > common) {
+      out.lost_work_iterations += reached - common;
+    }
+    eng.abort_all();
+  }
+}
+
+}  // namespace gbc::harness

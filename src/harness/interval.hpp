@@ -1,0 +1,39 @@
+#pragma once
+
+#include "harness/experiment.hpp"
+
+namespace gbc::harness {
+
+/// Young's classic approximation for the optimal checkpoint interval:
+/// sqrt(2 * C * M) for checkpoint cost C and mean time between failures M.
+/// With group-based checkpointing C is the *effective* delay, which is what
+/// makes more frequent checkpoints affordable.
+double young_interval_seconds(double ckpt_cost_seconds, double mtbf_seconds);
+
+/// Exponential (Poisson-process) failure model.
+struct FailureModel {
+  double mtbf_seconds = 3600.0;
+  std::uint64_t seed = 1;
+};
+
+struct MtbfRunResult {
+  double total_seconds = 0;        ///< wall time to solution incl. failures
+  int failures = 0;
+  int checkpoints_completed = 0;   ///< across all attempts
+  std::uint64_t lost_work_iterations = 0;  ///< rolled-back progress
+  std::vector<std::uint64_t> final_hashes;
+  std::vector<std::uint64_t> final_iterations;
+};
+
+/// Runs the workload to completion under random failures: periodic
+/// checkpoints every `ckpt_interval`; when a failure strikes, the whole job
+/// rolls back to the last completed global checkpoint (reading the images
+/// back from shared storage), and execution resumes. Deterministic for a
+/// given FailureModel::seed.
+MtbfRunResult run_with_poisson_failures(
+    const ClusterPreset& preset, const WorkloadFactory& make,
+    const ckpt::CkptConfig& ckpt_cfg, ckpt::Protocol protocol,
+    sim::Time ckpt_interval, const FailureModel& failures,
+    int max_failures = 200);
+
+}  // namespace gbc::harness

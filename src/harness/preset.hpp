@@ -1,0 +1,27 @@
+#pragma once
+
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::harness {
+
+/// Everything needed to instantiate one simulated cluster.
+struct ClusterPreset {
+  int nranks = 32;
+  storage::StorageConfig storage;
+  net::NetConfig net;
+  mpi::MpiConfig mpi;
+};
+
+/// The paper's testbed: 32 compute nodes (one MPI process each, dual Xeon
+/// 3.6 GHz, MT25208 HCAs) plus 4 PVFS2 storage nodes reached over IPoIB with
+/// ~140 MB/s aggregate throughput (Figure 1).
+inline ClusterPreset icpp07_cluster() {
+  ClusterPreset p;
+  p.nranks = 32;
+  // Defaults of StorageConfig / NetConfig are calibrated to this testbed.
+  return p;
+}
+
+}  // namespace gbc::harness

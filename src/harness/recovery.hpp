@@ -1,0 +1,49 @@
+#pragma once
+
+#include "harness/experiment.hpp"
+
+namespace gbc::harness {
+
+/// Outcome of a failure + restart experiment.
+struct RecoveryResult {
+  bool used_checkpoint = false;  ///< false: no completed ckpt, restarted cold
+  sim::Time failure_at = 0;
+  double restart_read_seconds = 0;   ///< reloading images from storage
+  double rerun_seconds = 0;          ///< re-execution after restart
+  double total_seconds = 0;          ///< failure_at + restart + rerun
+  std::uint64_t rollback_iteration = 0;
+  std::vector<std::uint64_t> final_iterations;
+  std::vector<std::uint64_t> final_hashes;
+};
+
+/// Runs the workload with the given checkpoint requests, injects a fatal
+/// failure at `failure_at` (the whole job dies — the paper's model, where a
+/// node crash forces a global rollback), restores from the most recent
+/// *completed* global checkpoint, and re-executes to completion.
+///
+/// Restore semantics (DESIGN.md substitution): instead of reloading exact
+/// BLCR process images, every rank rolls back to the highest iteration
+/// committed by *all* snapshots ("coordinated rollback"), whose hash-chain
+/// value is in the snapshot's resume blob. Restart still pays the real
+/// costs: every rank reads its image back from the shared storage system,
+/// then rebuilds connections lazily.
+RecoveryResult run_with_failure(const ClusterPreset& preset,
+                                const WorkloadFactory& make,
+                                const ckpt::CkptConfig& ckpt_cfg,
+                                const std::vector<CkptRequest>& requests,
+                                sim::Time failure_at);
+
+/// Single-node failure with the *job pause* recovery style (Wang et al.,
+/// IPDPS'07 — discussed in the paper's related work): healthy processes are
+/// paused in place and roll back from memory; only `failed_rank` reloads its
+/// image from the shared storage (onto a spare node). Much cheaper than a
+/// full-job restart, which re-reads every image through the same bottleneck.
+/// With job_pause=false this degrades to the full restart for comparison.
+RecoveryResult run_with_single_failure(const ClusterPreset& preset,
+                                       const WorkloadFactory& make,
+                                       const ckpt::CkptConfig& ckpt_cfg,
+                                       const std::vector<CkptRequest>& requests,
+                                       sim::Time failure_at, int failed_rank,
+                                       bool job_pause);
+
+}  // namespace gbc::harness

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gbc::harness {
+
+/// Fixed-width console table + optional CSV dump, for the benchmark
+/// binaries that regenerate the paper's figures as rows/series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << "| " << std::setw(static_cast<int>(width[c])) << std::left
+           << (c < cells.size() ? cells[c] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "|" << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) line(row);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    auto csv_line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) f << ",";
+        f << cells[c];
+      }
+      f << "\n";
+    };
+    csv_line(headers_);
+    for (const auto& row : rows_) csv_line(row);
+  }
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbc::harness

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gbc::mpi {
+
+/// A communicator: an ordered set of world ranks. Comm rank i is
+/// `members()[i]`. Communicators are created centrally (see
+/// MiniMPI::create_comm) which mirrors the collective nature of
+/// MPI_Comm_split while keeping the simulation simple.
+class Comm {
+ public:
+  Comm(std::uint64_t id, std::vector<int> members)
+      : id_(id), members_(std::move(members)) {
+    for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+      world_to_comm_[members_[i]] = i;
+    }
+  }
+
+  std::uint64_t id() const noexcept { return id_; }
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+  const std::vector<int>& members() const noexcept { return members_; }
+
+  /// World rank of the given comm rank.
+  int world_rank(int comm_rank) const {
+    assert(comm_rank >= 0 && comm_rank < size());
+    return members_[comm_rank];
+  }
+
+  /// Comm rank of the given world rank, or -1 if not a member.
+  int comm_rank(int world_rank) const {
+    auto it = world_to_comm_.find(world_rank);
+    return it == world_to_comm_.end() ? -1 : it->second;
+  }
+
+  bool contains(int world_rank) const {
+    return world_to_comm_.count(world_rank) != 0;
+  }
+
+ private:
+  std::uint64_t id_;
+  std::vector<int> members_;
+  std::unordered_map<int, int> world_to_comm_;
+};
+
+}  // namespace gbc::mpi

@@ -1,0 +1,507 @@
+#include "mpi/minimpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace gbc::mpi {
+
+namespace {
+/// Wire size of control packets (headers, RTS/CTS/FIN).
+constexpr Bytes kCtrlBytes = 64;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MiniMPI
+// ---------------------------------------------------------------------------
+
+MiniMPI::MiniMPI(sim::Engine& eng, net::Fabric& fabric, MpiConfig cfg)
+    : eng_(eng), fabric_(fabric), cfg_(cfg) {
+  const int n = fabric.size();
+  ranks_.reserve(n);
+  std::vector<int> world_members;
+  world_members.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    ranks_.push_back(std::make_unique<RankCtx>(*this, r));
+    world_members.push_back(r);
+    fabric_.set_receiver(
+        r, [ctx = ranks_.back().get()](net::Packet p) {
+          ctx->on_packet(std::move(p));
+        });
+  }
+  comms_.push_back(std::make_unique<Comm>(comm_counter_++, world_members));
+}
+
+const Comm& MiniMPI::create_comm(std::vector<int> members) {
+  comms_.push_back(
+      std::make_unique<Comm>(comm_counter_++, std::move(members)));
+  return *comms_.back();
+}
+
+std::vector<const Comm*> MiniMPI::split(const Comm& parent,
+                                        const std::vector<int>& colors) {
+  assert(static_cast<int>(colors.size()) == parent.size());
+  std::map<int, std::vector<int>> by_color;
+  for (int cr = 0; cr < parent.size(); ++cr) {
+    by_color[colors[cr]].push_back(parent.world_rank(cr));
+  }
+  std::vector<const Comm*> result;
+  result.reserve(by_color.size());
+  for (auto& [color, members] : by_color) {
+    (void)color;
+    result.push_back(&create_comm(std::move(members)));
+  }
+  return result;
+}
+
+const Comm* MiniMPI::find_comm(std::uint64_t id) const {
+  for (const auto& c : comms_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+void MiniMPI::set_gate(CommGate* gate) {
+  CommGate* old = gate_;
+  gate_ = gate;
+  // Dropping or swapping a gate can unblock parked pumps.
+  if (old) old->changed().notify_all();
+}
+
+void MiniMPI::record_transmit(std::uint64_t id, int src, int dst, Bytes b) {
+  if (!cfg_.record_messages) return;
+  record_index_[id] = records_.size();
+  records_.push_back(MessageRecord{src, dst, b, eng_.now(), -1});
+}
+
+void MiniMPI::record_arrival(std::uint64_t id) {
+  if (!cfg_.record_messages) return;
+  auto it = record_index_.find(id);
+  if (it == record_index_.end()) return;
+  records_[it->second].arrival_time = eng_.now();
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx: construction and helpers
+// ---------------------------------------------------------------------------
+
+RankCtx::RankCtx(MiniMPI& mpi, int world_rank)
+    : mpi_(mpi),
+      rank_(world_rank),
+      exec_(std::make_unique<sim::Pausable>(mpi.engine())),
+      any_complete_(std::make_unique<sim::Condition>(mpi.engine())) {}
+
+int RankCtx::nranks() const noexcept { return mpi_.nranks(); }
+sim::Engine& RankCtx::engine() noexcept { return mpi_.eng_; }
+
+Request RankCtx::make_request(bool is_recv) {
+  auto req = std::make_shared<ReqState>();
+  req->is_recv = is_recv;
+  req->cv = std::make_unique<sim::Condition>(engine());
+  return req;
+}
+
+void RankCtx::complete(const Request& req) {
+  req->done = true;
+  req->cv->notify_all();
+  any_complete_->notify_all();
+  exec_->mark_progress();
+}
+
+RecvInfo RankCtx::fill_info(const Envelope& env) const {
+  RecvInfo info;
+  const Comm* c = mpi_.find_comm(env.comm_id);
+  info.source = c ? c->comm_rank(env.src_world) : env.src_world;
+  info.tag = env.tag;
+  info.bytes = env.bytes;
+  info.data = env.data;
+  return info;
+}
+
+Tag RankCtx::begin_collective(const Comm& c) {
+  const std::uint64_t seq = coll_seq_[c.id()]++;
+  return kCollectiveTagBase + static_cast<Tag>(seq << 16);
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx: outbound pipeline
+// ---------------------------------------------------------------------------
+
+net::Packet RankCtx::to_packet(const OutItem& item) const {
+  net::Packet p;
+  p.id = item.env.id;
+  p.body = std::make_shared<Envelope>(item.env);
+  switch (item.kind) {
+    case OutItem::Kind::kEager:
+      p.src = item.env.src_world;
+      p.dst = item.env.dst_world;
+      p.bytes = item.env.bytes + kCtrlBytes;
+      p.kind = net::PacketKind::kEager;
+      break;
+    case OutItem::Kind::kRts:
+      p.src = item.env.src_world;
+      p.dst = item.env.dst_world;
+      p.bytes = kCtrlBytes;
+      p.kind = net::PacketKind::kRts;
+      break;
+    case OutItem::Kind::kCts:
+      p.src = item.env.dst_world;  // receiver -> sender
+      p.dst = item.env.src_world;
+      p.bytes = kCtrlBytes;
+      p.kind = net::PacketKind::kCts;
+      break;
+    case OutItem::Kind::kRdma:
+      p.src = item.env.src_world;
+      p.dst = item.env.dst_world;
+      p.bytes = item.env.bytes;
+      p.kind = net::PacketKind::kRdmaData;
+      break;
+    case OutItem::Kind::kFin:
+      p.src = item.env.dst_world;  // receiver -> sender
+      p.dst = item.env.src_world;
+      p.bytes = kCtrlBytes;
+      p.kind = net::PacketKind::kFin;
+      break;
+  }
+  return p;
+}
+
+void RankCtx::account_buffered(OutItem& item) {
+  if (item.counted) return;
+  item.counted = true;
+  auto& st = mpi_.stats_;
+  if (item.kind == OutItem::Kind::kEager) {
+    // Message buffering: payload already copied, held unsent.
+    msg_buffer_cur_ += item.env.bytes;
+    st.message_buffered_bytes += item.env.bytes;
+    ++st.messages_buffered;
+    st.peak_message_buffer = std::max(st.peak_message_buffer, msg_buffer_cur_);
+  } else if (item.kind == OutItem::Kind::kRts ||
+             item.kind == OutItem::Kind::kCts) {
+    // Request buffering: the transfer stays incomplete, no copy held.
+    st.request_buffered_bytes += item.env.bytes;
+    ++st.requests_buffered;
+  }
+}
+
+void RankCtx::push_out(int dst, OutItem item) {
+  assert(dst != rank_);
+  auto& ob = outbound_[dst];
+  CommGate* gate = mpi_.gate_;
+  if (item.gated && gate && !gate->allowed(rank_, dst)) {
+    account_buffered(item);  // parked immediately: the pair is deferred
+  }
+  ob.q.push_back(std::move(item));
+  if (!ob.pump_running) engine().spawn(pump(dst));
+}
+
+sim::Task<void> RankCtx::pump(int dst) {
+  auto& ob = outbound_[dst];
+  ob.pump_running = true;
+  auto& fab = mpi_.fabric_;
+  while (!ob.q.empty()) {
+    OutItem& head = ob.q.front();
+
+    // 1. Checkpoint deferral gate (message / request buffering).
+    CommGate* gate = mpi_.gate_;
+    if (head.gated && gate && !gate->allowed(rank_, dst)) {
+      // Everything queued behind a deferred head is deferred too.
+      for (OutItem& queued : ob.q) {
+        if (queued.gated) account_buffered(queued);
+      }
+      co_await gate->changed().wait();
+      continue;
+    }
+
+    // 2. Connection (re)establishment; blocks while the peer is frozen.
+    if (!fab.connections().connected(rank_, dst)) {
+      co_await fab.connections().ensure_connected(rank_, dst);
+      continue;  // the gate may have closed while we were connecting
+    }
+
+    // 3. Sender-side taxes: logging hook and forced staging copies.
+    if (!head.taxed) {
+      head.taxed = true;
+      sim::Time tax = 0;
+      MpiHooks* hooks = mpi_.hooks_;
+      const bool payload = head.kind == OutItem::Kind::kEager ||
+                           head.kind == OutItem::Kind::kRdma;
+      if (hooks && payload) {
+        tax += hooks->send_tax(rank_, dst, head.env.bytes);
+        if (head.kind == OutItem::Kind::kRdma && hooks->disable_zero_copy()) {
+          const double bps =
+              mpi_.cfg_.mem_copy_mbps * static_cast<double>(storage::kMiB);
+          tax += static_cast<sim::Time>(static_cast<double>(head.env.bytes) /
+                                        bps *
+                                        static_cast<double>(sim::kSecond));
+        }
+      }
+      if (tax > 0) {
+        co_await engine().delay(tax);
+        continue;  // re-check gate and connection after the delay
+      }
+    }
+
+    // 4. Transmit.
+    OutItem item = std::move(ob.q.front());
+    ob.q.pop_front();
+    if (item.counted && item.kind == OutItem::Kind::kEager) {
+      msg_buffer_cur_ -= item.env.bytes;
+    }
+    if (item.kind == OutItem::Kind::kEager ||
+        item.kind == OutItem::Kind::kRdma) {
+      mpi_.record_transmit(item.env.id, rank_, dst, item.env.bytes);
+    }
+    fab.transmit(to_packet(item));
+  }
+  ob.pump_running = false;
+}
+
+std::vector<int> RankCtx::pending_destinations() const {
+  std::vector<int> dsts;
+  for (const auto& [dst, ob] : outbound_) {
+    if (!ob.q.empty()) dsts.push_back(dst);
+  }
+  return dsts;
+}
+
+sim::Task<void> RankCtx::flush_channel_to(int peer) {
+  return mpi_.fabric_.connections().drain(rank_, peer);
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx: point-to-point
+// ---------------------------------------------------------------------------
+
+sim::Task<void> RankCtx::send(const Comm& c, int dst, Tag tag, Bytes bytes,
+                              Payload data) {
+  co_await exec_->freeze_point();
+  ++mpi_.stats_.sends;
+  const int dst_world = c.world_rank(dst);
+  Envelope env{c.id(), rank_, dst_world, tag, bytes, std::move(data),
+               mpi_.next_id()};
+  if (dst_world == rank_) {
+    deliver_eager(env);  // self-send: local copy
+    co_return;
+  }
+  if (bytes <= mpi_.cfg_.eager_threshold) {
+    // Eager: the payload is copied into a library buffer, so the blocking
+    // send completes locally; the pump transmits (or defers) it.
+    push_out(dst_world,
+             OutItem{OutItem::Kind::kEager, std::move(env), true});
+    exec_->mark_progress();
+    co_return;
+  }
+  // Rendezvous: request stays open until the FIN returns.
+  auto req = make_request(/*is_recv=*/false);
+  pending_send_[env.id] = req;
+  push_out(dst_world, OutItem{OutItem::Kind::kRts, std::move(env), true});
+  co_await wait(req);
+}
+
+Request RankCtx::isend(const Comm& c, int dst, Tag tag, Bytes bytes,
+                       Payload data) {
+  ++mpi_.stats_.sends;
+  const int dst_world = c.world_rank(dst);
+  Envelope env{c.id(), rank_, dst_world, tag, bytes, std::move(data),
+               mpi_.next_id()};
+  auto req = make_request(/*is_recv=*/false);
+  if (dst_world == rank_) {
+    deliver_eager(env);
+    req->done = true;
+    return req;
+  }
+  if (bytes <= mpi_.cfg_.eager_threshold) {
+    push_out(dst_world,
+             OutItem{OutItem::Kind::kEager, std::move(env), true});
+    req->done = true;  // buffered: locally complete
+    return req;
+  }
+  pending_send_[env.id] = req;
+  push_out(dst_world, OutItem{OutItem::Kind::kRts, std::move(env), true});
+  return req;
+}
+
+sim::Task<RecvInfo> RankCtx::recv(const Comm& c, int src, Tag tag) {
+  Request req = irecv(c, src, tag);
+  co_await wait(req);
+  co_return req->info;
+}
+
+Request RankCtx::irecv(const Comm& c, int src, Tag tag) {
+  ++mpi_.stats_.recvs;
+  auto req = make_request(/*is_recv=*/true);
+  req->comm_id = c.id();
+  req->match_src = src == kAnySource ? kAnySource : c.world_rank(src);
+  req->match_tag = tag;
+  // First look at already-arrived unexpected messages, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    const Envelope& env = it->env;
+    const bool match =
+        env.comm_id == req->comm_id &&
+        (req->match_src == kAnySource || req->match_src == env.src_world) &&
+        (req->match_tag == kAnyTag || req->match_tag == env.tag);
+    if (!match) continue;
+    UnexpectedMsg um = std::move(*it);
+    unexpected_.erase(it);
+    if (um.rndv) {
+      start_rndv_receive(um.env, req);
+    } else {
+      req->info = fill_info(um.env);
+      req->done = true;
+    }
+    return req;
+  }
+  posted_.push_back(req);
+  return req;
+}
+
+sim::Task<void> RankCtx::wait(Request req) {
+  co_await exec_->freeze_point();
+  while (!req->done) co_await req->cv->wait();
+  // A request can complete while this process is frozen for a snapshot
+  // (in-flight data drained into library buffers); the application itself
+  // must not run until the thaw.
+  co_await exec_->freeze_point();
+  exec_->mark_progress();
+}
+
+sim::Task<void> RankCtx::wait_all(std::vector<Request> reqs) {
+  for (auto& r : reqs) co_await wait(r);
+}
+
+sim::Task<std::size_t> RankCtx::wait_any(std::vector<Request> reqs) {
+  co_await exec_->freeze_point();
+  assert(!reqs.empty());
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i]->done) {
+        co_await exec_->freeze_point();
+        exec_->mark_progress();
+        co_return i;
+      }
+    }
+    co_await any_complete_->wait();
+  }
+}
+
+bool RankCtx::iprobe(const Comm& c, int src, Tag tag) {
+  exec_->mark_progress();  // a library entry: passive requests get serviced
+  const int match_src = src == kAnySource ? kAnySource : c.world_rank(src);
+  for (const auto& um : unexpected_) {
+    const Envelope& env = um.env;
+    if (env.comm_id == c.id() &&
+        (match_src == kAnySource || match_src == env.src_world) &&
+        (tag == kAnyTag || tag == env.tag)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx: delivery path
+// ---------------------------------------------------------------------------
+
+Request RankCtx::match_posted(const Envelope& env) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    const Request& req = *it;
+    const bool match =
+        env.comm_id == req->comm_id &&
+        (req->match_src == kAnySource || req->match_src == env.src_world) &&
+        (req->match_tag == kAnyTag || req->match_tag == env.tag);
+    if (match) {
+      Request r = req;
+      posted_.erase(it);
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+void RankCtx::deliver_eager(const Envelope& env) {
+  if (MpiHooks* hooks = mpi_.hooks_) {
+    hooks->on_deliver(env.src_world, rank_, env.bytes);
+  }
+  mpi_.record_arrival(env.id);
+  if (Request req = match_posted(env)) {
+    req->info = fill_info(env);
+    complete(req);
+    return;
+  }
+  unexpected_.push_back(UnexpectedMsg{env, /*rndv=*/false});
+}
+
+void RankCtx::start_rndv_receive(const Envelope& env, const Request& req) {
+  rndv_recv_[env.id] = req;
+  push_out(env.src_world, OutItem{OutItem::Kind::kCts, env, true});
+}
+
+void RankCtx::deliver_rts(const Envelope& env) {
+  if (Request req = match_posted(env)) {
+    start_rndv_receive(env, req);
+    return;
+  }
+  unexpected_.push_back(UnexpectedMsg{env, /*rndv=*/true});
+}
+
+void RankCtx::on_packet(net::Packet p) {
+  auto env_ptr = std::static_pointer_cast<Envelope>(p.body);
+  assert(env_ptr);
+  const Envelope& env = *env_ptr;
+  switch (p.kind) {
+    case net::PacketKind::kEager:
+      deliver_eager(env);
+      break;
+    case net::PacketKind::kRts:
+      deliver_rts(env);
+      break;
+    case net::PacketKind::kCts: {
+      // We are the original sender: stream the data.
+      push_out(env.dst_world, OutItem{OutItem::Kind::kRdma, env, true});
+      break;
+    }
+    case net::PacketKind::kRdmaData: {
+      auto it = rndv_recv_.find(env.id);
+      assert(it != rndv_recv_.end() && "RDMA data with no receive in progress");
+      Request req = it->second;
+      rndv_recv_.erase(it);
+      if (MpiHooks* hooks = mpi_.hooks_) {
+        hooks->on_deliver(env.src_world, rank_, env.bytes);
+      }
+      mpi_.record_arrival(env.id);
+      req->info = fill_info(env);
+      complete(req);
+      push_out(env.src_world, OutItem{OutItem::Kind::kFin, env, true});
+      break;
+    }
+    case net::PacketKind::kFin: {
+      auto it = pending_send_.find(env.id);
+      assert(it != pending_send_.end() && "FIN with no pending send");
+      Request req = it->second;
+      pending_send_.erase(it);
+      complete(req);
+      break;
+    }
+    case net::PacketKind::kControl:
+      assert(control_handler_ && "control packet with no handler installed");
+      if (control_handler_) control_handler_(std::move(p));
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx: checkpoint control surface
+// ---------------------------------------------------------------------------
+
+void RankCtx::freeze() {
+  exec_->pause();
+  mpi_.fabric_.connections().lock_endpoint(rank_);
+}
+
+void RankCtx::thaw() {
+  mpi_.fabric_.connections().unlock_endpoint(rank_);
+  exec_->resume();
+}
+
+}  // namespace gbc::mpi

@@ -1,0 +1,297 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/pausable.hpp"
+#include "sim/task.hpp"
+
+namespace gbc::mpi {
+
+class MiniMPI;
+
+/// Deferral policy installed by the checkpoint layer (paper Sec. 3.2/4.3):
+/// while a global checkpoint is in progress, data-plane traffic between a
+/// group that has taken its snapshot and one that has not must be held back.
+/// Small already-copied messages wait in the sender's message buffer; large
+/// transfers stay as incomplete requests (request buffering).
+class CommGate {
+ public:
+  virtual ~CommGate() = default;
+  /// May data flow between these two world ranks right now?
+  virtual bool allowed(int src_world, int dst_world) const = 0;
+  /// Notified whenever the answer to allowed() may have changed.
+  virtual sim::Condition& changed() = 0;
+};
+
+/// Interposition hooks below the send/receive paths, used by the logging
+/// baselines (pessimistic sender-based logging; Chandy-Lamport channel
+/// logging) to charge costs and account volumes.
+class MpiHooks {
+ public:
+  virtual ~MpiHooks() = default;
+  /// Extra sender-side delay charged before a payload transmit (e.g. the
+  /// staging copy + log write of sender-based logging). Also the point where
+  /// a logger accounts the bytes.
+  virtual sim::Time send_tax(int /*src*/, int /*dst*/, Bytes /*b*/) {
+    return 0;
+  }
+  /// Does this configuration forbid zero-copy rendezvous? (Message logging
+  /// must see the payload, so large sends are staged through copies.)
+  virtual bool disable_zero_copy() const { return false; }
+  /// Called when a payload message enters the receiver's library.
+  virtual void on_deliver(int /*src*/, int /*dst*/, Bytes /*b*/) {}
+};
+
+struct MpiConfig {
+  Bytes eager_threshold = 8 * storage::kKiB;
+  /// Host memory copy bandwidth (MB/s) for staging copies when zero-copy is
+  /// disabled by a logging hook. 2007-era DDR2 node.
+  double mem_copy_mbps = 1800.0;
+  /// Record MessageRecords for consistency analysis (tests; small runs).
+  bool record_messages = false;
+};
+
+/// Per-process view of the library: the object a rank's program uses for all
+/// communication, plus the control surface the checkpoint layer drives
+/// (freeze/thaw, buffered-state queries).
+class RankCtx {
+ public:
+  RankCtx(MiniMPI& mpi, int world_rank);
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  int world_rank() const noexcept { return rank_; }
+  int nranks() const noexcept;
+  sim::Engine& engine() noexcept;
+  sim::Pausable& exec() noexcept { return *exec_; }
+  MiniMPI& mpi() noexcept { return mpi_; }
+
+  /// Burns CPU time; pausable by a checkpoint freeze.
+  sim::Task<void> compute(sim::Time d) { return exec_->compute(d); }
+
+  /// A bare library entry (MPI_Test/MPI_Iprobe with no outstanding request):
+  /// lets the progress engine service passive coordination requests.
+  sim::Task<void> progress() {
+    co_await exec_->freeze_point();
+    exec_->mark_progress();
+  }
+
+  // --- point-to-point ---
+  sim::Task<void> send(const Comm& c, int dst, Tag tag, Bytes bytes,
+                       Payload data = nullptr);
+  sim::Task<RecvInfo> recv(const Comm& c, int src, Tag tag);
+  Request isend(const Comm& c, int dst, Tag tag, Bytes bytes,
+                Payload data = nullptr);
+  Request irecv(const Comm& c, int src, Tag tag);
+  sim::Task<void> wait(Request req);
+  sim::Task<void> wait_all(std::vector<Request> reqs);
+  /// Completes when any request in the set does; returns its index
+  /// (MPI_Waitany).
+  sim::Task<std::size_t> wait_any(std::vector<Request> reqs);
+  bool test(const Request& req) const { return req->done; }
+  /// Non-destructively checks for a matching unexpected message
+  /// (MPI_Iprobe). Counts as a library entry for passive coordination.
+  bool iprobe(const Comm& c, int src, Tag tag);
+
+  // --- collectives (implemented over p2p; see collectives.cpp) ---
+  sim::Task<void> barrier(const Comm& c);
+  sim::Task<Payload> bcast(const Comm& c, int root, Bytes bytes, Payload data);
+  /// Pipelined ring broadcast (HPL's "increasing-ring" variant, bytes only):
+  /// each rank returns as soon as its own copy arrives and forwards
+  /// asynchronously, so a stalled member blocks only the ranks downstream of
+  /// it — the slack that lets other process rows run ahead of a
+  /// checkpointing group.
+  sim::Task<void> ring_bcast(const Comm& c, int root, Bytes bytes);
+  sim::Task<std::vector<double>> reduce(const Comm& c, int root, Op op,
+                                        std::vector<double> contrib);
+  sim::Task<std::vector<double>> allreduce(const Comm& c, Op op,
+                                           std::vector<double> contrib);
+  /// Gathers each rank's block; result is the concatenation by comm rank.
+  /// `block_bytes` is the wire size of one block.
+  sim::Task<std::vector<double>> allgather(const Comm& c, Bytes block_bytes,
+                                           std::vector<double> block);
+  sim::Task<std::vector<double>> gather(const Comm& c, int root,
+                                        Bytes block_bytes,
+                                        std::vector<double> block);
+  sim::Task<std::vector<double>> scatter(const Comm& c, int root,
+                                         Bytes block_bytes,
+                                         std::vector<double> all_blocks);
+  sim::Task<void> alltoall(const Comm& c, Bytes block_bytes);
+  /// Combined send+receive with a single partner pair (MPI_Sendrecv):
+  /// deadlock-free even when every rank calls it simultaneously.
+  sim::Task<RecvInfo> sendrecv(const Comm& c, int dst, Tag send_tag,
+                               Bytes send_bytes, Payload send_data, int src,
+                               Tag recv_tag);
+  /// Inclusive prefix reduction (MPI_Scan): rank r receives op applied over
+  /// the contributions of comm ranks 0..r.
+  sim::Task<std::vector<double>> scan(const Comm& c, Op op,
+                                      std::vector<double> contrib);
+  /// Reduce + scatter of equal blocks (MPI_Reduce_scatter_block): every rank
+  /// gets its own block of the element-wise reduction of all contributions,
+  /// where contribution i's block r belongs to comm rank r.
+  sim::Task<std::vector<double>> reduce_scatter_block(
+      const Comm& c, Op op, std::vector<double> contrib);
+
+  // --- non-blocking collectives ---
+  // The returned request completes when this rank's participation in the
+  // collective finishes; overlap it with computation and wait() on it.
+  // All member ranks must start their non-blocking collectives in the same
+  // order (the MPI rule), which keeps the internal tags aligned.
+  Request ibarrier(const Comm& c);
+  Request ibcast(const Comm& c, int root, Bytes bytes);
+  Request iallgather(const Comm& c, Bytes block_bytes);
+
+  // --- checkpoint control surface ---
+  /// Freezes this process for a snapshot: pauses compute, blocks library
+  /// entries, and locks the endpoint against connection establishment.
+  void freeze();
+  void thaw();
+  bool frozen() const { return exec_->paused(); }
+  /// Bytes currently parked in the eager message buffer by the gate.
+  Bytes message_buffer_bytes() const noexcept { return msg_buffer_cur_; }
+  /// World ranks toward which data-plane items are queued or pending.
+  std::vector<int> pending_destinations() const;
+  /// Waits until nothing this rank sent is still on the wire toward `peer`.
+  sim::Task<void> flush_channel_to(int peer);
+
+  // --- internal: called by MiniMPI's delivery path ---
+  void on_packet(net::Packet p);
+
+  /// Handler for control-plane packets (installed by the C/R framework).
+  void set_control_handler(std::function<void(net::Packet)> h) {
+    control_handler_ = std::move(h);
+  }
+
+  /// Marks a request complete and wakes its waiters (used by the
+  /// non-blocking collective drivers).
+  void finish_request(const Request& req) { complete(req); }
+
+ private:
+  friend class MiniMPI;
+
+  struct OutItem {
+    enum class Kind : std::uint8_t { kEager, kRts, kCts, kRdma, kFin };
+    Kind kind;
+    Envelope env;
+    bool gated = false;   // subject to the checkpoint deferral gate
+    bool counted = false; // buffering stats recorded already
+    bool taxed = false;   // sender-side tax (logging/staging) already paid
+  };
+  struct Outbound {
+    std::deque<OutItem> q;
+    bool pump_running = false;
+  };
+  struct UnexpectedMsg {
+    Envelope env;
+    bool rndv = false;  // true: this is an RTS awaiting a matching recv
+  };
+
+  void push_out(int dst, OutItem item);
+  void account_buffered(OutItem& item);
+  sim::Task<void> pump(int dst);
+  net::Packet to_packet(const OutItem& item) const;
+  Request make_request(bool is_recv);
+  void complete(const Request& req);
+  /// Tries to match an arrived envelope against posted receives.
+  Request match_posted(const Envelope& env);
+  void deliver_eager(const Envelope& env);
+  void deliver_rts(const Envelope& env);
+  void start_rndv_receive(const Envelope& env, const Request& req);
+  RecvInfo fill_info(const Envelope& env) const;
+  /// Allocates the tag base for one collective operation on `c`; all member
+  /// ranks call collectives in the same order, so bases agree.
+  Tag begin_collective(const Comm& c);
+
+  MiniMPI& mpi_;
+  int rank_;
+  std::unique_ptr<sim::Pausable> exec_;
+  std::vector<Request> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::map<int, Outbound> outbound_;
+  std::unordered_map<std::uint64_t, Request> pending_send_;  // by transfer id
+  std::unordered_map<std::uint64_t, Request> rndv_recv_;     // by transfer id
+  std::unordered_map<std::uint64_t, std::uint64_t> coll_seq_;  // per comm
+  std::function<void(net::Packet)> control_handler_;
+  std::unique_ptr<sim::Condition> any_complete_;  // wakes wait_any
+  Bytes msg_buffer_cur_ = 0;
+};
+
+/// Whole-job library instance: owns the per-rank contexts, the communicator
+/// registry, deferral gate and hooks, and global statistics.
+class MiniMPI {
+ public:
+  MiniMPI(sim::Engine& eng, net::Fabric& fabric, MpiConfig cfg = {});
+
+  int nranks() const noexcept { return static_cast<int>(ranks_.size()); }
+  sim::Engine& engine() noexcept { return eng_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  const MpiConfig& config() const noexcept { return cfg_; }
+
+  RankCtx& rank(int r) { return *ranks_.at(r); }
+  const Comm& world() const { return *comms_.front(); }
+  /// Registers a communicator over the given world ranks.
+  const Comm& create_comm(std::vector<int> members);
+  /// Splits `parent` by color: ranks with equal color (indexed by comm rank)
+  /// end up in one communicator, ordered by parent comm rank.
+  std::vector<const Comm*> split(const Comm& parent,
+                                 const std::vector<int>& colors);
+  const Comm* find_comm(std::uint64_t id) const;
+  /// All user-created communicators (heuristic input for group formation).
+  const std::vector<std::unique_ptr<Comm>>& comms() const { return comms_; }
+
+  void set_gate(CommGate* gate);
+  CommGate* gate() const noexcept { return gate_; }
+  void set_hooks(MpiHooks* hooks) { hooks_ = hooks; }
+  MpiHooks* hooks() const noexcept { return hooks_; }
+
+  std::uint64_t next_id() { return ++id_counter_; }
+
+  // --- statistics ---
+  struct Stats {
+    std::int64_t sends = 0;
+    std::int64_t recvs = 0;
+    Bytes message_buffered_bytes = 0;  ///< eager payloads held by the gate
+    Bytes request_buffered_bytes = 0;  ///< large transfers held by the gate
+    std::int64_t messages_buffered = 0;
+    std::int64_t requests_buffered = 0;
+    Bytes peak_message_buffer = 0;     ///< max bytes parked at once (job-wide)
+  };
+  Stats& stats() noexcept { return stats_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  // --- message records for consistency analysis ---
+  void record_transmit(std::uint64_t id, int src, int dst, Bytes b);
+  void record_arrival(std::uint64_t id);
+  const std::vector<MessageRecord>& message_records() const {
+    return records_;
+  }
+
+ private:
+  friend class RankCtx;
+
+  sim::Engine& eng_;
+  net::Fabric& fabric_;
+  MpiConfig cfg_;
+  std::vector<std::unique_ptr<RankCtx>> ranks_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  CommGate* gate_ = nullptr;
+  MpiHooks* hooks_ = nullptr;
+  std::uint64_t id_counter_ = 0;
+  std::uint64_t comm_counter_ = 0;
+  Stats stats_;
+  std::vector<MessageRecord> records_;
+  std::unordered_map<std::uint64_t, std::size_t> record_index_;
+};
+
+}  // namespace gbc::mpi

@@ -1,0 +1,193 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+namespace gbc::net {
+
+// ---------------------------------------------------------------------------
+// ConnectionManager
+// ---------------------------------------------------------------------------
+
+ConnectionManager::ConnectionManager(sim::Engine& eng, Fabric& fabric, int n,
+                                     NetConfig cfg)
+    : eng_(eng), cfg_(cfg), n_(n), locked_(n, false),
+      unlock_cv_(std::make_unique<sim::Condition>(eng)) {
+  (void)fabric;
+}
+
+ConnectionManager::Conn& ConnectionManager::conn(int a, int b) {
+  auto& c = conns_[key(a, b)];
+  if (!c.cv) c.cv = std::make_unique<sim::Condition>(eng_);
+  return c;
+}
+
+const ConnectionManager::Conn* ConnectionManager::find(int a, int b) const {
+  auto it = conns_.find(key(a, b));
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+ConnState ConnectionManager::state(int a, int b) const {
+  const Conn* c = find(a, b);
+  return c ? c->state : ConnState::kDisconnected;
+}
+
+sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
+  assert(a != b);
+  for (;;) {
+    // Establishment requires both endpoints available (not frozen).
+    while (locked_[a] || locked_[b]) co_await unlock_cv_->wait();
+    Conn& c = conn(a, b);
+    switch (c.state) {
+      case ConnState::kConnected:
+        co_return;
+      case ConnState::kConnecting:
+      case ConnState::kDraining:
+        co_await c.cv->wait();
+        continue;  // re-evaluate from scratch (locks may have changed)
+      case ConnState::kDisconnected: {
+        c.state = ConnState::kConnecting;
+        // Out-of-band parameter exchange + QP transitions on both sides.
+        co_await eng_.delay(cfg_.oob_exchange + cfg_.qp_transition);
+        Conn& c2 = conn(a, b);  // iterator-stable (std::map), but be explicit
+        c2.state = ConnState::kConnected;
+        ++setups_;
+        c2.cv->notify_all();
+        co_return;
+      }
+    }
+  }
+}
+
+sim::Task<void> ConnectionManager::drain(int a, int b) {
+  Conn& c = conn(a, b);
+  while (c.in_flight > 0) co_await c.cv->wait();
+}
+
+sim::Task<void> ConnectionManager::disconnect(int a, int b) {
+  Conn& c = conn(a, b);
+  for (;;) {
+    switch (c.state) {
+      case ConnState::kDisconnected:
+        co_return;
+      case ConnState::kConnecting:
+      case ConnState::kDraining:
+        co_await c.cv->wait();
+        continue;
+      case ConnState::kConnected: {
+        c.state = ConnState::kDraining;
+        while (c.in_flight > 0) co_await c.cv->wait();
+        co_await eng_.delay(cfg_.teardown_cost);
+        c.state = ConnState::kDisconnected;
+        ++teardowns_;
+        c.cv->notify_all();
+        co_return;
+      }
+    }
+  }
+}
+
+void ConnectionManager::lock_endpoint(int ep) { locked_[ep] = true; }
+
+void ConnectionManager::unlock_endpoint(int ep) {
+  locked_[ep] = false;
+  unlock_cv_->notify_all();
+}
+
+std::vector<int> ConnectionManager::connected_peers(int ep) const {
+  std::vector<int> peers;
+  for (const auto& [k, c] : conns_) {
+    if (c.state != ConnState::kConnected) continue;
+    if (k.first == ep) peers.push_back(k.second);
+    if (k.second == ep) peers.push_back(k.first);
+  }
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+int ConnectionManager::established_count() const {
+  int n = 0;
+  for (const auto& [k, c] : conns_) {
+    (void)k;
+    if (c.state == ConnState::kConnected) ++n;
+  }
+  return n;
+}
+
+void ConnectionManager::on_transmit_start(int a, int b) {
+  ++conn(a, b).in_flight;
+}
+
+void ConnectionManager::on_delivered(int a, int b) {
+  Conn& c = conn(a, b);
+  assert(c.in_flight > 0);
+  if (--c.in_flight == 0) c.cv->notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints)
+    : eng_(eng),
+      cfg_(cfg),
+      n_(n_endpoints),
+      receivers_(n_endpoints),
+      nic_busy_until_(n_endpoints, 0),
+      traffic_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0),
+      msgcount_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0) {
+  conn_mgr_ = std::make_unique<ConnectionManager>(eng, *this, n_endpoints, cfg);
+}
+
+void Fabric::transmit(Packet p) {
+  assert(conn_mgr_->connected(p.src, p.dst) &&
+         "data-plane transmit on unestablished connection");
+  conn_mgr_->on_transmit_start(p.src, p.dst);
+  enqueue(std::move(p), /*data_plane=*/true);
+}
+
+void Fabric::transmit_control(Packet p) {
+  enqueue(std::move(p), /*data_plane=*/false);
+}
+
+void Fabric::enqueue(Packet p, bool data_plane) {
+  assert(p.src >= 0 && p.src < n_ && p.dst >= 0 && p.dst < n_);
+  ++packets_;
+  bytes_ += p.bytes;
+  if (data_plane) {
+    const auto idx = static_cast<std::size_t>(p.src) * n_ + p.dst;
+    const auto rdx = static_cast<std::size_t>(p.dst) * n_ + p.src;
+    traffic_[idx] += p.bytes;
+    traffic_[rdx] += p.bytes;
+    ++msgcount_[idx];
+    ++msgcount_[rdx];
+  }
+  // Serialize on the sender NIC.
+  const double bps = cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
+  const auto xfer = static_cast<sim::Time>(
+      static_cast<double>(p.bytes) / bps * static_cast<double>(sim::kSecond));
+  const sim::Time start = std::max(eng_.now(), nic_busy_until_[p.src]);
+  const sim::Time done = start + cfg_.per_message_overhead + xfer;
+  nic_busy_until_[p.src] = done;
+  const sim::Time arrival = done + cfg_.wire_latency;
+  eng_.schedule_at(arrival, [this, p = std::move(p), data_plane]() mutable {
+    deliver(std::move(p), data_plane);
+  });
+}
+
+void Fabric::deliver(Packet p, bool data_plane) {
+  const int src = p.src, dst = p.dst;
+  auto& rx = receivers_[dst];
+  assert(rx && "no receiver registered");
+  rx(std::move(p));
+  if (data_plane) conn_mgr_->on_delivered(src, dst);
+}
+
+Bytes Fabric::bytes_between(int a, int b) const {
+  return traffic_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+std::int64_t Fabric::messages_between(int a, int b) const {
+  return msgcount_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+}  // namespace gbc::net

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::net {
+
+using Bytes = storage::Bytes;
+
+/// Timing parameters of the interconnect. Defaults approximate the paper's
+/// testbed: Mellanox DDR HCAs (high bandwidth, microsecond latency) where
+/// connection management runs over a slow out-of-band channel and is
+/// therefore ~three orders of magnitude more expensive than a message.
+struct NetConfig {
+  double link_bandwidth_mbps = 1250.0;  ///< per-NIC injection bandwidth, MB/s
+  sim::Time wire_latency = sim::from_microseconds(1.5);
+  sim::Time per_message_overhead = sim::from_microseconds(0.5);
+  /// Out-of-band connection parameter exchange (paper Sec. 2.2: much more
+  /// costly than TCP/IP connection setup).
+  sim::Time oob_exchange = sim::from_microseconds(800);
+  sim::Time qp_transition = sim::from_microseconds(200);  ///< RESET→RTS etc.
+  sim::Time teardown_cost = sim::from_microseconds(300);
+};
+
+/// Classification of a transfer; the meaning of ids is owned by the MPI
+/// layer, the fabric only accounts for them.
+enum class PacketKind : std::uint8_t {
+  kEager,     // small message, payload travels immediately
+  kRts,       // rendezvous request-to-send
+  kCts,       // rendezvous clear-to-send
+  kRdmaData,  // rendezvous zero-copy bulk data
+  kFin,       // rendezvous completion notification
+  kControl,   // checkpoint / connection control
+};
+
+struct Packet {
+  int src = -1;
+  int dst = -1;
+  Bytes bytes = 0;
+  PacketKind kind = PacketKind::kControl;
+  std::uint64_t id = 0;
+  std::shared_ptr<void> body;  ///< opaque payload owned by the MPI layer
+};
+
+enum class ConnState : std::uint8_t {
+  kDisconnected,
+  kConnecting,
+  kConnected,
+  kDraining,
+};
+
+class Fabric;
+
+/// Per-connection management (paper Sec. 4.2): the checkpoint protocols need
+/// to tear down and rebuild *specific* connections rather than all of them,
+/// and either endpoint may initiate (client/server, active/passive). A rank
+/// that is frozen for a snapshot locks its endpoint; establishment toward it
+/// blocks until it thaws.
+class ConnectionManager {
+ public:
+  ConnectionManager(sim::Engine& eng, Fabric& fabric, int n, NetConfig cfg);
+
+  /// Establishes (or waits for) the connection a<->b. Counts one setup when
+  /// this call performed the establishment. Blocks while either endpoint is
+  /// locked by a checkpoint freeze.
+  sim::Task<void> ensure_connected(int a, int b);
+
+  /// Drains in-flight traffic on a<->b and tears the connection down.
+  /// No-op if already disconnected.
+  sim::Task<void> disconnect(int a, int b);
+
+  /// Waits until no packet is in flight on a<->b (channel flush).
+  sim::Task<void> drain(int a, int b);
+
+  ConnState state(int a, int b) const;
+  bool connected(int a, int b) const {
+    return state(a, b) == ConnState::kConnected;
+  }
+
+  /// Freeze-locks an endpoint: new establishments touching it stall.
+  void lock_endpoint(int ep);
+  void unlock_endpoint(int ep);
+  bool endpoint_locked(int ep) const { return locked_[ep]; }
+
+  /// Every currently-connected peer of `ep`, ascending.
+  std::vector<int> connected_peers(int ep) const;
+
+  // --- accounting ---
+  std::int64_t total_setups() const noexcept { return setups_; }
+  std::int64_t total_teardowns() const noexcept { return teardowns_; }
+  int established_count() const;
+
+  // Called by the fabric.
+  void on_transmit_start(int a, int b);
+  void on_delivered(int a, int b);
+
+ private:
+  struct Conn {
+    ConnState state = ConnState::kDisconnected;
+    int in_flight = 0;
+    std::unique_ptr<sim::Condition> cv;  // state / drain changes
+  };
+  using Key = std::pair<int, int>;
+  static Key key(int a, int b) {
+    return a < b ? Key{a, b} : Key{b, a};
+  }
+  Conn& conn(int a, int b);
+  const Conn* find(int a, int b) const;
+
+  sim::Engine& eng_;
+  NetConfig cfg_;
+  int n_;
+  std::map<Key, Conn> conns_;
+  std::vector<bool> locked_;
+  std::unique_ptr<sim::Condition> unlock_cv_;
+  std::int64_t setups_ = 0;
+  std::int64_t teardowns_ = 0;
+};
+
+/// The wire: per-endpoint serializing injection engine (LogGP-style: each
+/// transfer occupies the sender NIC for overhead + bytes/bandwidth, then
+/// arrives wire_latency later). Delivery invokes the receiver callback
+/// registered by the MPI layer. Per-pair byte counts feed dynamic group
+/// formation (paper Sec. 4.1).
+class Fabric {
+ public:
+  using Deliver = std::function<void(Packet)>;
+
+  Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints);
+
+  int size() const noexcept { return n_; }
+  const NetConfig& config() const noexcept { return cfg_; }
+  sim::Engine& engine() noexcept { return eng_; }
+  ConnectionManager& connections() noexcept { return *conn_mgr_; }
+
+  void set_receiver(int ep, Deliver d) { receivers_[ep] = std::move(d); }
+
+  /// Queues a packet on src's NIC. Caller (MPI layer) is responsible for the
+  /// connection being established; asserted here.
+  void transmit(Packet p);
+
+  /// Control-plane message (coordination): does not require an established
+  /// data connection — the C/R framework exchanges these over a dedicated
+  /// channel. Costs per_message_overhead + wire_latency.
+  void transmit_control(Packet p);
+
+  // --- accounting ---
+  std::int64_t packets_sent() const noexcept { return packets_; }
+  Bytes bytes_sent() const noexcept { return bytes_; }
+  Bytes bytes_between(int a, int b) const;
+  std::int64_t messages_between(int a, int b) const;
+  /// Data-plane traffic matrix (bytes), indexed [a*n+b], symmetric.
+  const std::vector<std::int64_t>& traffic_matrix() const { return traffic_; }
+
+ private:
+  void enqueue(Packet p, bool data_plane);
+  void deliver(Packet p, bool data_plane);
+
+  sim::Engine& eng_;
+  NetConfig cfg_;
+  int n_;
+  std::vector<Deliver> receivers_;
+  std::vector<sim::Time> nic_busy_until_;
+  std::unique_ptr<ConnectionManager> conn_mgr_;
+  std::int64_t packets_ = 0;
+  Bytes bytes_ = 0;
+  std::vector<std::int64_t> traffic_;   // bytes
+  std::vector<std::int64_t> msgcount_;  // messages
+};
+
+}  // namespace gbc::net

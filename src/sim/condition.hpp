@@ -1,0 +1,128 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+
+/// Level-less condition variable for coroutines: waiters park until a notify.
+/// As with real condition variables, callers must re-check their predicate in
+/// a loop — a notify wakes waiters but proves nothing about state.
+class Condition {
+ public:
+  explicit Condition(Engine& eng) : eng_(&eng) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  struct WaitAwaiter {
+    Condition& cv;
+    std::shared_ptr<SuspendState> state;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      state = std::make_shared<SuspendState>();
+      state->handle = h;
+      cv.eng_->register_suspension(state);
+      cv.waiters_.push_back(state);
+    }
+    void await_resume() {
+      if (state) state->alive = false;
+      if (cv.eng_->aborted()) throw SimAborted{};
+    }
+  };
+
+  /// Awaitable that parks until the next notify_all()/notify_one().
+  WaitAwaiter wait() { return WaitAwaiter{*this, nullptr}; }
+
+  /// Waits until notified or until `timeout` elapses; co_awaits to true when
+  /// notified, false on timeout.
+  Task<bool> wait_for(Time timeout);
+
+  /// Repeatedly waits until pred() holds (checked before the first wait too).
+  template <typename Pred>
+  Task<void> wait_until(Pred pred) {
+    while (!pred()) co_await wait();
+  }
+
+  void notify_all() {
+    auto snapshot = std::move(waiters_);
+    waiters_.clear();
+    for (auto& s : snapshot) eng_->wake(s);
+  }
+
+  void notify_one() {
+    while (!waiters_.empty()) {
+      auto s = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      if (!s->settled && s->alive) {
+        eng_->wake(s);
+        return;
+      }
+    }
+  }
+
+  bool has_waiters() const noexcept { return !waiters_.empty(); }
+  Engine& engine() const noexcept { return *eng_; }
+
+ private:
+  Engine* eng_;
+  std::vector<std::shared_ptr<SuspendState>> waiters_;
+};
+
+/// A gate is a persistent-state Condition: when open, waiters pass through
+/// immediately; when closed, they park until the gate opens.
+class Gate {
+ public:
+  Gate(Engine& eng, bool open) : cv_(eng), open_(open) {}
+
+  bool is_open() const noexcept { return open_; }
+  void open() {
+    if (!open_) {
+      open_ = true;
+      cv_.notify_all();
+    }
+  }
+  void close() { open_ = false; }
+
+  Task<void> pass() {
+    while (!open_) co_await cv_.wait();
+  }
+
+ private:
+  Condition cv_;
+  bool open_;
+};
+
+/// Unbounded FIFO mailbox between coroutines.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& eng) : cv_(eng) {}
+
+  void send(T item) {
+    items_.push_back(std::move(item));
+    cv_.notify_all();
+  }
+
+  Task<T> recv() {
+    while (items_.empty()) co_await cv_.wait();
+    T item = std::move(items_.front());
+    items_.pop_front();
+    co_return item;
+  }
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  Condition cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace gbc::sim

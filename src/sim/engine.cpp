@@ -1,0 +1,132 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gbc::sim {
+
+namespace {
+
+// Detached driver coroutine: eagerly started, self-destroying.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+Detached drive(Engine* eng, Task<void> body) {
+  try {
+    co_await std::move(body);
+  } catch (const SimAborted&) {
+    // Normal teardown path.
+  } catch (...) {
+    eng->internal_process_error(std::current_exception());
+  }
+  eng->internal_process_exit();
+}
+
+}  // namespace
+
+Engine::~Engine() = default;
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(Time delay, std::function<void()> fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void Engine::spawn(Task<void> body) {
+  ++live_;
+  drive(this, std::move(body));
+}
+
+void Engine::step(Event& ev) {
+  now_ = ev.t;
+  ev.fn();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(ev);
+    if (!errors_.empty()) {
+      auto e = errors_.front();
+      errors_.clear();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void Engine::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(ev);
+    if (!errors_.empty()) {
+      auto e = errors_.front();
+      errors_.clear();
+      std::rethrow_exception(e);
+    }
+  }
+  if (t > now_) now_ = t;
+}
+
+void Engine::abort_all() {
+  aborted_ = true;
+  // Resuming a suspension can cause other suspensions to deregister or new
+  // (immediately-throwing) ones to appear, so drain by repeated sweeps.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = suspensions_.begin(); it != suspensions_.end();) {
+      auto sp = it->lock();
+      it = suspensions_.erase(it);
+      if (sp && sp->alive && !sp->settled) {
+        sp->settled = true;
+        progressed = true;
+        sp->handle.resume();
+      }
+    }
+  }
+  // Drop any queued callbacks; their targets checked `alive` anyway.
+  while (!queue_.empty()) queue_.pop();
+}
+
+void Engine::register_suspension(const std::shared_ptr<SuspendState>& s) {
+  suspensions_.push_back(s);
+  if (--prune_countdown_ <= 0) {
+    prune_countdown_ = 256;
+    suspensions_.remove_if(
+        [](const std::weak_ptr<SuspendState>& w) { return w.expired(); });
+  }
+}
+
+void Engine::wake(const std::shared_ptr<SuspendState>& s) {
+  if (s->settled) return;
+  s->settled = true;
+  schedule_now([s] {
+    if (s->alive) s->handle.resume();
+  });
+}
+
+void Engine::DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  state = std::make_shared<SuspendState>();
+  state->handle = h;
+  eng.register_suspension(state);
+  auto s = state;
+  eng.schedule_after(delay, [s] {
+    if (s->settled) return;
+    s->settled = true;
+    if (s->alive) s->handle.resume();
+  });
+}
+
+}  // namespace gbc::sim

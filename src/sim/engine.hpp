@@ -1,0 +1,112 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+
+// Shared suspension record. Every leaf awaitable (timer wait, condition wait)
+// owns one of these; the engine keeps a weak reference so abort_all() can
+// wake every parked coroutine with the abort flag raised.
+struct SuspendState {
+  std::coroutine_handle<> handle{};
+  bool settled = false;  // a wake has been delivered (or is scheduled)
+  bool alive = true;     // awaiter frame still exists
+};
+
+/// Deterministic single-threaded discrete-event engine. Events at equal
+/// timestamps fire in schedule order (FIFO), so runs are fully reproducible.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const noexcept { return now_; }
+  bool aborted() const noexcept { return aborted_; }
+
+  /// Schedules fn at absolute simulated time t (must be >= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+  /// Schedules fn after the given delay.
+  void schedule_after(Time delay, std::function<void()> fn);
+  /// Schedules fn at the current time, after already-queued same-time events.
+  void schedule_now(std::function<void()> fn) { schedule_at(now_, fn); }
+
+  /// Starts a detached simulated process. The body runs eagerly until its
+  /// first suspension. Exceptions other than SimAborted are captured and
+  /// rethrown from run().
+  void spawn(Task<void> body);
+
+  /// Runs until the event queue drains. Rethrows the first process error.
+  void run();
+  /// Runs events with timestamp <= t, then sets now() = t.
+  void run_until(Time t);
+  /// Wakes every suspended coroutine with SimAborted so frames unwind, then
+  /// drains the queue. Used for mid-run teardown (failure injection).
+  void abort_all();
+
+  int live_processes() const noexcept { return live_; }
+
+  // Internal hooks used by the detached process driver; not for users.
+  void internal_process_error(std::exception_ptr e) { errors_.push_back(e); }
+  void internal_process_exit() { --live_; }
+
+  // --- used by awaitable primitives ---
+  void register_suspension(const std::shared_ptr<SuspendState>& s);
+  /// Schedules the resume of a settled suspension at the current time.
+  void wake(const std::shared_ptr<SuspendState>& s);
+
+  /// Awaitable: suspends the current coroutine for `delay` sim-time.
+  auto delay(Time d) { return DelayAwaiter{*this, d, nullptr}; }
+  auto delay_until(Time t) { return DelayAwaiter{*this, t - now_, nullptr}; }
+
+  struct DelayAwaiter {
+    Engine& eng;
+    Time delay;
+    std::shared_ptr<SuspendState> state;
+
+    bool await_ready() const noexcept {
+      return delay <= 0 && !eng.aborted_;
+    }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() {
+      if (state) state->alive = false;
+      if (eng.aborted_) throw SimAborted{};
+    }
+  };
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void step(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::list<std::weak_ptr<SuspendState>> suspensions_;
+  std::vector<std::exception_ptr> errors_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  int live_ = 0;
+  bool aborted_ = false;
+  int prune_countdown_ = 256;
+};
+
+}  // namespace gbc::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace gbc::sim {
+
+namespace detail {
+inline Task<void> join_wrapper(Task<void> body, int* pending, Condition* cv) {
+  co_await std::move(body);
+  if (--*pending == 0) cv->notify_all();
+}
+}  // namespace detail
+
+/// Fork/join for coroutines: launch() spawns concurrent subtasks, join()
+/// suspends until all of them finish. The JoinSet must outlive its tasks
+/// (declare it in the frame that calls join()).
+class JoinSet {
+ public:
+  explicit JoinSet(Engine& eng) : eng_(eng), cv_(eng) {}
+  JoinSet(const JoinSet&) = delete;
+  JoinSet& operator=(const JoinSet&) = delete;
+
+  void launch(Task<void> body) {
+    ++pending_;
+    eng_.spawn(detail::join_wrapper(std::move(body), &pending_, &cv_));
+  }
+
+  Task<void> join() {
+    while (pending_ > 0) co_await cv_.wait();
+  }
+
+  int pending() const noexcept { return pending_; }
+
+ private:
+  Engine& eng_;
+  Condition cv_;
+  int pending_ = 0;
+};
+
+}  // namespace gbc::sim

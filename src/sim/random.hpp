@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+// Deterministic RNG for workload generation. We avoid <random> engines and
+// distributions because their outputs are not specified identically across
+// standard libraries; reproducibility of the benchmark tables matters more
+// than statistical sophistication here.
+namespace gbc::sim {
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box-Muller (one value per call; simple and deterministic).
+  double normal(double mean, double stddev) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Lognormal parameterized by the mean/cv of the *resulting* distribution.
+  double lognormal_mean_cv(double mean, double cv) {
+    double sigma2 = std::log(1.0 + cv * cv);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+  }
+
+  /// Derives an independent stream (e.g., per rank) from this seed.
+  Rng fork(std::uint64_t stream) const {
+    return Rng(state_ ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gbc::sim

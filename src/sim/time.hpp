@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+// Simulated time for the whole library. All timestamps and durations are
+// int64 nanoseconds so that event ordering is exact and runs are bit-for-bit
+// reproducible (no floating-point accumulation in the clock itself).
+namespace gbc::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts seconds (possibly fractional) to simulated Time.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/// Converts simulated Time to (fractional) seconds for reporting.
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr Time from_milliseconds(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr Time from_microseconds(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+
+}  // namespace gbc::sim

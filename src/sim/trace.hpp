@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+
+/// Lightweight structured trace used for debugging and for the schedule
+/// Gantt rendering in bench/fig2_schedule_trace. Disabled by default; when
+/// disabled, add() is a cheap branch.
+class Trace {
+ public:
+  struct Event {
+    Time t;
+    int actor;  // rank id, or -1 for global actors
+    std::string category;
+    std::string detail;
+  };
+
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void add(Time t, int actor, std::string category, std::string detail) {
+    if (!enabled_) return;
+    events_.push_back(Event{t, actor, std::move(category), std::move(detail)});
+  }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace gbc::sim

@@ -1,0 +1,341 @@
+// gbcsim — command-line driver for the group-based checkpointing simulator.
+//
+//   gbcsim delay    measure the Effective Checkpoint Delay of one checkpoint
+//   gbcsim sweep    delay vs. checkpoint group size (Fig. 3/5/7 style row)
+//   gbcsim trace    ASCII Gantt of a checkpoint schedule (Fig. 2 style)
+//   gbcsim recover  inject a failure and restart from the last checkpoint
+//   gbcsim mtbf     time-to-solution under Poisson failures
+//   gbcsim storage  the storage-bottleneck curve (Fig. 1 style)
+//
+// Every run is deterministic. `gbcsim <command> --help` lists the flags.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/gantt.hpp"
+#include "harness/interval.hpp"
+#include "harness/recovery.hpp"
+#include "harness/table.hpp"
+#include "workloads/hpl.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/motifminer.hpp"
+#include "workloads/stencil.hpp"
+
+namespace {
+
+using namespace gbc;
+
+void add_common_flags(harness::FlagSet& flags) {
+  flags.add_string("workload", "microbench",
+                   "microbench | barrier | hpl | motifminer | stencil");
+  flags.add_int("ranks", 32, "number of MPI processes");
+  flags.add_int("comm-group", 8, "communication group size (microbench)");
+  flags.add_double("footprint-mib", 180.0, "per-process image size (microbench)");
+  flags.add_int("group-size", 8, "checkpoint group size (0 = all at once)");
+  flags.add_bool("dynamic", false, "dynamic group formation from traffic");
+  flags.add_bool("incremental", false, "incremental (dirty-page) snapshots");
+  flags.add_bool("no-helper", false, "disable the async-progress helper");
+  flags.add_string("protocol", "group",
+                   "group | blocking | chandy-lamport | uncoordinated");
+  flags.add_int("stripe", 0, "storage stripe_count (0 = pooled model)");
+}
+
+ckpt::Protocol parse_protocol(const std::string& s) {
+  if (s == "blocking") return ckpt::Protocol::kBlockingCoordinated;
+  if (s == "chandy-lamport") return ckpt::Protocol::kChandyLamport;
+  if (s == "uncoordinated") return ckpt::Protocol::kUncoordinatedLogging;
+  return ckpt::Protocol::kGroupBased;
+}
+
+harness::ClusterPreset make_cluster(const harness::FlagSet& flags) {
+  harness::ClusterPreset p = harness::icpp07_cluster();
+  p.nranks = flags.get_int("ranks");
+  p.storage.stripe_count = flags.get_int("stripe");
+  return p;
+}
+
+ckpt::CkptConfig make_ckpt_config(const harness::FlagSet& flags) {
+  ckpt::CkptConfig cc;
+  cc.group_size = flags.get_int("group-size");
+  cc.dynamic_formation = flags.get_bool("dynamic");
+  cc.incremental = flags.get_bool("incremental");
+  cc.async_progress = !flags.get_bool("no-helper");
+  return cc;
+}
+
+harness::WorkloadFactory make_workload(const harness::FlagSet& flags,
+                                       int nranks) {
+  const std::string name = flags.get_string("workload");
+  if (name == "hpl") {
+    workloads::HplConfig cfg;
+    if (nranks != cfg.grid_p * cfg.grid_q) {
+      cfg.grid_p = nranks > 4 ? nranks / 4 : nranks;
+      cfg.grid_q = nranks / cfg.grid_p;
+    }
+    return [cfg](int n) { return std::make_unique<workloads::HplSim>(n, cfg); };
+  }
+  if (name == "motifminer") {
+    workloads::MotifMinerConfig cfg;
+    return [cfg](int n) {
+      return std::make_unique<workloads::MotifMinerSim>(n, cfg);
+    };
+  }
+  if (name == "stencil") {
+    workloads::StencilConfig cfg;
+    if (nranks != cfg.px * cfg.py) {
+      cfg.px = nranks > 4 ? nranks / 4 : nranks;
+      cfg.py = nranks / cfg.px;
+    }
+    return [cfg](int n) {
+      return std::make_unique<workloads::StencilSim>(n, cfg);
+    };
+  }
+  if (name == "barrier") {
+    workloads::BarrierBenchConfig cfg;
+    cfg.comm_group_size = flags.get_int("comm-group");
+    cfg.footprint_mib = flags.get_double("footprint-mib");
+    cfg.iterations = 1800;
+    return [cfg](int n) {
+      return std::make_unique<workloads::BarrierBench>(n, cfg);
+    };
+  }
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = flags.get_int("comm-group");
+  cfg.footprint_mib = flags.get_double("footprint-mib");
+  cfg.iterations = 1200;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+int cmd_delay(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim delay");
+  add_common_flags(flags);
+  flags.add_double("issuance", 30.0, "checkpoint request time (seconds)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  auto cluster = make_cluster(flags);
+  auto factory = make_workload(flags, cluster.nranks);
+  auto m = harness::measure_effective_delay(
+      cluster, factory, make_ckpt_config(flags),
+      sim::from_seconds(flags.get_double("issuance")),
+      parse_protocol(flags.get_string("protocol")));
+  std::printf("base run                   : %9.2f s\n", m.base_seconds);
+  std::printf("with checkpoint            : %9.2f s\n", m.with_ckpt_seconds);
+  std::printf("Effective Checkpoint Delay : %9.2f s\n",
+              m.effective_delay_seconds());
+  std::printf("Individual Checkpoint Time : %9.2f s\n",
+              m.individual_seconds());
+  std::printf("Total Checkpoint Time      : %9.2f s\n", m.total_seconds());
+  std::printf("storage fraction of downtime: %8.1f %%\n",
+              m.checkpoint.storage_fraction() * 100.0);
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim sweep");
+  add_common_flags(flags);
+  flags.add_double("issuance", 30.0, "checkpoint request time (seconds)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  auto cluster = make_cluster(flags);
+  auto factory = make_workload(flags, cluster.nranks);
+  auto cc = make_ckpt_config(flags);
+  const double base =
+      harness::run_experiment(cluster, factory, cc).completion_seconds();
+  harness::Table t({"ckpt_group", "effective_delay_s", "individual_s",
+                    "total_s"});
+  for (int size = 0; size <= cluster.nranks; size = size == 0 ? 1 : size * 2) {
+    if (size > cluster.nranks / 2 && size != 0) break;
+    ckpt::CkptConfig c2 = cc;
+    c2.group_size = size;
+    auto m = harness::measure_effective_delay_with_base(
+        cluster, factory, c2, sim::from_seconds(flags.get_double("issuance")),
+        ckpt::Protocol::kGroupBased, base);
+    t.add_row({size == 0 ? "All" : std::to_string(size),
+               harness::Table::num(m.effective_delay_seconds()),
+               harness::Table::num(m.individual_seconds()),
+               harness::Table::num(m.total_seconds())});
+    std::fflush(stdout);
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim trace");
+  add_common_flags(flags);
+  flags.add_double("issuance", 5.0, "checkpoint request time (seconds)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  auto cluster = make_cluster(flags);
+  if (cluster.nranks > 16) cluster.nranks = 16;  // keep the chart readable
+  auto factory = make_workload(flags, cluster.nranks);
+  std::vector<harness::CkptRequest> reqs;
+  reqs.push_back(
+      harness::CkptRequest{sim::from_seconds(flags.get_double("issuance")),
+                           parse_protocol(flags.get_string("protocol"))});
+  auto res =
+      harness::run_experiment(cluster, factory, make_ckpt_config(flags), reqs);
+  if (res.checkpoints.empty()) {
+    std::fprintf(stderr, "no checkpoint completed\n");
+    return 1;
+  }
+  std::vector<std::pair<std::string, ckpt::GlobalCheckpoint>> runs;
+  runs.emplace_back("checkpoint schedule", res.checkpoints.front());
+  std::fputs(harness::render_gantt_comparison(runs).c_str(), stdout);
+  return 0;
+}
+
+int cmd_recover(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim recover");
+  add_common_flags(flags);
+  flags.add_double("ckpt-at", 20.0, "checkpoint request time (seconds)");
+  flags.add_double("fail-at", 60.0, "failure injection time (seconds)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  auto cluster = make_cluster(flags);
+  auto factory = make_workload(flags, cluster.nranks);
+  auto cc = make_ckpt_config(flags);
+  auto clean = harness::run_experiment(cluster, factory, cc);
+  std::vector<harness::CkptRequest> reqs;
+  reqs.push_back(
+      harness::CkptRequest{sim::from_seconds(flags.get_double("ckpt-at")),
+                           parse_protocol(flags.get_string("protocol"))});
+  auto rec = harness::run_with_failure(
+      cluster, factory, cc, reqs,
+      sim::from_seconds(flags.get_double("fail-at")));
+  std::printf("clean completion      : %8.1f s\n", clean.completion_seconds());
+  std::printf("failure at            : %8.1f s\n",
+              sim::to_seconds(rec.failure_at));
+  std::printf("restored from ckpt    : %s (rollback to iteration %llu)\n",
+              rec.used_checkpoint ? "yes" : "no (cold restart)",
+              static_cast<unsigned long long>(rec.rollback_iteration));
+  std::printf("restart image reads   : %8.1f s\n", rec.restart_read_seconds);
+  std::printf("time to solution      : %8.1f s\n", rec.total_seconds);
+  const bool ok = rec.final_hashes == clean.final_hashes;
+  std::printf("result matches clean  : %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}
+
+int cmd_mtbf(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim mtbf");
+  add_common_flags(flags);
+  flags.add_double("interval", 60.0, "checkpoint interval (seconds)");
+  flags.add_double("mtbf", 300.0, "mean time between failures (seconds)");
+  flags.add_int("seed", 1, "failure-sequence seed");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  auto cluster = make_cluster(flags);
+  auto factory = make_workload(flags, cluster.nranks);
+  harness::FailureModel fm;
+  fm.mtbf_seconds = flags.get_double("mtbf");
+  fm.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  auto res = harness::run_with_poisson_failures(
+      cluster, factory, make_ckpt_config(flags),
+      parse_protocol(flags.get_string("protocol")),
+      sim::from_seconds(flags.get_double("interval")), fm);
+  std::printf("time to solution   : %10.1f s\n", res.total_seconds);
+  std::printf("failures           : %10d\n", res.failures);
+  std::printf("ckpts completed    : %10d\n", res.checkpoints_completed);
+  std::printf("lost work          : %10llu iterations\n",
+              static_cast<unsigned long long>(res.lost_work_iterations));
+  std::printf("Young-optimal gap  : %10.1f s (for C=10s)\n",
+              harness::young_interval_seconds(10.0, fm.mtbf_seconds));
+  return 0;
+}
+
+int cmd_storage(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim storage");
+  flags.add_int("max-clients", 32, "sweep 1..max concurrent writers");
+  flags.add_int("stripe", 0, "stripe_count (0 = pooled)");
+  flags.add_double("file-mib", 256.0, "file size per client");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  harness::Table t({"clients", "per_client_MBps", "aggregate_MBps"});
+  for (int clients = 1; clients <= flags.get_int("max-clients");
+       clients *= 2) {
+    sim::Engine eng;
+    storage::StorageConfig cfg;
+    cfg.stripe_count = flags.get_int("stripe");
+    storage::StorageSystem fs(eng, cfg);
+    const storage::Bytes file = storage::mib(flags.get_double("file-mib"));
+    sim::Time slowest = 0;
+    for (int c = 0; c < clients; ++c) {
+      eng.spawn([](storage::StorageSystem& s, storage::Bytes b,
+                   sim::Engine& e, sim::Time& out) -> sim::Task<void> {
+        co_await s.write(b);
+        if (e.now() > out) out = e.now();
+      }(fs, file, eng, slowest));
+    }
+    eng.run();
+    const double secs = sim::to_seconds(slowest);
+    const double total_mb = static_cast<double>(file) * clients /
+                            static_cast<double>(storage::kMiB);
+    t.add_row({std::to_string(clients),
+               harness::Table::num(total_mb / clients / secs),
+               harness::Table::num(total_mb / secs)});
+  }
+  t.print();
+  return 0;
+}
+
+void print_toplevel_usage() {
+  std::puts(
+      "gbcsim — group-based coordinated checkpointing simulator\n"
+      "\n"
+      "commands:\n"
+      "  delay     measure the Effective Checkpoint Delay of one checkpoint\n"
+      "  sweep     delay vs. checkpoint group size\n"
+      "  trace     ASCII Gantt chart of a checkpoint schedule\n"
+      "  recover   inject a failure and restart from the last checkpoint\n"
+      "  mtbf      time-to-solution under Poisson failures\n"
+      "  storage   storage-bottleneck curve (per-client bandwidth)\n"
+      "\n"
+      "run `gbcsim <command> --help` for flags");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_toplevel_usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const int rest_argc = argc - 2;
+  const char* const* rest_argv = argv + 2;
+  if (cmd == "delay") return cmd_delay(rest_argc, rest_argv);
+  if (cmd == "sweep") return cmd_sweep(rest_argc, rest_argv);
+  if (cmd == "trace") return cmd_trace(rest_argc, rest_argv);
+  if (cmd == "recover") return cmd_recover(rest_argc, rest_argv);
+  if (cmd == "mtbf") return cmd_mtbf(rest_argc, rest_argv);
+  if (cmd == "storage") return cmd_storage(rest_argc, rest_argv);
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_toplevel_usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  print_toplevel_usage();
+  return 2;
+}

@@ -1,0 +1,48 @@
+#include "workloads/masterworker.hpp"
+
+namespace gbc::workloads {
+
+MasterWorkerSim::MasterWorkerSim(int nranks, MasterWorkerConfig cfg)
+    : Workload(nranks), cfg_(cfg) {
+  for (int r = 0; r < nranks; ++r) {
+    set_footprint(r, storage::mib(cfg_.footprint_mib));
+  }
+}
+
+sim::Time MasterWorkerSim::chunk(int rank, std::uint64_t round) const {
+  sim::Rng rng = sim::Rng(cfg_.seed)
+                     .fork(static_cast<std::uint64_t>(rank) * 999983ULL + round);
+  return sim::from_seconds(
+      rng.lognormal_mean_cv(cfg_.mean_chunk_seconds, cfg_.imbalance_cv));
+}
+
+sim::Task<void> MasterWorkerSim::run_rank(mpi::RankCtx& r,
+                                          WorkloadState from) {
+  const int me = r.world_rank();
+  set_state(me, from);
+  const mpi::Comm& wc = r.mpi().world();
+  const int workers = r.nranks() - 1;
+  if (workers <= 0) co_return;
+
+  if (me == 0) {
+    // Master: per round, serve every worker's request in arrival order.
+    for (std::uint64_t round = from.iteration; round < cfg_.rounds; ++round) {
+      const mpi::Tag tag = static_cast<mpi::Tag>(round);
+      for (int served = 0; served < workers; ++served) {
+        auto req = co_await r.recv(wc, mpi::kAnySource, tag);
+        co_await r.send(wc, req.source, tag, cfg_.reply_bytes);
+      }
+      commit_iteration(0, round);
+    }
+  } else {
+    for (std::uint64_t round = from.iteration; round < cfg_.rounds; ++round) {
+      const mpi::Tag tag = static_cast<mpi::Tag>(round);
+      co_await r.send(wc, 0, tag, cfg_.request_bytes);
+      (void)co_await r.recv(wc, 0, tag);
+      co_await r.compute(chunk(me, round));
+      commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | round);
+    }
+  }
+}
+
+}  // namespace gbc::workloads

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "sim/random.hpp"
+#include "workloads/workload.hpp"
+
+namespace gbc::workloads {
+
+/// Master/worker task farm: rank 0 serves work descriptors to the other
+/// ranks, receiving requests with MPI_ANY_SOURCE and answering in arrival
+/// order. Workers compute deterministic (rank × round)-keyed chunks.
+/// This exercises the wildcard-matching and deferral paths the grid
+/// workloads never touch: during a group-based checkpoint, requests from
+/// not-yet-checkpointed workers to a checkpointed master (and vice versa)
+/// must defer without deadlocking the ANY_SOURCE service loop.
+///
+/// Assignment is static per round (worker w always computes item (round, w)),
+/// so runs are deterministic and resumable: rolling everyone back to a
+/// common round replays identically.
+struct MasterWorkerConfig {
+  std::uint64_t rounds = 60;
+  double mean_chunk_seconds = 0.4;
+  double imbalance_cv = 0.3;
+  storage::Bytes request_bytes = 256;
+  storage::Bytes reply_bytes = 64 * storage::kKiB;
+  double footprint_mib = 128.0;
+  std::uint64_t seed = 0xFEEDULL;
+};
+
+class MasterWorkerSim : public Workload {
+ public:
+  MasterWorkerSim(int nranks, MasterWorkerConfig cfg);
+
+  using Workload::run_rank;
+  sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) override;
+
+  const MasterWorkerConfig& config() const { return cfg_; }
+  double estimated_runtime_seconds() const {
+    return static_cast<double>(cfg_.rounds) * cfg_.mean_chunk_seconds * 1.2;
+  }
+
+ private:
+  sim::Time chunk(int rank, std::uint64_t round) const;
+
+  MasterWorkerConfig cfg_;
+};
+
+}  // namespace gbc::workloads

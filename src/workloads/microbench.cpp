@@ -1,0 +1,79 @@
+#include "workloads/microbench.hpp"
+
+namespace gbc::workloads {
+
+// ---------------------------------------------------------------------------
+// CommGroupBench
+// ---------------------------------------------------------------------------
+
+CommGroupBench::CommGroupBench(int nranks, CommGroupBenchConfig cfg)
+    : Workload(nranks), cfg_(cfg) {
+  for (int r = 0; r < nranks; ++r) {
+    set_footprint(r, storage::mib(cfg_.footprint_mib));
+  }
+}
+
+sim::Task<void> CommGroupBench::run_rank(mpi::RankCtx& r, WorkloadState from) {
+  set_state(r.world_rank(), from);
+  const mpi::Comm& wc = r.mpi().world();
+  const int me = r.world_rank();
+  const int s = cfg_.comm_group_size;
+  const int group_base = (me / s) * s;
+  const int idx = me - group_base;
+  const int right = group_base + (idx + 1) % s;
+  const int left = group_base + (idx - 1 + s) % s;
+
+  for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
+    co_await r.compute(cfg_.compute_per_iter);
+    if (s > 1) {
+      // Blocking ring exchange inside the communication group: the group
+      // stays tightly synchronized, other groups are independent.
+      mpi::Request rq = r.irecv(wc, left, static_cast<mpi::Tag>(it));
+      co_await r.send(wc, right, static_cast<mpi::Tag>(it),
+                      cfg_.message_bytes);
+      co_await r.wait(rq);
+    }
+    commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BarrierBench
+// ---------------------------------------------------------------------------
+
+BarrierBench::BarrierBench(int nranks, BarrierBenchConfig cfg)
+    : Workload(nranks), cfg_(cfg) {
+  iters_per_barrier_ = static_cast<std::uint64_t>(
+      cfg_.barrier_period / cfg_.compute_per_iter);
+  if (iters_per_barrier_ == 0) iters_per_barrier_ = 1;
+  for (int r = 0; r < nranks; ++r) {
+    set_footprint(r, storage::mib(cfg_.footprint_mib));
+  }
+}
+
+sim::Task<void> BarrierBench::run_rank(mpi::RankCtx& r, WorkloadState from) {
+  set_state(r.world_rank(), from);
+  const mpi::Comm& wc = r.mpi().world();
+  const int me = r.world_rank();
+  const int s = cfg_.comm_group_size;
+  const int group_base = (me / s) * s;
+  const int idx = me - group_base;
+  const int right = group_base + (idx + 1) % s;
+  const int left = group_base + (idx - 1 + s) % s;
+
+  for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
+    co_await r.compute(cfg_.compute_per_iter);
+    if (s > 1) {
+      mpi::Request rq = r.irecv(wc, left, static_cast<mpi::Tag>(it));
+      co_await r.send(wc, right, static_cast<mpi::Tag>(it),
+                      cfg_.message_bytes);
+      co_await r.wait(rq);
+    }
+    // "A global synchronization using MPI_Barrier every minute": groups that
+    // finish their checkpoints early cannot cross this line (Fig. 4).
+    if ((it + 1) % iters_per_barrier_ == 0) co_await r.barrier(wc);
+    commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | it);
+  }
+}
+
+}  // namespace gbc::workloads

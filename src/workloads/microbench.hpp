@@ -1,0 +1,64 @@
+#pragma once
+
+#include "sim/time.hpp"
+#include "workloads/workload.hpp"
+
+namespace gbc::workloads {
+
+/// The paper's Figure 3 micro-benchmark: "MPI processes communicate only
+/// within a communication group using blocking MPI calls continuously,
+/// effectively synchronizing themselves in groups."
+///
+/// Each iteration a rank computes for `compute_per_iter` and then exchanges
+/// a blocking (rendezvous-sized) message around a ring inside its
+/// communication group. comm_group_size == 1 is the embarrassingly-parallel
+/// case. The memory footprint is constant (`footprint_mib`, 180 MB in the
+/// paper).
+struct CommGroupBenchConfig {
+  int comm_group_size = 8;
+  sim::Time compute_per_iter = 100 * sim::kMillisecond;
+  storage::Bytes message_bytes = 64 * storage::kKiB;
+  std::uint64_t iterations = 600;
+  double footprint_mib = 180.0;
+};
+
+class CommGroupBench : public Workload {
+ public:
+  CommGroupBench(int nranks, CommGroupBenchConfig cfg);
+  sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) override;
+  using Workload::run_rank;
+
+  const CommGroupBenchConfig& config() const { return cfg_; }
+
+ private:
+  CommGroupBenchConfig cfg_;
+};
+
+/// The paper's Figure 4 micro-benchmark: communication groups of
+/// `comm_group_size` plus a *global* MPI_Barrier every `barrier_period` of
+/// computation ("enforce a global synchronization using MPI_Barrier every
+/// minute"). The effective checkpoint delay depends strongly on how close
+/// the checkpoint request lands to the next barrier.
+struct BarrierBenchConfig {
+  int comm_group_size = 8;
+  sim::Time compute_per_iter = 100 * sim::kMillisecond;
+  sim::Time barrier_period = 60 * sim::kSecond;
+  storage::Bytes message_bytes = 64 * storage::kKiB;
+  std::uint64_t iterations = 1800;
+  double footprint_mib = 180.0;
+};
+
+class BarrierBench : public Workload {
+ public:
+  BarrierBench(int nranks, BarrierBenchConfig cfg);
+  sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) override;
+  using Workload::run_rank;
+
+  const BarrierBenchConfig& config() const { return cfg_; }
+
+ private:
+  BarrierBenchConfig cfg_;
+  std::uint64_t iters_per_barrier_;
+};
+
+}  // namespace gbc::workloads

@@ -1,0 +1,58 @@
+#include "workloads/motifminer.hpp"
+
+#include <cmath>
+
+namespace gbc::workloads {
+
+MotifMinerSim::MotifMinerSim(int nranks, MotifMinerConfig cfg)
+    : Workload(nranks), cfg_(cfg) {
+  for (int r = 0; r < nranks; ++r) {
+    set_footprint(r, storage::mib(cfg_.base_footprint_mib) + candidates_at(0));
+  }
+}
+
+Bytes MotifMinerSim::candidates_at(std::uint64_t iter) const {
+  if (cfg_.iterations == 0) return 0;
+  const double x = static_cast<double>(iter) /
+                   static_cast<double>(cfg_.iterations);  // 0..1
+  // Candidate generation dominates early, pruning wins late.
+  const double tri = x < 0.5 ? 2.0 * x : 2.0 * (1.0 - x);
+  return storage::mib(cfg_.peak_candidates_mib * (0.15 + 0.85 * tri));
+}
+
+sim::Time MotifMinerSim::compute_chunk(int rank, std::uint64_t iter) const {
+  sim::Rng rng =
+      sim::Rng(cfg_.seed)
+          .fork(static_cast<std::uint64_t>(rank) * 1000003ULL + iter);
+  const double secs =
+      rng.lognormal_mean_cv(cfg_.mean_compute_seconds, cfg_.imbalance_cv);
+  return sim::from_seconds(secs);
+}
+
+double MotifMinerSim::estimated_runtime_seconds() const {
+  return static_cast<double>(cfg_.iterations) * cfg_.mean_compute_seconds *
+         1.15;  // imbalance + allgather overhead
+}
+
+sim::Task<void> MotifMinerSim::run_rank(mpi::RankCtx& r, WorkloadState from) {
+  const int me = r.world_rank();
+  set_state(me, from);
+  set_footprint(me,
+                storage::mib(cfg_.base_footprint_mib) +
+                    candidates_at(from.iteration));
+  const mpi::Comm& wc = r.mpi().world();
+  std::vector<double> no_payload;  // timing-only exchange
+
+  for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
+    // A large chunk of independent mining work...
+    co_await r.compute(compute_chunk(me, it));
+    // ...then a global candidate exchange after each iteration.
+    const Bytes block = candidates_at(it) / std::max(1, r.nranks());
+    (void)co_await r.allgather(wc, block, no_payload);
+    commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | it);
+    set_footprint(me, storage::mib(cfg_.base_footprint_mib) +
+                          candidates_at(it + 1));
+  }
+}
+
+}  // namespace gbc::workloads

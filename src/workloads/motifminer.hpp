@@ -1,0 +1,48 @@
+#pragma once
+
+#include "sim/random.hpp"
+#include "workloads/workload.hpp"
+
+namespace gbc::workloads {
+
+/// MotifMiner, simulated (paper Sec. 6.3): a parallel structural-motif
+/// mining toolkit. "The algorithm follows an iterative pattern, and
+/// MPI_Allgather is used to exchange data after each iteration" — global
+/// communication only, but "each process still has a relatively large chunk
+/// of computation before they synchronize", which is why group-based
+/// checkpointing still helps: groups finishing their snapshots early resume
+/// their compute chunk while later groups write.
+///
+/// Compute chunks are deterministic lognormal draws (per rank×iteration, so
+/// restarts replay identical durations); the candidate-set exchanged via
+/// allgather grows then shrinks over the mining run, as does the footprint.
+struct MotifMinerConfig {
+  std::uint64_t iterations = 14;
+  /// "MotifMiner is very computation intensive ... each process still has a
+  /// relatively large chunk of computation before they synchronize" (6.3).
+  double mean_compute_seconds = 12.0;
+  double imbalance_cv = 0.25;   ///< lognormal cv across ranks/iterations
+  double base_footprint_mib = 150.0;
+  double peak_candidates_mib = 100.0;  ///< per-rank candidate set at peak
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class MotifMinerSim : public Workload {
+ public:
+  MotifMinerSim(int nranks, MotifMinerConfig cfg);
+
+  sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) override;
+  using Workload::run_rank;
+
+  const MotifMinerConfig& config() const { return cfg_; }
+  double estimated_runtime_seconds() const;
+
+ private:
+  /// Candidate-set size profile over the run (triangular: grow then prune).
+  Bytes candidates_at(std::uint64_t iter) const;
+  sim::Time compute_chunk(int rank, std::uint64_t iter) const;
+
+  MotifMinerConfig cfg_;
+};
+
+}  // namespace gbc::workloads

@@ -1,0 +1,70 @@
+#include "workloads/stencil.hpp"
+
+#include <cassert>
+
+namespace gbc::workloads {
+
+StencilSim::StencilSim(int nranks, StencilConfig cfg)
+    : Workload(nranks), cfg_(cfg) {
+  assert(cfg_.px * cfg_.py == nranks && "grid must cover all ranks");
+  for (int r = 0; r < nranks; ++r) {
+    set_footprint(r, storage::mib(cfg_.footprint_mib_per_rank));
+  }
+}
+
+std::vector<int> StencilSim::neighbours(int rank) const {
+  const int x = rank % cfg_.px;
+  const int y = rank / cfg_.px;
+  std::vector<int> out(4, -1);
+  if (y > 0) out[0] = rank - cfg_.px;            // up
+  if (y + 1 < cfg_.py) out[1] = rank + cfg_.px;  // down
+  if (x > 0) out[2] = rank - 1;                  // left
+  if (x + 1 < cfg_.px) out[3] = rank + 1;        // right
+  return out;
+}
+
+double StencilSim::estimated_runtime_seconds() const {
+  const double cells_per_rank =
+      static_cast<double>(cfg_.nx) * static_cast<double>(cfg_.ny) /
+      (cfg_.px * cfg_.py);
+  const double per_iter =
+      cells_per_rank * cfg_.cell_flops / (cfg_.proc_gflops * 1e9);
+  return per_iter * static_cast<double>(cfg_.iterations) * 1.05;
+}
+
+sim::Task<void> StencilSim::run_rank(mpi::RankCtx& r, WorkloadState from) {
+  const int me = r.world_rank();
+  set_state(me, from);
+  const mpi::Comm& wc = r.mpi().world();
+  const auto nbrs = neighbours(me);
+
+  const std::int64_t local_nx = cfg_.nx / cfg_.px;
+  const std::int64_t local_ny = cfg_.ny / cfg_.py;
+  const Bytes halo_x = static_cast<Bytes>(local_nx) * 8;  // top/bottom rows
+  const Bytes halo_y = static_cast<Bytes>(local_ny) * 8;  // left/right cols
+  const double per_iter_flops = static_cast<double>(local_nx) *
+                                static_cast<double>(local_ny) *
+                                cfg_.cell_flops;
+  const sim::Time compute_time =
+      sim::from_seconds(per_iter_flops / (cfg_.proc_gflops * 1e9));
+
+  for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
+    // Post all halo receives, send all halos, then wait — the standard
+    // deadlock-free exchange.
+    std::vector<mpi::Request> reqs;
+    const mpi::Tag tag = static_cast<mpi::Tag>(it);
+    for (int d = 0; d < 4; ++d) {
+      if (nbrs[d] >= 0) reqs.push_back(r.irecv(wc, nbrs[d], tag));
+    }
+    for (int d = 0; d < 4; ++d) {
+      if (nbrs[d] < 0) continue;
+      const Bytes bytes = d < 2 ? halo_x : halo_y;
+      reqs.push_back(r.isend(wc, nbrs[d], tag, bytes));
+    }
+    co_await r.wait_all(std::move(reqs));
+    co_await r.compute(compute_time);
+    commit_iteration(me, (static_cast<std::uint64_t>(me) << 32) | it);
+  }
+}
+
+}  // namespace gbc::workloads

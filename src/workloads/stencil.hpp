@@ -1,0 +1,40 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace gbc::workloads {
+
+/// 2D Jacobi-style stencil with halo exchange: ranks form a PX x PY grid,
+/// each owns an interior block and trades one-cell-deep halos with its
+/// four neighbours every iteration (non-periodic boundaries). The archetypal
+/// "processes only communicate with a limited number of peers" application
+/// the paper cites (Vetter & Mueller, IPDPS'02) as the reason group-based
+/// checkpointing applies broadly.
+struct StencilConfig {
+  int px = 8;                ///< grid columns of ranks
+  int py = 4;                ///< grid rows of ranks
+  std::int64_t nx = 16384;   ///< global cells per dimension
+  std::int64_t ny = 16384;
+  std::uint64_t iterations = 300;
+  double cell_flops = 6.0;         ///< per-cell update cost
+  double proc_gflops = 4.0;
+  double footprint_mib_per_rank = 220.0;
+};
+
+class StencilSim : public Workload {
+ public:
+  StencilSim(int nranks, StencilConfig cfg);
+
+  sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) override;
+  using Workload::run_rank;
+
+  const StencilConfig& config() const { return cfg_; }
+  double estimated_runtime_seconds() const;
+  /// World ranks of the up/down/left/right neighbours (-1 at boundaries).
+  std::vector<int> neighbours(int rank) const;
+
+ private:
+  StencilConfig cfg_;
+};
+
+}  // namespace gbc::workloads

@@ -1,0 +1,59 @@
+#include "workloads/workload.hpp"
+
+namespace gbc::workloads {
+
+std::vector<std::uint64_t> pack_state(const WorkloadState& s) {
+  return {s.iteration, s.hash};
+}
+
+// Blob layout: [start_iteration, start_hash, n, hash_1 .. hash_n] where
+// hash_i is the chain value after (start_iteration + i) commits.
+std::vector<std::uint64_t> Workload::resume_blob(int r) const {
+  const auto& hist = hash_history_[r];
+  std::vector<std::uint64_t> blob;
+  blob.reserve(3 + hist.size());
+  blob.push_back(start_iteration_[r]);
+  blob.push_back(start_hash_[r]);
+  blob.push_back(static_cast<std::uint64_t>(hist.size()));
+  blob.insert(blob.end(), hist.begin(), hist.end());
+  return blob;
+}
+
+std::uint64_t Workload::committed_iterations(
+    const std::vector<std::uint64_t>& blob) {
+  return blob.size() >= 3 ? blob[0] + blob[2] : 0;
+}
+
+WorkloadState Workload::state_for_iteration(
+    const std::vector<std::uint64_t>& blob, std::uint64_t iteration) {
+  WorkloadState s;
+  s.iteration = iteration;
+  if (blob.size() < 3 || iteration < blob[0]) {
+    // Before this incarnation's window; only iteration 0 is recoverable.
+    s.hash = 0;
+    return s;
+  }
+  if (iteration == blob[0]) {
+    s.hash = blob[1];
+    return s;
+  }
+  const std::uint64_t idx = iteration - blob[0];  // 1-based into history
+  s.hash = blob[2 + idx];
+  return s;
+}
+
+WorkloadState unpack_state(const std::vector<std::uint64_t>& packed) {
+  WorkloadState s;
+  if (packed.size() >= 1) s.iteration = packed[0];
+  if (packed.size() >= 2) s.hash = packed[1];
+  return s;
+}
+
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gbc::workloads

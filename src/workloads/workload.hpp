@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+#include "sim/task.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::workloads {
+
+using Bytes = storage::Bytes;
+
+/// Resume token of one rank: enough to restart the workload mid-run from a
+/// checkpoint. `hash` is a deterministic chained digest of the work done so
+/// far — replaying from a snapshot must reproduce the exact same final hash
+/// as an uninterrupted run, which is how the recovery tests verify that a
+/// restart lost and duplicated nothing.
+struct WorkloadState {
+  std::uint64_t iteration = 0;
+  std::uint64_t hash = 0;
+};
+
+/// Packs/unpacks a WorkloadState into the opaque app_state blob that the
+/// checkpoint service stores per snapshot.
+std::vector<std::uint64_t> pack_state(const WorkloadState& s);
+WorkloadState unpack_state(const std::vector<std::uint64_t>& packed);
+
+/// Deterministic hash chaining (splitmix-style mixing).
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v);
+
+/// Base class for simulated applications. One instance per job; run_rank()
+/// is spawned once per rank. Implementations must:
+///  - update state(r) exactly when an iteration's effects are durable,
+///  - keep footprint(r) current (the C/R service samples it at snapshots),
+///  - support starting from any state previously captured.
+class Workload {
+ public:
+  explicit Workload(int nranks)
+      : states_(nranks),
+        footprints_(nranks, storage::mib(64)),
+        hash_history_(nranks),
+        start_iteration_(nranks, 0),
+        start_hash_(nranks, 0) {}
+  virtual ~Workload() = default;
+
+  /// One-time collective setup (communicator creation); call before
+  /// spawning any rank program.
+  virtual void setup(mpi::MiniMPI& /*mpi*/) {}
+
+  virtual sim::Task<void> run_rank(mpi::RankCtx& r, WorkloadState from) = 0;
+
+  /// Convenience: run from the beginning.
+  sim::Task<void> run_rank(mpi::RankCtx& r) { return run_rank(r, {}); }
+
+  int nranks() const { return static_cast<int>(states_.size()); }
+  const WorkloadState& state(int r) const { return states_[r]; }
+  Bytes footprint(int r) const { return footprints_[r]; }
+
+  /// Serialized resume state: the committed-iteration count plus the hash
+  /// chain after every commit since this run began. Keeping the window (not
+  /// just the head) lets recovery roll *all* ranks back to one common
+  /// iteration — the simulation-level stand-in for BLCR's exact process
+  /// image restore (see DESIGN.md), and it makes restarts byte-exact
+  /// verifiable: replaying from the rollback point reproduces the same
+  /// final hash as an uninterrupted run.
+  std::vector<std::uint64_t> resume_blob(int r) const;
+
+  /// Number of committed iterations recorded in a blob.
+  static std::uint64_t committed_iterations(
+      const std::vector<std::uint64_t>& blob);
+  /// State as of `iteration` commits (must be recorded in the blob).
+  static WorkloadState state_for_iteration(
+      const std::vector<std::uint64_t>& blob, std::uint64_t iteration);
+
+  /// Wires this workload into a checkpoint service (footprint + capture).
+  template <typename Service>
+  void attach(Service& svc) {
+    svc.set_footprint_provider([this](int r) { return footprint(r); });
+    svc.set_state_capture([this](int r) { return resume_blob(r); });
+  }
+
+ protected:
+  void commit_iteration(int r, std::uint64_t iter_value) {
+    states_[r].hash = mix_hash(states_[r].hash, iter_value);
+    ++states_[r].iteration;
+    hash_history_[r].push_back(states_[r].hash);
+  }
+  /// Initializes a rank's run (fresh or resumed). The hash history restarts
+  /// at the resume point; earlier history lives in the previous incarnation.
+  void set_state(int r, WorkloadState s) {
+    states_[r] = s;
+    start_iteration_[r] = s.iteration;
+    start_hash_[r] = s.hash;
+    hash_history_[r].clear();
+  }
+  void set_footprint(int r, Bytes b) { footprints_[r] = b; }
+
+ private:
+  std::vector<WorkloadState> states_;
+  std::vector<Bytes> footprints_;
+  // hash_history_[r][i] = hash after (start_iteration_[r] + i + 1) commits.
+  std::vector<std::vector<std::uint64_t>> hash_history_;
+  std::vector<std::uint64_t> start_iteration_;
+  std::vector<std::uint64_t> start_hash_;
+};
+
+}  // namespace gbc::workloads

@@ -1,0 +1,146 @@
+// Tests for the second wave of C/R features: serialized concurrent requests,
+// periodic checkpointing, incremental checkpointing.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+namespace {
+
+using storage::mib;
+using testing::CkptWorld;
+
+sim::Task<void> worker(mpi::RankCtx* r, sim::Time total) {
+  sim::Time left = total;
+  while (left > 0) {
+    sim::Time step = left < sim::kSecond ? left : sim::kSecond;
+    co_await r->compute(step);
+    left -= step;
+  }
+}
+
+TEST(RequestSerialization, OverlappingRequestsRunBackToBack) {
+  CkptWorld w(4);
+  w.ckpt.set_footprint_provider([](int) { return mib(180); });
+  // Second request lands while the first cycle is still writing.
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kGroupBased);
+  w.ckpt.request_at(sim::from_seconds(2), Protocol::kGroupBased);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return worker(&r, sim::from_seconds(60));
+  });
+  ASSERT_EQ(w.ckpt.history().size(), 2u);
+  const auto& first = w.ckpt.history()[0];
+  const auto& second = w.ckpt.history()[1];
+  EXPECT_LE(first.completed_at, second.snapshots[0].freeze_begin);
+  EXPECT_GT(second.completed_at, first.completed_at);
+}
+
+TEST(PeriodicCheckpoints, FireUntilTheApplicationEnds) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(32); });
+  w.ckpt.request_every(sim::from_seconds(5), sim::from_seconds(15),
+                       Protocol::kGroupBased);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return worker(&r, sim::from_seconds(60));
+  });
+  // ~60s of compute plus checkpoint overhead: requests at 5, 20+, 35+, ...
+  EXPECT_GE(w.ckpt.history().size(), 3u);
+  for (std::size_t i = 1; i < w.ckpt.history().size(); ++i) {
+    EXPECT_GE(w.ckpt.history()[i].requested_at,
+              w.ckpt.history()[i - 1].requested_at + sim::from_seconds(14));
+  }
+}
+
+TEST(Incremental, FirstSnapshotIsFullLaterOnesAreSmaller) {
+  CkptConfig cc;
+  cc.group_size = 0;
+  cc.incremental = true;
+  cc.dirty_floor = 0.2;
+  cc.dirty_rate_per_second = 0.01;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(100); });
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kBlockingCoordinated);
+  w.ckpt.request_at(sim::from_seconds(20), Protocol::kBlockingCoordinated);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return worker(&r, sim::from_seconds(60));
+  });
+  ASSERT_EQ(w.ckpt.history().size(), 2u);
+  EXPECT_EQ(w.ckpt.history()[0].snapshots[0].image_bytes, mib(100));
+  const Bytes second = w.ckpt.history()[1].snapshots[0].image_bytes;
+  EXPECT_LT(second, mib(50));
+  EXPECT_GT(second, mib(15));  // floor at 20% plus the elapsed dirtying
+}
+
+TEST(Incremental, DirtyFractionGrowsWithInterval) {
+  auto image_after = [](double gap_seconds) {
+    CkptConfig cc;
+    cc.incremental = true;
+    cc.dirty_floor = 0.1;
+    cc.dirty_rate_per_second = 0.02;
+    CkptWorld w(2, cc);
+    w.ckpt.set_footprint_provider([](int) { return mib(100); });
+    w.ckpt.request_at(sim::from_seconds(1), Protocol::kBlockingCoordinated);
+    w.ckpt.request_at(sim::from_seconds(1 + gap_seconds),
+                      Protocol::kBlockingCoordinated);
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      return worker(&r, sim::from_seconds(120));
+    });
+    return w.ckpt.history()[1].snapshots[0].image_bytes;
+  };
+  EXPECT_LT(image_after(10.0), image_after(40.0));
+}
+
+TEST(Incremental, CapsAtFullFootprint) {
+  CkptConfig cc;
+  cc.incremental = true;
+  cc.dirty_floor = 0.5;
+  cc.dirty_rate_per_second = 1.0;  // everything dirty within a second
+  CkptWorld w(2, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kBlockingCoordinated);
+  w.ckpt.request_at(sim::from_seconds(30), Protocol::kBlockingCoordinated);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return worker(&r, sim::from_seconds(60));
+  });
+  EXPECT_EQ(w.ckpt.history()[1].snapshots[0].image_bytes, mib(64));
+}
+
+TEST(Incremental, ShrinksGroupBasedDowntimeToo) {
+  auto downtime = [](bool incremental) {
+    CkptConfig cc;
+    cc.group_size = 2;
+    cc.incremental = incremental;
+    cc.dirty_floor = 0.2;
+    cc.dirty_rate_per_second = 0.0;
+    CkptWorld w(4, cc);
+    w.ckpt.set_footprint_provider([](int) { return mib(100); });
+    w.ckpt.request_at(sim::from_seconds(1), Protocol::kGroupBased);
+    w.ckpt.request_at(sim::from_seconds(20), Protocol::kGroupBased);
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      return worker(&r, sim::from_seconds(60));
+    });
+    return w.ckpt.history()[1].mean_individual_time();
+  };
+  EXPECT_LT(downtime(true), downtime(false) / 2);
+}
+
+TEST(Incremental, DisabledMeansEverySnapshotIsFull) {
+  CkptConfig cc;  // incremental defaults to false
+  CkptWorld w(2, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(80); });
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kBlockingCoordinated);
+  w.ckpt.request_at(sim::from_seconds(20), Protocol::kBlockingCoordinated);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return worker(&r, sim::from_seconds(60));
+  });
+  EXPECT_EQ(w.ckpt.history()[0].snapshots[0].image_bytes, mib(80));
+  EXPECT_EQ(w.ckpt.history()[1].snapshots[0].image_bytes, mib(80));
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

@@ -1,0 +1,432 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ckpt/consistency.hpp"
+#include "ckpt/logging_hooks.hpp"
+#include "ckpt_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+namespace {
+
+using storage::mib;
+using testing::CkptWorld;
+
+constexpr Bytes kImage = mib(180);  // the paper's micro-benchmark footprint
+
+sim::Task<void> trigger(CheckpointService* svc, Protocol p,
+                        GlobalCheckpoint* out) {
+  *out = co_await svc->checkpoint(p);
+}
+
+/// Long compute so ranks are busy while checkpoints run.
+sim::Task<void> computer(mpi::RankCtx* r, sim::Time total) {
+  // Chunked compute with regular library entries (a realistic app polls the
+  // progress engine regularly; pure 500s compute without any MPI call is
+  // what await_service_point models separately).
+  const sim::Time chunk = 100 * sim::kMillisecond;
+  sim::Time left = total;
+  while (left > 0) {
+    sim::Time step = left < chunk ? left : chunk;
+    co_await r->compute(step);
+    left -= step;
+  }
+}
+
+TEST(BlockingCoordinated, IndividualTimeMatchesStorageArithmetic) {
+  CkptWorld w(32);
+  w.ckpt.set_footprint_provider([](int) { return kImage; });
+  GlobalCheckpoint gc;
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(120));
+  });
+  // Fresh run with the checkpoint at t=10s.
+  CkptWorld w2(32);
+  w2.ckpt.set_footprint_provider([](int) { return kImage; });
+  GlobalCheckpoint gc2;
+  w2.eng.schedule_at(sim::from_seconds(10), [&] {
+    w2.eng.spawn(trigger(&w2.ckpt, Protocol::kBlockingCoordinated, &gc2));
+  });
+  w2.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(120));
+  });
+  // 32 procs x 180MB over ~140MB/s aggregate ≈ 41s each (paper Sec. 5 eq. 2a)
+  const double expected =
+      32.0 * 180.0 / w2.fs.config().aggregate_mbps(32);
+  EXPECT_NEAR(sim::to_seconds(gc2.max_individual_time()), expected,
+              expected * 0.1);
+  EXPECT_GT(gc2.storage_fraction(), 0.95);  // paper: storage dominates
+  (void)gc;
+}
+
+TEST(BlockingCoordinated, TotalTimeEqualsIndividualTime) {
+  CkptWorld w(8);
+  w.ckpt.set_footprint_provider([](int) { return kImage; });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kBlockingCoordinated, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(60));
+  });
+  // Everyone snapshots together: total ≈ individual (eq. 2a/2b).
+  EXPECT_NEAR(static_cast<double>(gc.total_checkpoint_time()),
+              static_cast<double>(gc.max_individual_time()),
+              0.05 * static_cast<double>(gc.total_checkpoint_time()));
+}
+
+TEST(GroupBased, IndividualTimeShrinksWithGroupSize) {
+  double individual[3];
+  int idx = 0;
+  for (int gsize : {32, 8, 4}) {
+    CkptConfig cc;
+    cc.group_size = gsize;
+    CkptWorld w(32, cc);
+    w.ckpt.set_footprint_provider([](int) { return kImage; });
+    GlobalCheckpoint gc;
+    w.eng.schedule_at(sim::from_seconds(1), [&] {
+      w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+    });
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      return computer(&r, sim::from_seconds(400));
+    });
+    individual[idx++] = sim::to_seconds(gc.mean_individual_time());
+  }
+  // Paper eq. (3a): individual time scales with processes *in the group*.
+  EXPECT_GT(individual[0] / individual[1], 3.0);  // 32 -> 8: ~4x
+  EXPECT_GT(individual[1] / individual[2], 1.5);  // 8 -> 4: ~2x
+}
+
+TEST(GroupBased, GroupsSnapshotSequentially) {
+  CkptConfig cc;
+  cc.group_size = 4;
+  CkptWorld w(8, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(60));
+  });
+  // Group {0..3} must fully finish before group {4..7} starts.
+  sim::Time g0_end = 0, g1_begin = sim::from_seconds(1e9);
+  for (int m = 0; m < 4; ++m) g0_end = std::max(g0_end, gc.snapshots[m].resume_at);
+  for (int m = 4; m < 8; ++m) {
+    g1_begin = std::min(g1_begin, gc.snapshots[m].freeze_begin);
+  }
+  EXPECT_LE(g0_end, g1_begin + sim::kMillisecond);
+  // And storage never saw more than one group at a time.
+  EXPECT_LE(w.fs.peak_concurrency(), 4);
+}
+
+TEST(GroupBased, OtherGroupsKeepComputingDuringSnapshot) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return kImage; });
+  std::vector<sim::Time> finish(4);
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    co_await computer(&r, sim::from_seconds(20));
+    finish[r.world_rank()] = r.engine().now();
+  });
+  // Independent (non-communicating) ranks only lose their own group's
+  // snapshot time, not the whole checkpoint.
+  for (int m = 0; m < 4; ++m) {
+    const double lost =
+        sim::to_seconds(finish[m]) - 20.0;
+    const double own = sim::to_seconds(gc.individual_time(m));
+    EXPECT_NEAR(lost, own, 0.5) << "rank " << m;
+  }
+}
+
+TEST(GroupBased, CrossGroupTrafficIsDeferredAndConsistent) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  mpi::MpiConfig mc;
+  mc.record_messages = true;
+  CkptWorld w(4, cc, mc);
+  w.ckpt.set_footprint_provider([](int) { return kImage; });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(2), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  // Ranks 0<->2 and 1<->3 chat across the group boundary the whole time.
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    const int me = r.world_rank();
+    const int peer = (me + 2) % 4;
+    for (int i = 0; i < 200; ++i) {
+      mpi::Request rq = r.irecv(wc, peer, 7);
+      co_await r.send(wc, peer, 7, 4096);
+      co_await r.wait(rq);
+      co_await r.compute(50 * sim::kMillisecond);
+    }
+  });
+  ASSERT_GT(gc.completed_at, 0);
+  auto report = check_recovery_line(w.mpi.message_records(), gc);
+  EXPECT_GT(report.checked, 100);
+  EXPECT_EQ(report.violations, 0)
+      << (report.details.empty() ? "" : report.details.front());
+  // Deferral actually happened: some traffic was buffered during the cycle.
+  EXPECT_GT(w.mpi.stats().messages_buffered + w.mpi.stats().requests_buffered,
+            0);
+}
+
+TEST(GroupBased, RendezvousTrafficAcrossLineStaysConsistent) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  mpi::MpiConfig mc;
+  mc.record_messages = true;
+  CkptWorld w(4, cc, mc);
+  w.ckpt.set_footprint_provider([](int) { return mib(120); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    const int me = r.world_rank();
+    const int peer = me ^ 2;  // cross-group pairs
+    for (int i = 0; i < 30; ++i) {
+      mpi::Request rq = r.irecv(wc, peer, 1);
+      co_await r.send(wc, peer, 1, mib(2));  // rendezvous path
+      co_await r.wait(rq);
+      co_await r.compute(100 * sim::kMillisecond);
+    }
+  });
+  ASSERT_GT(gc.completed_at, 0);
+  auto report = check_recovery_line(w.mpi.message_records(), gc);
+  EXPECT_EQ(report.violations, 0)
+      << (report.details.empty() ? "" : report.details.front());
+}
+
+TEST(GroupBased, SnapshotCapturesAppState) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(32); });
+  std::vector<std::uint64_t> iteration(4, 0);
+  w.ckpt.set_state_capture([&](int r) {
+    return std::vector<std::uint64_t>{iteration[r]};
+  });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(5), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await r.compute(sim::from_seconds(1));
+      ++iteration[r.world_rank()];
+    }
+  });
+  for (int m = 0; m < 4; ++m) {
+    // Snapshot at ~5s: each rank had completed ~5 one-second iterations.
+    ASSERT_EQ(gc.snapshots[m].app_state.size(), 1u);
+    EXPECT_GE(gc.snapshots[m].app_state[0], 4u);
+    EXPECT_LE(gc.snapshots[m].app_state[0], 7u);
+  }
+}
+
+TEST(GroupBased, ConnectionsAreRebuiltAfterCycle) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  cc.eager_rebuild = true;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(16); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    const int peer = r.world_rank() ^ 1;
+    for (int i = 0; i < 40; ++i) {
+      mpi::Request rq = r.irecv(wc, peer, 0);
+      co_await r.send(wc, peer, 0, 1024);
+      co_await r.wait(rq);
+      co_await r.compute(100 * sim::kMillisecond);
+    }
+  });
+  EXPECT_GT(w.fabric.connections().total_teardowns(), 0);
+  EXPECT_GT(w.fabric.connections().total_setups(),
+            w.fabric.connections().total_teardowns());
+  EXPECT_EQ(w.fabric.connections().established_count(), 2);  // 0-1 and 2-3
+}
+
+TEST(GroupBased, PerConnectionTeardownOnlyTouchesGroupConnections) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  CkptWorld w(6, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(16); });
+  // Establish a ring of connections first, then checkpoint only group {0,1}.
+  GlobalCheckpoint gc;
+  bool checked = false;
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    const int me = r.world_rank();
+    const int right = (me + 1) % 6;
+    const int left = (me + 5) % 6;
+    for (int i = 0; i < 60; ++i) {
+      mpi::Request rq = r.irecv(wc, left, 0);
+      co_await r.send(wc, right, 0, 512);
+      co_await r.wait(rq);
+      co_await r.compute(100 * sim::kMillisecond);
+      if (me == 0 && i == 20 && !checked) {
+        checked = true;
+        w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+      }
+    }
+  });
+  // Ring of 6 connections; groups of 2 -> each group tears down the (up to)
+  // 3 connections its members touch, not all 6 at once.
+  EXPECT_GT(w.fabric.connections().total_teardowns(), 6);
+  EXPECT_LE(w.fabric.connections().total_teardowns(), 12);
+}
+
+TEST(ChandyLamport, AllRanksHitStorageSimultaneously) {
+  CkptWorld w(8);
+  w.ckpt.set_footprint_provider([](int) { return kImage; });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kChandyLamport, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(60));
+  });
+  EXPECT_EQ(w.fs.peak_concurrency(), 8);  // no schedule: storage bottleneck
+  EXPECT_EQ(gc.protocol, Protocol::kChandyLamport);
+}
+
+TEST(ChandyLamport, LogsChannelMessages) {
+  CkptWorld w(4);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kChandyLamport, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    const int peer = r.world_rank() ^ 1;
+    for (int i = 0; i < 2000; ++i) {
+      mpi::Request rq = r.irecv(wc, peer, 0);
+      co_await r.send(wc, peer, 0, 4096);
+      co_await r.wait(rq);
+      co_await r.compute(5 * sim::kMillisecond);
+    }
+  });
+  // Messages that arrived at already-snapshotted ranks were logged.
+  EXPECT_GE(gc.logged_bytes, 0);
+}
+
+TEST(Uncoordinated, SnapshotsAreStaggeredIndependently) {
+  CkptConfig cc;
+  cc.uncoordinated_stagger = sim::from_seconds(2);
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kUncoordinatedLogging, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(60));
+  });
+  for (int m = 1; m < 4; ++m) {
+    EXPECT_GE(gc.snapshots[m].freeze_begin,
+              gc.snapshots[m - 1].freeze_begin + sim::from_seconds(1));
+  }
+  EXPECT_LE(w.fs.peak_concurrency(), 2);
+}
+
+TEST(SenderLogging, TaxesFailureFreePath) {
+  // Identical runs except for the always-on sender-based logger.
+  auto run_once = [](mpi::MpiHooks* hooks) {
+    CkptWorld w(2);
+    if (hooks) w.mpi.set_hooks(hooks);
+    sim::Time done = 0;
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      const mpi::Comm& wc = r.mpi().world();
+      const int peer = r.world_rank() ^ 1;
+      for (int i = 0; i < 50; ++i) {
+        mpi::Request rq = r.irecv(wc, peer, 0);
+        co_await r.send(wc, peer, 0, mib(4));
+        co_await r.wait(rq);
+      }
+      done = r.engine().now();
+    });
+    return done;
+  };
+  SenderLogger logger(1200.0);
+  const sim::Time plain = run_once(nullptr);
+  const sim::Time logged = run_once(&logger);
+  EXPECT_GT(logged, plain + plain / 4);  // meaningful slowdown
+  EXPECT_EQ(logger.logged_bytes(), 2 * 50 * mib(4));
+  EXPECT_EQ(logger.logged_messages(), 2 * 50);
+}
+
+TEST(AsyncProgress, HelperThreadBoundsPassiveCoordinationDelay) {
+  // A peer deep in a long compute must participate in a group's connection
+  // teardown; with the helper thread it answers within ~100ms, without it
+  // the group waits until the peer's compute ends.
+  auto run_once = [](bool async) {
+    CkptConfig cc;
+    cc.group_size = 1;
+    cc.async_progress = async;
+    CkptWorld w(2, cc);
+    w.ckpt.set_footprint_provider([](int) { return mib(16); });
+    GlobalCheckpoint gc;
+    w.eng.schedule_at(sim::from_seconds(1), [&] {
+      w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+    });
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      const mpi::Comm& wc = r.mpi().world();
+      const int peer = r.world_rank() ^ 1;
+      // Establish the connection, then compute a huge uninterrupted chunk.
+      mpi::Request rq = r.irecv(wc, peer, 0);
+      co_await r.send(wc, peer, 0, 256);
+      co_await r.wait(rq);
+      co_await r.compute(sim::from_seconds(30));  // no library entry at all
+    });
+    return gc;
+  };
+  GlobalCheckpoint with = run_once(true);
+  GlobalCheckpoint without = run_once(false);
+  // Rank 0's snapshot needs rank 1 to service the teardown.
+  EXPECT_LT(with.individual_time(0), sim::from_seconds(2));
+  EXPECT_GT(without.individual_time(0), sim::from_seconds(10));
+}
+
+TEST(RequestAt, RecordsIntoHistory) {
+  CkptWorld w(4);
+  w.ckpt.set_footprint_provider([](int) { return mib(16); });
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kGroupBased);
+  w.ckpt.request_at(sim::from_seconds(30), Protocol::kBlockingCoordinated);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return computer(&r, sim::from_seconds(60));
+  });
+  ASSERT_EQ(w.ckpt.history().size(), 2u);
+  EXPECT_EQ(w.ckpt.history()[0].protocol, Protocol::kGroupBased);
+  EXPECT_EQ(w.ckpt.history()[1].protocol, Protocol::kBlockingCoordinated);
+  EXPECT_LT(w.ckpt.history()[0].completed_at,
+            w.ckpt.history()[1].requested_at);
+}
+
+TEST(ProtocolNames, AreHumanReadable) {
+  EXPECT_STREQ(protocol_name(Protocol::kGroupBased), "group-based");
+  EXPECT_STREQ(protocol_name(Protocol::kBlockingCoordinated),
+               "blocking-coordinated");
+  EXPECT_STREQ(protocol_name(Protocol::kChandyLamport), "chandy-lamport");
+  EXPECT_STREQ(protocol_name(Protocol::kUncoordinatedLogging),
+               "uncoordinated+logging");
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "ckpt/checkpoint.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt::testing {
+
+/// Full simulated job for checkpoint tests: engine + fabric + storage +
+/// MiniMPI + C/R service, calibrated like the paper's 32+4-node testbed.
+struct CkptWorld {
+  sim::Engine eng;
+  net::Fabric fabric;
+  storage::StorageSystem fs;
+  mpi::MiniMPI mpi;
+  CheckpointService ckpt;
+
+  explicit CkptWorld(int n, CkptConfig cc = {}, mpi::MpiConfig mc = {},
+                     storage::StorageConfig sc = {}, net::NetConfig nc = {})
+      : fabric(eng, nc, n), fs(eng, sc), mpi(eng, fabric, mc),
+        ckpt(mpi, fs, cc) {}
+
+  template <typename F>
+  void run_all(F&& per_rank) {
+    for (int r = 0; r < mpi.nranks(); ++r) {
+      eng.spawn(per_rank(mpi.rank(r)));
+    }
+    eng.run();
+  }
+};
+
+}  // namespace gbc::ckpt::testing

@@ -1,0 +1,160 @@
+#include "ckpt/group_formation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gbc::ckpt {
+namespace {
+
+std::vector<std::int64_t> empty_traffic(int n) {
+  return std::vector<std::int64_t>(static_cast<std::size_t>(n) * n, 0);
+}
+
+void add_edge(std::vector<std::int64_t>& t, int n, int a, int b,
+              std::int64_t bytes) {
+  t[static_cast<std::size_t>(a) * n + b] += bytes;
+  t[static_cast<std::size_t>(b) * n + a] += bytes;
+}
+
+TEST(StaticPlan, ZeroSizeMeansOneGlobalGroup) {
+  auto plan = static_plan(8, 0);
+  ASSERT_EQ(plan.size(), 1);
+  EXPECT_EQ(plan.groups[0].size(), 8u);
+}
+
+TEST(StaticPlan, OversizeMeansOneGlobalGroup) {
+  auto plan = static_plan(8, 32);
+  ASSERT_EQ(plan.size(), 1);
+}
+
+TEST(StaticPlan, EvenSplitByRankBlocks) {
+  auto plan = static_plan(32, 8);
+  ASSERT_EQ(plan.size(), 4);
+  EXPECT_EQ(plan.groups[0], (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(plan.groups[3].front(), 24);
+  EXPECT_EQ(plan.groups[3].back(), 31);
+}
+
+TEST(StaticPlan, RemainderGroupIsSmaller) {
+  auto plan = static_plan(10, 4);
+  ASSERT_EQ(plan.size(), 3);
+  EXPECT_EQ(plan.groups[2], (std::vector<int>{8, 9}));
+}
+
+TEST(StaticPlan, SizeOneIsIndividualCheckpoints) {
+  auto plan = static_plan(4, 1);
+  ASSERT_EQ(plan.size(), 4);
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(plan.groups[g], std::vector<int>{g});
+  }
+}
+
+TEST(StaticPlan, GroupOfLocatesMembers) {
+  auto plan = static_plan(32, 8);
+  EXPECT_EQ(plan.group_of(0), 0);
+  EXPECT_EQ(plan.group_of(7), 0);
+  EXPECT_EQ(plan.group_of(8), 1);
+  EXPECT_EQ(plan.group_of(31), 3);
+  EXPECT_EQ(plan.group_of(99), -1);
+}
+
+TEST(DynamicPlan, ClusteredTrafficFormsClusterGroups) {
+  const int n = 8;
+  auto t = empty_traffic(n);
+  // Two chains: 0-1-2-3 and 4-5-6-7 (transitive closure must join chains).
+  for (int i = 0; i < 3; ++i) add_edge(t, n, i, i + 1, 1 << 20);
+  for (int i = 4; i < 7; ++i) add_edge(t, n, i, i + 1, 1 << 20);
+  auto plan = dynamic_plan(t, n, 4);
+  EXPECT_TRUE(plan.used_dynamic);
+  ASSERT_EQ(plan.size(), 2);
+  EXPECT_EQ(plan.groups[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.groups[1], (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(DynamicPlan, WeakEdgesAreIgnored) {
+  const int n = 4;
+  auto t = empty_traffic(n);
+  add_edge(t, n, 0, 1, 1 << 20);
+  add_edge(t, n, 2, 3, 1 << 20);
+  add_edge(t, n, 1, 2, 100);  // noise well below 5% of the heavy edges
+  auto plan = dynamic_plan(t, n, 4);
+  EXPECT_TRUE(plan.used_dynamic);
+  ASSERT_EQ(plan.size(), 2);
+  EXPECT_EQ(plan.groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan.groups[1], (std::vector<int>{2, 3}));
+}
+
+TEST(DynamicPlan, GlobalCommunicationFallsBackToStatic) {
+  const int n = 8;
+  auto t = empty_traffic(n);
+  // All-to-all traffic: one giant closure.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) add_edge(t, n, a, b, 1 << 20);
+  }
+  auto plan = dynamic_plan(t, n, 4);
+  EXPECT_FALSE(plan.used_dynamic);
+  ASSERT_EQ(plan.size(), 2);  // static blocks of 4
+  EXPECT_EQ(plan.groups[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DynamicPlan, NoTrafficFallsBackToStatic) {
+  const int n = 8;
+  auto plan = dynamic_plan(empty_traffic(n), n, 2);
+  EXPECT_FALSE(plan.used_dynamic);
+  EXPECT_EQ(plan.size(), 4);
+}
+
+TEST(DynamicPlan, OversizedClosureIsSplit) {
+  const int n = 8;
+  auto t = empty_traffic(n);
+  for (int i = 0; i < 3; ++i) add_edge(t, n, i, i + 1, 1 << 20);  // 0..3 chain
+  auto plan = dynamic_plan(t, n, 2);
+  EXPECT_TRUE(plan.used_dynamic);
+  // Closure {0..3} split into {0,1} and {2,3}; singletons 4..7 packed into
+  // groups of <= 2. No group exceeds the cap; every rank is covered.
+  int covered = 0;
+  for (const auto& g : plan.groups) {
+    EXPECT_LE(g.size(), 2u);
+    covered += static_cast<int>(g.size());
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(plan.size(), 4);
+}
+
+TEST(DynamicPlan, MostlyGlobalClosureTriggersFallback) {
+  const int n = 8;
+  auto t = empty_traffic(n);
+  for (int i = 0; i < 5; ++i) add_edge(t, n, i, i + 1, 1 << 20);  // 0..5 chain
+  // A closure spanning 6 of 8 ranks counts as "mainly global communication".
+  auto plan = dynamic_plan(t, n, 4);
+  EXPECT_FALSE(plan.used_dynamic);
+}
+
+TEST(DynamicPlan, SingletonsArePackedTogether) {
+  const int n = 6;
+  auto t = empty_traffic(n);
+  add_edge(t, n, 0, 1, 1 << 20);
+  // Ranks 2..5 never communicate: they may share checkpoint groups freely.
+  auto plan = dynamic_plan(t, n, 4);
+  EXPECT_TRUE(plan.used_dynamic);
+  int covered = 0;
+  for (const auto& g : plan.groups) covered += static_cast<int>(g.size());
+  EXPECT_EQ(covered, n);
+  EXPECT_LE(plan.size(), 3);
+}
+
+TEST(DynamicPlan, EveryRankAppearsExactlyOnce) {
+  const int n = 16;
+  auto t = empty_traffic(n);
+  for (int i = 0; i + 1 < n; i += 2) add_edge(t, n, i, i + 1, 1 << 18);
+  auto plan = dynamic_plan(t, n, 4);
+  std::vector<int> seen(n, 0);
+  for (const auto& g : plan.groups) {
+    for (int m : g) ++seen[m];
+  }
+  for (int r = 0; r < n; ++r) EXPECT_EQ(seen[r], 1) << "rank " << r;
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

@@ -1,0 +1,155 @@
+// Protocol-specific behaviors: Chandy-Lamport vs blocking equivalence on
+// idle apps, uncoordinated independence, dynamic formation end-to-end.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+namespace {
+
+using storage::mib;
+using testing::CkptWorld;
+
+sim::Task<void> trigger(CheckpointService* svc, Protocol p,
+                        GlobalCheckpoint* out) {
+  *out = co_await svc->checkpoint(p);
+}
+
+sim::Task<void> chatty(mpi::RankCtx* r, int peer, std::uint64_t iters) {
+  const mpi::Comm& wc = r->mpi().world();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    mpi::Request rq = r->irecv(wc, peer, static_cast<mpi::Tag>(i));
+    co_await r->send(wc, peer, static_cast<mpi::Tag>(i), 32 * storage::kKiB);
+    co_await r->wait(rq);
+    co_await r->compute(50 * sim::kMillisecond);
+  }
+}
+
+TEST(ChandyLamport, TotalTimeMatchesBlockingOnSameFootprints) {
+  // Both protocols snapshot everyone at once on InfiniBand; CL's lack of a
+  // schedule means it inherits the same storage bottleneck.
+  auto run = [](Protocol p) {
+    CkptWorld w(8);
+    w.ckpt.set_footprint_provider([](int) { return mib(140); });
+    GlobalCheckpoint gc;
+    w.eng.schedule_at(sim::from_seconds(1), [&] {
+      w.eng.spawn(trigger(&w.ckpt, p, &gc));
+    });
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      return chatty(&r, r.world_rank() ^ 1, 200);
+    });
+    return gc;
+  };
+  auto cl = run(Protocol::kChandyLamport);
+  auto blocking = run(Protocol::kBlockingCoordinated);
+  EXPECT_NEAR(static_cast<double>(cl.total_checkpoint_time()),
+              static_cast<double>(blocking.total_checkpoint_time()),
+              0.15 * static_cast<double>(blocking.total_checkpoint_time()));
+}
+
+TEST(ChandyLamport, SnapshotsOverlapInTime) {
+  CkptWorld w(8);
+  w.ckpt.set_footprint_provider([](int) { return mib(140); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kChandyLamport, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return chatty(&r, r.world_rank() ^ 1, 200);
+  });
+  // Every rank freezes within a marker fan-out of the request, far before
+  // any of them finishes writing.
+  sim::Time max_begin = 0, min_resume = sim::from_seconds(1e9);
+  for (const auto& s : gc.snapshots) {
+    max_begin = std::max(max_begin, s.freeze_begin);
+    min_resume = std::min(min_resume, s.resume_at);
+  }
+  EXPECT_LT(max_begin, min_resume);
+}
+
+TEST(Uncoordinated, NoTrafficIsEverDeferred) {
+  CkptConfig cc;
+  cc.uncoordinated_stagger = sim::from_seconds(1);
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kUncoordinatedLogging, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return chatty(&r, r.world_rank() ^ 1, 150);
+  });
+  // Uncoordinated checkpointing never gates communication; consistency
+  // would come from the (separately modelled) message log.
+  EXPECT_EQ(w.mpi.stats().messages_buffered, 0);
+  EXPECT_EQ(w.mpi.stats().requests_buffered, 0);
+  EXPECT_EQ(gc.protocol, Protocol::kUncoordinatedLogging);
+}
+
+TEST(Uncoordinated, RanksSnapshotAtTheirOwnPace) {
+  CkptConfig cc;
+  cc.uncoordinated_stagger = sim::from_seconds(3);
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(32); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(1), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kUncoordinatedLogging, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return chatty(&r, r.world_rank() ^ 1, 200);
+  });
+  // Later ranks start well after earlier ranks resumed: no global freeze.
+  EXPECT_GT(gc.snapshots[3].freeze_begin, gc.snapshots[0].resume_at);
+}
+
+TEST(DynamicFormation, EndToEndRecoversCommunicationClusters) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  cc.dynamic_formation = true;
+  CkptWorld w(8, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(64); });
+  GlobalCheckpoint gc;
+  // Pairs (0,4),(1,5),(2,6),(3,7): static blocks of 2 would split them all.
+  w.eng.schedule_at(sim::from_seconds(5), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    return chatty(&r, (r.world_rank() + 4) % 8, 400);
+  });
+  ASSERT_GT(gc.completed_at, 0);
+  EXPECT_TRUE(gc.plan.used_dynamic);
+  ASSERT_EQ(gc.plan.size(), 4);
+  // Every group is exactly one communicating pair.
+  for (const auto& g : gc.plan.groups) {
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ((g[0] + 4) % 8, g[1]);
+  }
+}
+
+TEST(DynamicFormation, PlanFallsBackForGlobalTraffic) {
+  CkptConfig cc;
+  cc.group_size = 4;
+  cc.dynamic_formation = true;
+  CkptWorld w(8, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(32); });
+  GlobalCheckpoint gc;
+  w.eng.schedule_at(sim::from_seconds(3), [&] {
+    w.eng.spawn(trigger(&w.ckpt, Protocol::kGroupBased, &gc));
+  });
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    const mpi::Comm& wc = r.mpi().world();
+    for (int i = 0; i < 60; ++i) {
+      (void)co_await r.allreduce(wc, mpi::Op::kSum, mpi::vec(1.0));
+      co_await r.compute(50 * sim::kMillisecond);
+    }
+  });
+  ASSERT_GT(gc.completed_at, 0);
+  EXPECT_FALSE(gc.plan.used_dynamic);  // fell back to static blocks of 4
+  EXPECT_EQ(gc.plan.size(), 2);
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

@@ -1,0 +1,103 @@
+#include "ckpt/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbc::ckpt {
+namespace {
+
+GlobalCheckpoint make_gc(int ranks, double t, Bytes image) {
+  GlobalCheckpoint gc;
+  gc.protocol = Protocol::kGroupBased;
+  gc.requested_at = sim::from_seconds(t - 1);
+  gc.completed_at = sim::from_seconds(t);
+  gc.snapshots.resize(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    gc.snapshots[r].rank = r;
+    gc.snapshots[r].image_bytes = image;
+    gc.snapshots[r].taken_at = sim::from_seconds(t - 0.5);
+    gc.snapshots[r].app_state = {static_cast<std::uint64_t>(t), 0, 0};
+  }
+  return gc;
+}
+
+TEST(CheckpointStore, CommitAndLatest) {
+  CheckpointStore store(2);
+  store.commit(make_gc(4, 10, storage::mib(100)), false);
+  store.commit(make_gc(4, 20, storage::mib(100)), false);
+  ASSERT_TRUE(store.latest());
+  EXPECT_EQ(store.latest()->taken_at, sim::from_seconds(20));
+  // As-of query.
+  const auto* at15 = store.latest(sim::from_seconds(15));
+  ASSERT_TRUE(at15);
+  EXPECT_EQ(at15->taken_at, sim::from_seconds(10));
+  EXPECT_EQ(store.latest(sim::from_seconds(5)), nullptr);
+}
+
+TEST(CheckpointStore, RetentionGarbageCollectsOldSets) {
+  CheckpointStore store(2);
+  for (int i = 1; i <= 5; ++i) {
+    store.commit(make_gc(2, i * 10.0, storage::mib(50)), false);
+  }
+  EXPECT_EQ(store.live_sets(), 2);
+  EXPECT_EQ(store.sets().size(), 5u);
+  // Only the newest two survive.
+  EXPECT_TRUE(store.sets()[0].garbage_collected);
+  EXPECT_TRUE(store.sets()[2].garbage_collected);
+  EXPECT_FALSE(store.sets()[3].garbage_collected);
+  EXPECT_FALSE(store.sets()[4].garbage_collected);
+}
+
+TEST(CheckpointStore, ResidentBytesTracksLiveSetsOnly) {
+  CheckpointStore store(1);
+  store.commit(make_gc(4, 10, storage::mib(100)), false);
+  EXPECT_EQ(store.resident_bytes(), 4 * storage::mib(100));
+  store.commit(make_gc(4, 20, storage::mib(60)), false);
+  EXPECT_EQ(store.resident_bytes(), 4 * storage::mib(60));
+}
+
+TEST(CheckpointStore, FullImageRestoreCostIsItsOwnSize) {
+  CheckpointStore store(2);
+  const auto& set = store.commit(make_gc(4, 10, storage::mib(100)), false);
+  EXPECT_EQ(store.restore_bytes(set, 0), storage::mib(100));
+}
+
+TEST(CheckpointStore, IncrementalChainsAccumulateRestoreCost) {
+  CheckpointStore store(3);
+  store.commit(make_gc(2, 10, storage::mib(100)), false);     // full
+  store.commit(make_gc(2, 20, storage::mib(20)), true);       // inc -> full
+  const auto& third = store.commit(make_gc(2, 30, storage::mib(10)), true);
+  // Restore = 10 + 20 + 100.
+  EXPECT_EQ(store.restore_bytes(third, 1), storage::mib(130));
+}
+
+TEST(CheckpointStore, IncrementalChainPinsAncestorsAgainstGc) {
+  CheckpointStore store(1);  // keep only 1 set normally
+  store.commit(make_gc(2, 10, storage::mib(100)), false);  // full
+  store.commit(make_gc(2, 20, storage::mib(20)), true);    // chains to full
+  // The full set cannot be collected while the increment needs it.
+  EXPECT_EQ(store.live_sets(), 2);
+  EXPECT_FALSE(store.sets()[0].garbage_collected);
+  // A new full image releases the chain...
+  store.commit(make_gc(2, 30, storage::mib(100)), false);
+  EXPECT_TRUE(store.sets()[0].garbage_collected);
+  EXPECT_TRUE(store.sets()[1].garbage_collected);
+  EXPECT_EQ(store.live_sets(), 1);
+}
+
+TEST(CheckpointStore, FirstIncrementalWithoutPredecessorIsFull) {
+  CheckpointStore store(2);
+  const auto& set = store.commit(make_gc(2, 10, storage::mib(80)), true);
+  EXPECT_FALSE(set.images[0].incremental);
+  EXPECT_EQ(store.restore_bytes(set, 0), storage::mib(80));
+}
+
+TEST(CheckpointStore, AppStateBlobsRoundTrip) {
+  CheckpointStore store(2);
+  auto gc = make_gc(3, 10, storage::mib(10));
+  gc.snapshots[2].app_state = {7, 8, 9};
+  const auto& set = store.commit(gc, false);
+  EXPECT_EQ(set.app_state[2], (std::vector<std::uint64_t>{7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

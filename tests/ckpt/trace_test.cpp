@@ -1,0 +1,89 @@
+// The structured protocol trace: ordering and content of emitted events.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+namespace {
+
+using storage::mib;
+using testing::CkptWorld;
+
+TEST(Trace, CheckpointCycleEmitsOrderedEvents) {
+  CkptConfig cc;
+  cc.group_size = 2;
+  CkptWorld w(4, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(32); });
+  sim::Trace trace;
+  trace.enable(true);
+  w.ckpt.set_trace(&trace);
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kGroupBased);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    co_await r.compute(sim::from_seconds(20));
+  });
+
+  const auto& ev = trace.events();
+  ASSERT_FALSE(ev.empty());
+  // Begins with a cycle-begin, ends with cycle-complete.
+  EXPECT_EQ(ev.front().category, "cycle");
+  EXPECT_EQ(ev.front().detail, "begin group-based");
+  EXPECT_EQ(ev.back().category, "cycle");
+  EXPECT_EQ(ev.back().detail, "complete");
+  // Each of the 4 ranks freezes, snapshots and resumes exactly once.
+  int freezes = 0, snapshots = 0, resumes = 0;
+  for (const auto& e : ev) {
+    if (e.category == "freeze") ++freezes;
+    if (e.category == "snapshot") ++snapshots;
+    if (e.category == "resume") ++resumes;
+  }
+  EXPECT_EQ(freezes, 4);
+  EXPECT_EQ(snapshots, 4);
+  EXPECT_EQ(resumes, 4);
+  // Timestamps are non-decreasing.
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].t, ev[i].t);
+  }
+}
+
+TEST(Trace, PerRankOrderingFreezeSnapshotResume) {
+  CkptConfig cc;
+  cc.group_size = 1;
+  CkptWorld w(3, cc);
+  w.ckpt.set_footprint_provider([](int) { return mib(16); });
+  sim::Trace trace;
+  trace.enable(true);
+  w.ckpt.set_trace(&trace);
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kGroupBased);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    co_await r.compute(sim::from_seconds(10));
+  });
+  for (int rank = 0; rank < 3; ++rank) {
+    sim::Time freeze = -1, snap = -1, resume = -1;
+    for (const auto& e : trace.events()) {
+      if (e.actor != rank) continue;
+      if (e.category == "freeze") freeze = e.t;
+      if (e.category == "snapshot") snap = e.t;
+      if (e.category == "resume") resume = e.t;
+    }
+    EXPECT_LE(freeze, snap) << rank;
+    EXPECT_LT(snap, resume) << rank;
+  }
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  CkptWorld w(2);
+  w.ckpt.set_footprint_provider([](int) { return mib(16); });
+  sim::Trace trace;  // not enabled
+  w.ckpt.set_trace(&trace);
+  w.ckpt.request_at(sim::from_seconds(1), Protocol::kBlockingCoordinated);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+    co_await r.compute(sim::from_seconds(10));
+  });
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace gbc::ckpt

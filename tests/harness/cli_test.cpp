@@ -1,0 +1,98 @@
+#include "harness/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbc::harness {
+namespace {
+
+FlagSet make_flags() {
+  FlagSet f("test");
+  f.add_string("name", "default", "a string");
+  f.add_double("ratio", 1.5, "a double");
+  f.add_int("count", 7, "an int");
+  f.add_bool("verbose", false, "a bool");
+  return f;
+}
+
+bool parse(FlagSet& f, std::vector<const char*> args) {
+  return f.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagSet, DefaultsApplyWithoutArguments) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {}));
+  EXPECT_EQ(f.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 1.5);
+  EXPECT_EQ(f.get_int("count"), 7);
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(FlagSet, SpaceSeparatedValues) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {"--name", "hpl", "--ratio", "2.25", "--count", "42"}));
+  EXPECT_EQ(f.get_string("name"), "hpl");
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 2.25);
+  EXPECT_EQ(f.get_int("count"), 42);
+}
+
+TEST(FlagSet, EqualsSeparatedValues) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {"--name=x", "--ratio=0.5", "--count=-3"}));
+  EXPECT_EQ(f.get_string("name"), "x");
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.5);
+  EXPECT_EQ(f.get_int("count"), -3);
+}
+
+TEST(FlagSet, BareBoolFlagTogglesTrue) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {"--verbose"}));
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(FlagSet, ExplicitBoolValues) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {"--verbose=false"}));
+  EXPECT_FALSE(f.get_bool("verbose"));
+  FlagSet g = make_flags();
+  EXPECT_TRUE(parse(g, {"--verbose=1"}));
+  EXPECT_TRUE(g.get_bool("verbose"));
+}
+
+TEST(FlagSet, UnknownFlagIsError) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"--bogus", "1"}));
+  EXPECT_NE(f.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagSet, MissingValueIsError) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"--name"}));
+  EXPECT_NE(f.error().find("needs a value"), std::string::npos);
+}
+
+TEST(FlagSet, NonNumericValueIsError) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"--ratio", "abc"}));
+  EXPECT_NE(f.error().find("expects a number"), std::string::npos);
+  FlagSet g = make_flags();
+  EXPECT_FALSE(parse(g, {"--count", "1.5"}));
+  EXPECT_NE(g.error().find("expects an integer"), std::string::npos);
+}
+
+TEST(FlagSet, HelpShortCircuits) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"--help"}));
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_TRUE(f.error().empty());
+  EXPECT_NE(f.usage().find("--ratio"), std::string::npos);
+}
+
+TEST(FlagSet, PositionalArgumentsPassThrough) {
+  FlagSet f = make_flags();
+  EXPECT_TRUE(parse(f, {"alpha", "--count", "3", "beta"}));
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+}  // namespace
+}  // namespace gbc::harness

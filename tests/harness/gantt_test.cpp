@@ -1,0 +1,65 @@
+#include "harness/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gbc::harness {
+namespace {
+
+ckpt::GlobalCheckpoint sample(int ranks) {
+  ckpt::GlobalCheckpoint gc;
+  gc.protocol = ckpt::Protocol::kGroupBased;
+  gc.requested_at = sim::from_seconds(1);
+  gc.completed_at = sim::from_seconds(9);
+  gc.snapshots.resize(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    gc.snapshots[r].rank = r;
+    gc.snapshots[r].freeze_begin = sim::from_seconds(1 + 2 * r);
+    gc.snapshots[r].taken_at = gc.snapshots[r].freeze_begin;
+    gc.snapshots[r].resume_at = sim::from_seconds(3 + 2 * r);
+  }
+  return gc;
+}
+
+TEST(Gantt, OneLinePerRankWithFrozenWindow) {
+  auto gc = sample(4);
+  std::string out = render_gantt(gc, sim::from_seconds(10), 20);
+  // 4 rank lines + header.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("group-based"), std::string::npos);
+}
+
+TEST(Gantt, StaggeredWindowsShiftRight) {
+  auto gc = sample(3);
+  std::string out = render_gantt(gc, sim::from_seconds(10), 40);
+  // Rank 0's window starts earlier than rank 2's.
+  auto line0 = out.substr(out.find("rank  0"));
+  line0 = line0.substr(0, line0.find('\n'));
+  auto line2 = out.substr(out.find("rank  2"));
+  line2 = line2.substr(0, line2.find('\n'));
+  EXPECT_LT(line0.find('#'), line2.find('#'));
+}
+
+TEST(Gantt, UnfrozenRankRendersNoHash) {
+  auto gc = sample(2);
+  gc.snapshots[1].freeze_begin = -1;  // never checkpointed
+  gc.snapshots[1].resume_at = -1;
+  std::string out = render_gantt(gc, sim::from_seconds(10), 20);
+  auto line1 = out.substr(out.find("rank  1"));
+  line1 = line1.substr(0, line1.find('\n'));
+  EXPECT_EQ(line1.find('#'), std::string::npos);
+}
+
+TEST(Gantt, ComparisonStacksRunsWithTitles) {
+  std::vector<std::pair<std::string, ckpt::GlobalCheckpoint>> runs;
+  runs.emplace_back("first", sample(2));
+  runs.emplace_back("second", sample(2));
+  std::string out = render_gantt_comparison(runs, 20);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbc::harness

@@ -1,0 +1,107 @@
+#include "harness/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/microbench.hpp"
+
+namespace gbc::harness {
+namespace {
+
+ClusterPreset small_cluster(int n) {
+  ClusterPreset p = icpp07_cluster();
+  p.nranks = n;
+  return p;
+}
+
+WorkloadFactory factory(std::uint64_t iters) {
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = 4;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = iters;
+  cfg.footprint_mib = 48.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+TEST(YoungInterval, FollowsSquareRootLaw) {
+  EXPECT_NEAR(young_interval_seconds(50.0, 3600.0), 600.0, 1.0);
+  // Cheaper checkpoints -> shorter optimal interval, by sqrt.
+  EXPECT_NEAR(young_interval_seconds(12.5, 3600.0), 300.0, 1.0);
+  EXPECT_GT(young_interval_seconds(50.0, 7200.0),
+            young_interval_seconds(50.0, 3600.0));
+}
+
+TEST(PoissonFailures, NoFailuresWhenMtbfIsHuge) {
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  FailureModel fm;
+  fm.mtbf_seconds = 1e9;
+  auto res = run_with_poisson_failures(small_cluster(8), factory(100), cc,
+                                       ckpt::Protocol::kGroupBased,
+                                       sim::from_seconds(8), fm);
+  EXPECT_EQ(res.failures, 0);
+  auto clean = run_experiment(small_cluster(8), factory(100), cc);
+  // Same run, plus periodic checkpoint overhead.
+  EXPECT_GE(res.total_seconds, clean.completion_seconds());
+  EXPECT_EQ(res.final_hashes, clean.final_hashes);
+}
+
+TEST(PoissonFailures, SurvivesFailuresAndMatchesCleanResult) {
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  FailureModel fm;
+  fm.mtbf_seconds = 12.0;  // several failures over a ~15s run
+  fm.seed = 7;
+  auto res = run_with_poisson_failures(small_cluster(8), factory(120), cc,
+                                       ckpt::Protocol::kGroupBased,
+                                       sim::from_seconds(4), fm);
+  auto clean = run_experiment(small_cluster(8), factory(120), cc);
+  EXPECT_GT(res.failures, 0);
+  EXPECT_EQ(res.final_hashes, clean.final_hashes);
+  EXPECT_GT(res.total_seconds, clean.completion_seconds());
+}
+
+TEST(PoissonFailures, DeterministicForAGivenSeed) {
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  FailureModel fm;
+  fm.mtbf_seconds = 15.0;
+  fm.seed = 11;
+  auto a = run_with_poisson_failures(small_cluster(4), factory(80), cc,
+                                     ckpt::Protocol::kGroupBased,
+                                     sim::from_seconds(4), fm);
+  auto b = run_with_poisson_failures(small_cluster(4), factory(80), cc,
+                                     ckpt::Protocol::kGroupBased,
+                                     sim::from_seconds(4), fm);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.final_hashes, b.final_hashes);
+}
+
+TEST(PoissonFailures, CheckpointsReduceLostWorkUnderFrequentFailures) {
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  FailureModel fm;
+  fm.mtbf_seconds = 10.0;
+  fm.seed = 13;
+  auto frequent = run_with_poisson_failures(small_cluster(8), factory(120),
+                                            cc, ckpt::Protocol::kGroupBased,
+                                            sim::from_seconds(3), fm);
+  auto rare = run_with_poisson_failures(small_cluster(8), factory(120), cc,
+                                        ckpt::Protocol::kGroupBased,
+                                        sim::from_seconds(1000), fm);
+  // Guarantee under test: with an interval of 3s (~30 iterations) plus the
+  // cycle span, no single failure can lose much more than one interval of
+  // work. Without checkpoints every failure loses *all* progress so far.
+  ASSERT_GT(frequent.failures, 0);
+  EXPECT_LT(frequent.lost_work_iterations /
+                static_cast<std::uint64_t>(frequent.failures),
+            70u);
+  ASSERT_GT(rare.failures, 0);
+  EXPECT_GE(rare.lost_work_iterations, 90u);  // some failure struck late
+  EXPECT_EQ(frequent.final_hashes, rare.final_hashes);
+}
+
+}  // namespace
+}  // namespace gbc::harness

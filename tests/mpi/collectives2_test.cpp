@@ -1,0 +1,152 @@
+// Tests for the second wave of collectives: sendrecv, scan,
+// reduce_scatter_block, ring_bcast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::mpi {
+namespace {
+
+using testing::MpiWorld;
+
+class Coll2Sizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, Coll2Sizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 32));
+
+TEST_P(Coll2Sizes, SendrecvRingShiftsValues) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    const int me = r.world_rank();
+    const int right = (me + 1) % n;
+    const int left = (me - 1 + n) % n;
+    Payload mine = make_payload(static_cast<double>(me));
+    auto info = co_await r.sendrecv(wc, right, 5, 8, std::move(mine), left, 5);
+    got[me] = info.data ? info.data->at(0) : -2;
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], (i - 1 + n) % n) << "rank " << i;
+  }
+}
+
+TEST_P(Coll2Sizes, ScanComputesInclusivePrefixSums) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    const double me = static_cast<double>(r.world_rank());
+    auto res = co_await r.scan(wc, Op::kSum, vec(me + 1));
+    got[r.world_rank()] = res.at(0);
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], (i + 1) * (i + 2) / 2.0) << "rank " << i;
+  }
+}
+
+TEST_P(Coll2Sizes, ScanMaxIsRunningMaximum) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    // Values decrease with rank: the running max is always rank 0's value.
+    const double mine = 100.0 - r.world_rank();
+    auto res = co_await r.scan(wc, Op::kMax, vec(mine));
+    got[r.world_rank()] = res.at(0);
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], 100.0) << "rank " << i;
+}
+
+TEST_P(Coll2Sizes, ReduceScatterBlockGivesEachRankItsSum) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    // contribution[j] = j for every rank -> block r reduces to n * r.
+    std::vector<double> contrib(n);
+    for (int j = 0; j < n; ++j) contrib[j] = j;
+    auto res = co_await r.reduce_scatter_block(wc, Op::kSum,
+                                               std::move(contrib));
+    got[r.world_rank()] = res.empty() ? -2 : res[0];
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], static_cast<double>(n) * i) << "rank " << i;
+  }
+}
+
+TEST_P(Coll2Sizes, RingBcastReachesEveryRank) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  int done = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    co_await r.ring_bcast(w.mpi.world(), n > 2 ? 2 : 0, 4096);
+    ++done;
+  });
+  EXPECT_EQ(done, n);
+}
+
+TEST(RingBcast, CompletionIsPipelined) {
+  // Rank r (ring position vr) may proceed as soon as its own copy arrives:
+  // completion times increase along the ring.
+  const int n = 8;
+  MpiWorld w(n);
+  std::vector<sim::Time> done(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    co_await r.ring_bcast(w.mpi.world(), 0, storage::mib(4));
+    done[r.world_rank()] = w.eng.now();
+  });
+  for (int i = 2; i < n; ++i) {
+    EXPECT_GE(done[i], done[i - 1]) << "ring order violated at " << i;
+  }
+  // The root finishes immediately; the last rank waits ~n transfer times.
+  EXPECT_LT(done[0], done[n - 1]);
+}
+
+TEST(RingBcast, StalledMemberBlocksOnlyDownstream) {
+  const int n = 6;
+  MpiWorld w(n);
+  // Freeze rank 3 before the broadcast reaches it.
+  w.mpi.rank(3).freeze();
+  w.eng.schedule_at(sim::from_seconds(5), [&] { w.mpi.rank(3).thaw(); });
+  std::vector<sim::Time> done(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    co_await r.ring_bcast(w.mpi.world(), 0, 4096);
+    done[r.world_rank()] = w.eng.now();
+  });
+  // Upstream of the frozen rank: done almost immediately.
+  EXPECT_LT(done[1], sim::from_seconds(1));
+  EXPECT_LT(done[2], sim::from_seconds(1));
+  // The frozen rank and its downstream wait for the thaw.
+  EXPECT_GE(done[3], sim::from_seconds(5));
+  EXPECT_GE(done[4], sim::from_seconds(5));
+  EXPECT_GE(done[5], sim::from_seconds(5));
+}
+
+TEST(Sendrecv, FullExchangeIsDeadlockFree) {
+  // Every rank sendrecvs with both neighbours using rendezvous-sized
+  // messages; a naive send/recv ordering would deadlock.
+  const int n = 8;
+  MpiWorld w(n);
+  int done = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    const int me = r.world_rank();
+    for (int iter = 0; iter < 5; ++iter) {
+      (void)co_await r.sendrecv(wc, (me + 1) % n, iter, storage::mib(1),
+                                nullptr, (me - 1 + n) % n, iter);
+    }
+    ++done;
+  });
+  EXPECT_EQ(done, n);
+}
+
+}  // namespace
+}  // namespace gbc::mpi

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi_test_util.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::mpi {
+namespace {
+
+using testing::MpiWorld;
+
+// Collective correctness is checked across a sweep of communicator sizes,
+// including non-powers of two, since the binomial/dissemination algorithms
+// have distinct edge paths there.
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 32));
+
+TEST_P(CollectiveSizes, BarrierSynchronizesStaggeredRanks) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<sim::Time> out_times(n);
+  sim::Time latest_in = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    // Ranks arrive at very different times.
+    co_await r.compute(sim::from_milliseconds(10 * r.world_rank()));
+    latest_in = std::max(latest_in, w.eng.now());
+    co_await r.barrier(wc);
+    out_times[r.world_rank()] = w.eng.now();
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(out_times[i], latest_in) << "rank " << i << " left early";
+  }
+}
+
+TEST_P(CollectiveSizes, BcastDeliversRootValueEverywhere) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  const int root = n > 2 ? 2 : 0;
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    Payload data = r.world_rank() == root ? make_payload(3.25, 1.0) : nullptr;
+    Payload result = co_await r.bcast(wc, root, 16, data);
+    got[r.world_rank()] = result ? result->at(0) : -2;
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], 3.25) << "rank " << i;
+}
+
+TEST_P(CollectiveSizes, ReduceSumsContributionsAtRoot) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  const int root = 0;
+  std::vector<double> result;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    double me = static_cast<double>(r.world_rank());
+    auto red = co_await r.reduce(wc, root, Op::kSum, vec(me, 1.0));
+    if (r.world_rank() == root) result = red;
+  });
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0], n * (n - 1) / 2.0);
+  EXPECT_DOUBLE_EQ(result[1], n);
+}
+
+TEST_P(CollectiveSizes, AllreduceMaxAgreesEverywhere) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    double me = static_cast<double>(r.world_rank());
+    auto res = co_await r.allreduce(wc, Op::kMax, vec(me));
+    got[r.world_rank()] = res.at(0);
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], n - 1) << "rank " << i;
+}
+
+TEST_P(CollectiveSizes, AllgatherConcatenatesByRank) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  int correct = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    double me = static_cast<double>(r.world_rank());
+    auto all = co_await r.allgather(wc, 8, vec(me));
+    bool ok = static_cast<int>(all.size()) == n;
+    for (int i = 0; ok && i < n; ++i) ok = all[i] == i;
+    if (ok) ++correct;
+  });
+  EXPECT_EQ(correct, n);
+}
+
+TEST_P(CollectiveSizes, GatherCollectsAtRoot) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  const int root = n - 1;
+  std::vector<double> result;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    double me = static_cast<double>(r.world_rank());
+    auto g = co_await r.gather(wc, root, 8, vec(me * 10));
+    if (r.world_rank() == root) result = g;
+  });
+  ASSERT_EQ(result.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(result[i], i * 10);
+}
+
+TEST_P(CollectiveSizes, ScatterDistributesRootBlocks) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  std::vector<double> got(n, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    std::vector<double> all;
+    if (r.world_rank() == 0) {
+      for (int i = 0; i < n; ++i) all.push_back(i * 100.0);
+    }
+    auto mine = co_await r.scatter(wc, 0, 8, std::move(all));
+    got[r.world_rank()] = mine.empty() ? -2 : mine[0];
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], i * 100.0) << "rank " << i;
+}
+
+TEST_P(CollectiveSizes, AlltoallCompletes) {
+  const int n = GetParam();
+  MpiWorld w(n);
+  int done = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    co_await r.alltoall(w.mpi.world(), 2048);
+    ++done;
+  });
+  EXPECT_EQ(done, n);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossMatch) {
+  MpiWorld w(4);
+  std::vector<double> sums(4, 0);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    for (int iter = 0; iter < 10; ++iter) {
+      auto res = co_await r.allreduce(wc, Op::kSum, vec(1.0));
+      sums[r.world_rank()] += res.at(0);
+    }
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(sums[i], 40.0);
+}
+
+TEST(Collectives, SubCommCollectivesStayInSubComm) {
+  MpiWorld w(4);
+  const Comm& even = w.mpi.create_comm({0, 2});
+  const Comm& odd = w.mpi.create_comm({1, 3});
+  std::vector<double> got(4, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const int me = r.world_rank();
+    const Comm& c = me % 2 == 0 ? even : odd;
+    auto res = co_await r.allreduce(c, Op::kSum, vec(static_cast<double>(me)));
+    got[me] = res.at(0);
+  });
+  EXPECT_EQ(got[0], 2);  // 0+2
+  EXPECT_EQ(got[2], 2);
+  EXPECT_EQ(got[1], 4);  // 1+3
+  EXPECT_EQ(got[3], 4);
+}
+
+TEST(Collectives, SplitByColorBuildsRowComms) {
+  MpiWorld w(6);
+  // colors = row index for a 3x2 grid.
+  auto rows = w.mpi.split(w.mpi.world(), {0, 0, 1, 1, 2, 2});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0]->members(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(rows[1]->members(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(rows[2]->members(), (std::vector<int>{4, 5}));
+  std::vector<double> got(6, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const int me = r.world_rank();
+    const Comm& mine = *rows[me / 2];
+    auto res = co_await r.allreduce(mine, Op::kSum,
+                                    vec(static_cast<double>(me)));
+    got[me] = res.at(0);
+  });
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[3], 5);
+  EXPECT_EQ(got[5], 9);
+}
+
+TEST(Collectives, LargePayloadBcastUsesRendezvous) {
+  MpiWorld w(4);
+  std::vector<Bytes> sizes(4, 0);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    Payload data =
+        r.world_rank() == 0 ? make_payload(std::vector<double>(64, 1.0))
+                            : nullptr;
+    auto res = co_await r.bcast(wc, 0, storage::mib(2), data);
+    sizes[r.world_rank()] = res ? static_cast<Bytes>(res->size()) : 0;
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sizes[i], 64);
+}
+
+TEST(Collectives, BarrierOnSingletonCommIsFree) {
+  MpiWorld w(2);
+  const Comm& solo = w.mpi.create_comm({0});
+  sim::Time t = -1;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    if (r.world_rank() == 0) {
+      co_await r.barrier(solo);
+      t = w.eng.now();
+    }
+    co_return;
+  });
+  EXPECT_EQ(t, 0);
+}
+
+TEST(Collectives, CommRankTranslationRoundTrips) {
+  MpiWorld w(6);
+  const Comm& c = w.mpi.create_comm({5, 3, 1});
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.world_rank(0), 5);
+  EXPECT_EQ(c.world_rank(2), 1);
+  EXPECT_EQ(c.comm_rank(3), 1);
+  EXPECT_EQ(c.comm_rank(0), -1);
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(2));
+}
+
+}  // namespace
+}  // namespace gbc::mpi

@@ -1,0 +1,184 @@
+// Message-matching semantics under stress: wildcard mixes, backlog order,
+// the eager/rendezvous threshold boundary, and request lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi_test_util.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::mpi {
+namespace {
+
+using storage::mib;
+using testing::MpiWorld;
+
+TEST(Matching, BacklogOfUnexpectedMessagesMatchesInArrivalOrder) {
+  MpiWorld w(2);
+  std::vector<double> got;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        co_await r.send(wc, 1, 0, 64, make_payload(static_cast<double>(i)));
+      }
+    } else {
+      co_await r.compute(sim::from_seconds(1));  // let the backlog pile up
+      for (int i = 0; i < 100; ++i) {
+        auto info = co_await r.recv(wc, 0, 0);
+        got.push_back(info.data->at(0));
+      }
+    }
+  });
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Matching, WildcardSourceAndTagTakesFirstArrival) {
+  MpiWorld w(4);
+  std::vector<int> sources;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        auto info = co_await r.recv(wc, kAnySource, kAnyTag);
+        sources.push_back(info.source);
+      }
+    } else {
+      co_await r.compute(
+          sim::from_milliseconds(10 * r.world_rank()));
+      co_await r.send(wc, 0, 100 + r.world_rank(), 64);
+    }
+  });
+  EXPECT_EQ(sources, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Matching, SpecificRecvLeavesOthersForWildcard) {
+  MpiWorld w(3);
+  std::vector<int> order;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 0) {
+      co_await r.compute(sim::from_milliseconds(50));
+      // Both messages already arrived; take rank 2's first explicitly.
+      auto a = co_await r.recv(wc, 2, kAnyTag);
+      auto b = co_await r.recv(wc, kAnySource, kAnyTag);
+      order.push_back(a.source);
+      order.push_back(b.source);
+    } else {
+      co_await r.send(wc, 0, 0, 64);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Matching, EagerThresholdBoundary) {
+  MpiConfig mc;
+  mc.eager_threshold = 1024;
+  MpiWorld w(2, mc);
+  sim::Time small_done = -1, large_done = -1;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 0) {
+      co_await r.send(wc, 1, 0, 1024);  // == threshold: eager, returns now
+      small_done = w.eng.now();
+      co_await r.send(wc, 1, 1, 1025);  // > threshold: rendezvous, blocks
+      large_done = w.eng.now();
+    } else {
+      co_await r.compute(sim::from_seconds(1));
+      co_await r.recv(wc, 0, 0);
+      co_await r.recv(wc, 0, 1);
+    }
+  });
+  EXPECT_LT(small_done, sim::from_milliseconds(1));
+  EXPECT_GE(large_done, sim::from_seconds(1));
+}
+
+TEST(Matching, PostedRecvOrderRespectedForSameEnvelope) {
+  MpiWorld w(2);
+  std::vector<double> by_request(2, -1);
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 1) {
+      Request first = r.irecv(wc, 0, 7);
+      Request second = r.irecv(wc, 0, 7);
+      co_await r.wait(first);
+      co_await r.wait(second);
+      by_request[0] = first->info.data->at(0);
+      by_request[1] = second->info.data->at(0);
+    } else {
+      co_await r.send(wc, 1, 7, 64, make_payload(1.0));
+      co_await r.send(wc, 1, 7, 64, make_payload(2.0));
+    }
+  });
+  // First-posted recv gets the first-sent message.
+  EXPECT_EQ(by_request[0], 1.0);
+  EXPECT_EQ(by_request[1], 2.0);
+}
+
+TEST(Matching, InterleavedCommsKeepIndependentStreams) {
+  MpiWorld w(2);
+  const Comm& a = w.mpi.create_comm({0, 1});
+  const Comm& b = w.mpi.create_comm({1, 0});  // reversed rank order
+  std::vector<double> got_a, got_b;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    if (r.world_rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        co_await r.send(a, 1, 0, 64, make_payload(10.0 + i));
+        co_await r.send(b, 0, 0, 64, make_payload(20.0 + i));  // b-rank 0 = world 1
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        auto ia = co_await r.recv(a, 0, 0);
+        auto ib = co_await r.recv(b, 1, 0);  // b-rank 1 = world 0
+        got_a.push_back(ia.data->at(0));
+        got_b.push_back(ib.data->at(0));
+      }
+    }
+  });
+  EXPECT_EQ(got_a, (std::vector<double>{10, 11, 12, 13, 14}));
+  EXPECT_EQ(got_b, (std::vector<double>{20, 21, 22, 23, 24}));
+}
+
+TEST(Matching, ManyRendezvousInFlightToOneReceiver) {
+  MpiWorld w(5);
+  int received = 0;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    if (r.world_rank() == 0) {
+      std::vector<Request> reqs;
+      for (int src = 1; src < 5; ++src) {
+        for (int k = 0; k < 3; ++k) reqs.push_back(r.irecv(wc, src, k));
+      }
+      co_await r.wait_all(reqs);
+      for (auto& rq : reqs) {
+        EXPECT_EQ(rq->info.bytes, mib(1));
+        ++received;
+      }
+    } else {
+      for (int k = 0; k < 3; ++k) {
+        co_await r.send(wc, 0, k, mib(1));
+      }
+    }
+  });
+  EXPECT_EQ(received, 12);
+}
+
+TEST(Matching, SelfSendViaIrecvAndIsend) {
+  MpiWorld w(1);
+  bool done = false;
+  w.run_all([&](RankCtx& r) -> sim::Task<void> {
+    const Comm& wc = w.mpi.world();
+    Request rq = r.irecv(wc, 0, 0);
+    Request sq = r.isend(wc, 0, 0, 128, make_payload(5.0));
+    co_await r.wait(sq);
+    co_await r.wait(rq);
+    EXPECT_EQ(rq->info.data->at(0), 5.0);
+    done = true;
+  });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace gbc::mpi

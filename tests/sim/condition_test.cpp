@@ -1,0 +1,233 @@
+#include "sim/condition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace gbc::sim {
+namespace {
+
+TEST(Condition, NotifyAllWakesEveryWaiter) {
+  Engine eng;
+  Condition cv(eng);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn([](Condition& c, int& n) -> Task<void> {
+      co_await c.wait();
+      ++n;
+    }(cv, woke));
+  }
+  eng.schedule_at(10, [&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_EQ(woke, 5);
+  EXPECT_EQ(eng.now(), 10);
+}
+
+TEST(Condition, NotifyOneWakesExactlyOne) {
+  Engine eng;
+  Condition cv(eng);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Condition& c, int& n) -> Task<void> {
+      co_await c.wait();
+      ++n;
+    }(cv, woke));
+  }
+  eng.schedule_at(5, [&] { cv.notify_one(); });
+  eng.run_until(6);
+  EXPECT_EQ(woke, 1);
+  eng.schedule_now([&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(Condition, NotifyWithNoWaitersIsHarmless) {
+  Engine eng;
+  Condition cv(eng);
+  cv.notify_all();
+  cv.notify_one();
+  eng.run();
+  SUCCEED();
+}
+
+TEST(Condition, WaitersWakeInFifoOrder) {
+  Engine eng;
+  Condition cv(eng);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn([](Condition& c, std::vector<int>& ord, int id) -> Task<void> {
+      co_await c.wait();
+      ord.push_back(id);
+    }(cv, order, i));
+  }
+  eng.schedule_at(1, [&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Condition, WaitUntilChecksPredicateBeforeWaiting) {
+  Engine eng;
+  Condition cv(eng);
+  bool flag = true;
+  bool done = false;
+  eng.spawn([](Condition& c, bool& f, bool& d) -> Task<void> {
+    co_await c.wait_until([&f] { return f; });
+    d = true;
+  }(cv, flag, done));
+  EXPECT_TRUE(done);  // never suspended
+  eng.run();
+}
+
+TEST(Condition, WaitUntilLoopsAcrossSpuriousNotifies) {
+  Engine eng;
+  Condition cv(eng);
+  int value = 0;
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Condition& c, int& v, Time& d) -> Task<void> {
+    co_await c.wait_until([&v] { return v >= 3; });
+    d = e.now();
+  }(eng, cv, value, done_at));
+  for (Time t = 10; t <= 40; t += 10) {
+    eng.schedule_at(t, [&] {
+      ++value;
+      cv.notify_all();
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done_at, 30);
+}
+
+TEST(Condition, WaitForReturnsTrueWhenNotifiedFirst) {
+  Engine eng;
+  Condition cv(eng);
+  bool notified = false;
+  eng.spawn([](Condition& c, bool& out) -> Task<void> {
+    out = co_await c.wait_for(100);
+  }(cv, notified));
+  eng.schedule_at(50, [&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(eng.now(), 100);  // the stale timer still drains
+}
+
+TEST(Condition, WaitForReturnsFalseOnTimeout) {
+  Engine eng;
+  Condition cv(eng);
+  bool notified = true;
+  Time woke_at = -1;
+  eng.spawn([](Engine& e, Condition& c, bool& out, Time& at) -> Task<void> {
+    out = co_await c.wait_for(100);
+    at = e.now();
+  }(eng, cv, notified, woke_at));
+  eng.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(woke_at, 100);
+}
+
+TEST(Condition, WaitForTimedOutWaiterIgnoresLaterNotify) {
+  Engine eng;
+  Condition cv(eng);
+  int wakes = 0;
+  eng.spawn([](Condition& c, int& n) -> Task<void> {
+    (void)co_await c.wait_for(10);
+    ++n;
+  }(cv, wakes));
+  eng.schedule_at(50, [&] { cv.notify_all(); });
+  eng.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Gate, OpenGatePassesImmediately) {
+  Engine eng;
+  Gate gate(eng, /*open=*/true);
+  bool passed = false;
+  eng.spawn([](Gate& g, bool& p) -> Task<void> {
+    co_await g.pass();
+    p = true;
+  }(gate, passed));
+  EXPECT_TRUE(passed);
+  eng.run();
+}
+
+TEST(Gate, ClosedGateBlocksUntilOpened) {
+  Engine eng;
+  Gate gate(eng, /*open=*/false);
+  Time passed_at = -1;
+  eng.spawn([](Engine& e, Gate& g, Time& at) -> Task<void> {
+    co_await g.pass();
+    at = e.now();
+  }(eng, gate, passed_at));
+  eng.schedule_at(77, [&] { gate.open(); });
+  eng.run();
+  EXPECT_EQ(passed_at, 77);
+}
+
+TEST(Gate, ReclosedGateBlocksNewArrivals) {
+  Engine eng;
+  Gate gate(eng, /*open=*/true);
+  gate.close();
+  bool passed = false;
+  eng.spawn([](Gate& g, bool& p) -> Task<void> {
+    co_await g.pass();
+    p = true;
+  }(gate, passed));
+  eng.run();
+  EXPECT_FALSE(passed);
+  gate.open();
+  eng.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Mailbox, DeliversInFifoOrder) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  std::vector<int> got;
+  eng.spawn([](Mailbox<int>& b, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 3; ++i) out.push_back(co_await b.recv());
+  }(box, got));
+  box.send(1);
+  box.send(2);
+  box.send(3);
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mailbox, RecvBlocksUntilSend) {
+  Engine eng;
+  Mailbox<std::string> box(eng);
+  Time got_at = -1;
+  eng.spawn([](Engine& e, Mailbox<std::string>& b, Time& at) -> Task<void> {
+    auto s = co_await b.recv();
+    EXPECT_EQ(s, "hello");
+    at = e.now();
+  }(eng, box, got_at));
+  eng.schedule_at(42, [&] { box.send("hello"); });
+  eng.run();
+  EXPECT_EQ(got_at, 42);
+}
+
+TEST(Mailbox, MultipleConsumersEachGetOneItem) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  int sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Mailbox<int>& b, int& s) -> Task<void> {
+      s += co_await b.recv();
+    }(box, sum));
+  }
+  eng.schedule_at(1, [&] {
+    box.send(100);
+    box.send(10);
+    box.send(1);
+  });
+  eng.run();
+  EXPECT_EQ(sum, 111);
+  EXPECT_TRUE(box.empty());
+}
+
+}  // namespace
+}  // namespace gbc::sim

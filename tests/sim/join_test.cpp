@@ -1,0 +1,92 @@
+#include "sim/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+namespace {
+
+Task<void> sleeper(Engine& eng, Time d, int* done) {
+  co_await eng.delay(d);
+  ++*done;
+}
+
+TEST(JoinSet, JoinWaitsForAllLaunchedTasks) {
+  Engine eng;
+  JoinSet js(eng);
+  int done = 0;
+  Time joined_at = -1;
+  eng.spawn([](Engine& e, JoinSet& j, int& d, Time& at) -> Task<void> {
+    j.launch(sleeper(e, 10, &d));
+    j.launch(sleeper(e, 30, &d));
+    j.launch(sleeper(e, 20, &d));
+    co_await j.join();
+    at = e.now();
+  }(eng, js, done, joined_at));
+  eng.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(joined_at, 30);
+}
+
+TEST(JoinSet, JoinWithNoTasksReturnsImmediately) {
+  Engine eng;
+  JoinSet js(eng);
+  bool passed = false;
+  eng.spawn([](JoinSet& j, bool& p) -> Task<void> {
+    co_await j.join();
+    p = true;
+  }(js, passed));
+  EXPECT_TRUE(passed);
+  eng.run();
+}
+
+TEST(JoinSet, TasksRunConcurrentlyNotSequentially) {
+  Engine eng;
+  JoinSet js(eng);
+  int done = 0;
+  Time joined_at = -1;
+  eng.spawn([](Engine& e, JoinSet& j, int& d, Time& at) -> Task<void> {
+    for (int i = 0; i < 10; ++i) j.launch(sleeper(e, 100, &d));
+    co_await j.join();
+    at = e.now();
+  }(eng, js, done, joined_at));
+  eng.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(joined_at, 100);  // parallel: 100, not 1000
+}
+
+TEST(JoinSet, PendingCountDrops) {
+  Engine eng;
+  JoinSet js(eng);
+  int done = 0;
+  js.launch(sleeper(eng, 10, &done));
+  js.launch(sleeper(eng, 20, &done));
+  EXPECT_EQ(js.pending(), 2);
+  eng.run_until(15);
+  EXPECT_EQ(js.pending(), 1);
+  eng.run();
+  EXPECT_EQ(js.pending(), 0);
+}
+
+TEST(JoinSet, ReusableAfterJoin) {
+  Engine eng;
+  JoinSet js(eng);
+  int done = 0;
+  Time second_join = -1;
+  eng.spawn([](Engine& e, JoinSet& j, int& d, Time& at) -> Task<void> {
+    j.launch(sleeper(e, 5, &d));
+    co_await j.join();
+    j.launch(sleeper(e, 5, &d));
+    co_await j.join();
+    at = e.now();
+  }(eng, js, done, second_join));
+  eng.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(second_join, 10);
+}
+
+}  // namespace
+}  // namespace gbc::sim

@@ -1,0 +1,226 @@
+#include "sim/pausable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+namespace {
+
+TEST(Pausable, ComputeTakesExactlyItsDurationUnpaused) {
+  Engine eng;
+  Pausable exec(eng);
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.compute(100 * kMillisecond);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.run();
+  EXPECT_EQ(done_at, 100 * kMillisecond);
+}
+
+TEST(Pausable, ZeroComputeCompletesImmediately) {
+  Engine eng;
+  Pausable exec(eng);
+  bool done = false;
+  eng.spawn([](Pausable& x, bool& d) -> Task<void> {
+    co_await x.compute(0);
+    d = true;
+  }(exec, done));
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Pausable, PauseMidComputeExtendsCompletionByPauseLength) {
+  Engine eng;
+  Pausable exec(eng);
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.compute(100);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.schedule_at(30, [&] { exec.pause(); });
+  eng.schedule_at(80, [&] { exec.resume(); });
+  eng.run();
+  EXPECT_EQ(done_at, 150);  // 100 of work + 50 paused
+  EXPECT_EQ(exec.total_paused(), 50);
+}
+
+TEST(Pausable, MultiplePausesAllExtendCompute) {
+  Engine eng;
+  Pausable exec(eng);
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.compute(1000);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.schedule_at(100, [&] { exec.pause(); });
+  eng.schedule_at(150, [&] { exec.resume(); });
+  eng.schedule_at(700, [&] { exec.pause(); });
+  eng.schedule_at(900, [&] { exec.resume(); });
+  eng.run();
+  EXPECT_EQ(done_at, 1250);
+  EXPECT_EQ(exec.total_paused(), 250);
+}
+
+TEST(Pausable, NestedPausesOnlyCountOnce) {
+  Engine eng;
+  Pausable exec(eng);
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.compute(100);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.schedule_at(10, [&] { exec.pause(); });
+  eng.schedule_at(20, [&] { exec.pause(); });   // nested
+  eng.schedule_at(30, [&] { exec.resume(); });  // still paused
+  eng.schedule_at(60, [&] { exec.resume(); });  // now running again
+  eng.run();
+  EXPECT_EQ(done_at, 150);
+  EXPECT_EQ(exec.total_paused(), 50);
+}
+
+TEST(Pausable, PauseBeforeComputeStartDelaysIt) {
+  Engine eng;
+  Pausable exec(eng);
+  exec.pause();
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.compute(40);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.schedule_at(60, [&] { exec.resume(); });
+  eng.run();
+  EXPECT_EQ(done_at, 100);
+}
+
+TEST(Pausable, BackToBackComputesAccumulate) {
+  Engine eng;
+  Pausable exec(eng);
+  Time done_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    for (int i = 0; i < 10; ++i) co_await x.compute(10);
+    at = e.now();
+  }(eng, exec, done_at));
+  eng.run();
+  EXPECT_EQ(done_at, 100);
+}
+
+TEST(Pausable, InComputeFlagTracksExecution) {
+  Engine eng;
+  Pausable exec(eng);
+  eng.spawn([](Pausable& x) -> Task<void> {
+    co_await x.compute(100);
+  }(exec));
+  EXPECT_TRUE(exec.in_compute());
+  eng.run_until(50);
+  EXPECT_TRUE(exec.in_compute());
+  eng.run();
+  EXPECT_FALSE(exec.in_compute());
+}
+
+TEST(Pausable, FreezePointPassesWhenNotPaused) {
+  Engine eng;
+  Pausable exec(eng);
+  bool passed = false;
+  eng.spawn([](Pausable& x, bool& p) -> Task<void> {
+    co_await x.freeze_point();
+    p = true;
+  }(exec, passed));
+  EXPECT_TRUE(passed);
+  eng.run();
+}
+
+TEST(Pausable, FreezePointBlocksWhilePaused) {
+  Engine eng;
+  Pausable exec(eng);
+  exec.pause();
+  Time passed_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.freeze_point();
+    at = e.now();
+  }(eng, exec, passed_at));
+  eng.schedule_at(25, [&] { exec.resume(); });
+  eng.run();
+  EXPECT_EQ(passed_at, 25);
+}
+
+TEST(Pausable, ServicePointImmediateWhenNotComputing) {
+  Engine eng;
+  Pausable exec(eng);
+  Time serviced_at = -1;
+  eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+    co_await x.await_service_point(false, 100 * kMillisecond);
+    at = e.now();
+  }(eng, exec, serviced_at));
+  eng.run();
+  EXPECT_EQ(serviced_at, 0);
+}
+
+TEST(Pausable, ServicePointWithoutHelperWaitsForComputeEnd) {
+  Engine eng;
+  Pausable exec(eng);
+  eng.spawn([](Pausable& x) -> Task<void> {
+    co_await x.compute(from_seconds(1.0));
+  }(exec));
+  Time serviced_at = -1;
+  eng.schedule_at(from_milliseconds(10), [&] {
+    eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+      co_await x.await_service_point(false, 100 * kMillisecond);
+      at = e.now();
+    }(eng, exec, serviced_at));
+  });
+  eng.run();
+  EXPECT_EQ(serviced_at, from_seconds(1.0));
+}
+
+TEST(Pausable, ServicePointWithHelperBoundedByTick) {
+  Engine eng;
+  Pausable exec(eng);
+  eng.spawn([](Pausable& x) -> Task<void> {
+    co_await x.compute(from_seconds(1.0));
+  }(exec));
+  Time serviced_at = -1;
+  eng.schedule_at(from_milliseconds(10), [&] {
+    eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+      co_await x.await_service_point(true, 100 * kMillisecond);
+      at = e.now();
+    }(eng, exec, serviced_at));
+  });
+  eng.run();
+  // Helper tick fires 100ms after compute start (= last progress at t=0).
+  EXPECT_EQ(serviced_at, from_milliseconds(100));
+}
+
+TEST(Pausable, ServicePointHelperUsesComputeEndWhenSooner) {
+  Engine eng;
+  Pausable exec(eng);
+  eng.spawn([](Pausable& x) -> Task<void> {
+    co_await x.compute(from_milliseconds(30));
+  }(exec));
+  Time serviced_at = -1;
+  eng.schedule_at(from_milliseconds(10), [&] {
+    eng.spawn([](Engine& e, Pausable& x, Time& at) -> Task<void> {
+      co_await x.await_service_point(true, 100 * kMillisecond);
+      at = e.now();
+    }(eng, exec, serviced_at));
+  });
+  eng.run();
+  EXPECT_EQ(serviced_at, from_milliseconds(30));
+}
+
+TEST(Pausable, TotalPausedCountsOngoingPause) {
+  Engine eng;
+  Pausable exec(eng);
+  eng.schedule_at(10, [&] { exec.pause(); });
+  eng.run_until(35);
+  EXPECT_EQ(exec.total_paused(), 25);
+  exec.resume();
+  EXPECT_EQ(exec.total_paused(), 25);
+}
+
+}  // namespace
+}  // namespace gbc::sim

@@ -1,0 +1,122 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gbc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(3.0, 8.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 8.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntWithinRange) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(Rng, UniformIntZeroIsZero) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform_int(0), 0u);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMeanAndSpreadConverge) {
+  Rng r(19);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatchesParameterization) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += r.lognormal_mean_cv(8.0, 0.3);
+  EXPECT_NEAR(sum / n, 8.0, 0.15);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(r.lognormal_mean_cv(2.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1b = Rng(99).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  Rng g1 = Rng(99).fork(1);
+  Rng g2 = Rng(99).fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (g1.next_u64() == g2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+  (void)f2;
+}
+
+}  // namespace
+}  // namespace gbc::sim

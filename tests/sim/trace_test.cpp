@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbc::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndCheap) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.add(10, 0, "cat", "detail");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable(true);
+  t.add(10, 3, "freeze", "");
+  t.add(20, -1, "cycle", "complete");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].t, 10);
+  EXPECT_EQ(t.events()[0].actor, 3);
+  EXPECT_EQ(t.events()[0].category, "freeze");
+  EXPECT_EQ(t.events()[1].detail, "complete");
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  Trace t;
+  t.enable(true);
+  t.add(1, 0, "x", "");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, ReenableAfterDisableKeepsOldEvents) {
+  Trace t;
+  t.enable(true);
+  t.add(1, 0, "a", "");
+  t.enable(false);
+  t.add(2, 0, "b", "");  // dropped
+  t.enable(true);
+  t.add(3, 0, "c", "");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[1].category, "c");
+}
+
+}  // namespace
+}  // namespace gbc::sim

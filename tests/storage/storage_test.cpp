@@ -1,0 +1,248 @@
+#include "storage/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::storage {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+StorageConfig icpp07_config() { return StorageConfig{}; }
+
+double seconds_to_write(Engine& eng, StorageSystem& fs, Bytes size) {
+  Time done_at = -1;
+  eng.spawn([](StorageSystem& s, Bytes sz, Engine& e, Time& at) -> Task<void> {
+    co_await s.write(sz);
+    at = e.now();
+  }(fs, size, eng, done_at));
+  eng.run();
+  return sim::to_seconds(done_at);
+}
+
+TEST(StorageConfig, SingleClientLimitedByClientCap) {
+  auto cfg = icpp07_config();
+  EXPECT_DOUBLE_EQ(cfg.aggregate_mbps(1), 108.0);
+  EXPECT_DOUBLE_EQ(cfg.per_client_mbps(1), 108.0);
+}
+
+TEST(StorageConfig, AggregateSaturatesAtServerCap) {
+  auto cfg = icpp07_config();
+  EXPECT_DOUBLE_EQ(cfg.aggregate_mbps(2), 140.0);
+  EXPECT_DOUBLE_EQ(cfg.aggregate_mbps(4), 140.0);
+}
+
+TEST(StorageConfig, PerClientShareFallsHyperbolically) {
+  auto cfg = icpp07_config();
+  double prev = cfg.per_client_mbps(1);
+  for (int n = 2; n <= 32; n *= 2) {
+    double cur = cfg.per_client_mbps(n);
+    EXPECT_LT(cur, prev) << "n=" << n;
+    prev = cur;
+  }
+  // 32 clients on ~140 MB/s: each gets only a few MB/s (paper: ~4.38).
+  EXPECT_NEAR(cfg.per_client_mbps(32), 4.14, 0.3);
+}
+
+TEST(StorageConfig, CongestionDroopsAggregateBeyondKnee) {
+  auto cfg = icpp07_config();
+  EXPECT_GT(cfg.aggregate_mbps(4), cfg.aggregate_mbps(32));
+  EXPECT_GT(cfg.aggregate_mbps(32), 0.9 * cfg.aggregate_cap_mbps);
+}
+
+TEST(StorageConfig, ZeroClientsZeroThroughput) {
+  auto cfg = icpp07_config();
+  EXPECT_DOUBLE_EQ(cfg.aggregate_mbps(0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.per_client_mbps(0), 0.0);
+}
+
+TEST(StorageSystem, SingleWriteTakesSizeOverClientCap) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  // 108 MB at 108 MB/s = 1 second.
+  EXPECT_NEAR(seconds_to_write(eng, fs, mib(108)), 1.0, 1e-6);
+}
+
+TEST(StorageSystem, ZeroByteWriteIsInstant) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  EXPECT_NEAR(seconds_to_write(eng, fs, 0), 0.0, 1e-12);
+}
+
+TEST(StorageSystem, TwoConcurrentWritersShareAggregate) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  std::vector<Time> done(2, -1);
+  for (int i = 0; i < 2; ++i) {
+    eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+      co_await s.write(mib(140));
+      at = e.now();
+    }(fs, eng, done[i]));
+  }
+  eng.run();
+  // Two writers share 140 MB/s -> 70 each -> 140MB takes 2s.
+  EXPECT_NEAR(sim::to_seconds(done[0]), 2.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(done[1]), 2.0, 1e-6);
+}
+
+TEST(StorageSystem, NWritersObserveNearLinearSlowdown) {
+  for (int n : {4, 8, 16}) {
+    Engine eng;
+    StorageSystem fs(eng, icpp07_config());
+    std::vector<Time> done(n, -1);
+    for (int i = 0; i < n; ++i) {
+      eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+        co_await s.write(mib(35));
+        at = e.now();
+      }(fs, eng, done[i]));
+    }
+    eng.run();
+    const double expect =
+        35.0 * n / icpp07_config().aggregate_mbps(n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(sim::to_seconds(done[i]), expect, 0.01) << "n=" << n;
+    }
+  }
+}
+
+TEST(StorageSystem, LateArrivalSlowsExistingFlow) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  Time first_done = -1, second_done = -1;
+  eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+    co_await s.write(mib(108));  // alone: 1s
+    at = e.now();
+  }(fs, eng, first_done));
+  eng.schedule_at(sim::from_seconds(0.5), [&] {
+    eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+      co_await s.write(mib(70));
+      at = e.now();
+    }(fs, eng, second_done));
+  });
+  eng.run();
+  // First: 54MB alone in 0.5s, then 54MB at 70MB/s -> 0.5 + 0.7714...
+  EXPECT_NEAR(sim::to_seconds(first_done), 0.5 + 54.0 / 70.0, 1e-4);
+  // Second: 70MB total; shares 70MB/s until first leaves, then alone.
+  EXPECT_GT(second_done, first_done);
+}
+
+TEST(StorageSystem, DepartureSpeedsUpRemainingFlow) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  Time small_done = -1, big_done = -1;
+  eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+    co_await s.write(mib(70));
+    at = e.now();
+  }(fs, eng, small_done));
+  eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+    co_await s.write(mib(140));
+    at = e.now();
+  }(fs, eng, big_done));
+  eng.run();
+  // Phase 1: both at 70 MB/s; small finishes at 1s. Phase 2: big alone at
+  // 108 MB/s with 70MB left -> 1 + 70/108.
+  EXPECT_NEAR(sim::to_seconds(small_done), 1.0, 1e-4);
+  EXPECT_NEAR(sim::to_seconds(big_done), 1.0 + 70.0 / 108.0, 1e-4);
+}
+
+TEST(StorageSystem, ReadsBenefitFromReadFactor) {
+  Engine eng;
+  auto cfg = icpp07_config();
+  StorageSystem fs(eng, cfg);
+  Time done_at = -1;
+  eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+    co_await s.read(mib(108));
+    at = e.now();
+  }(fs, eng, done_at));
+  eng.run();
+  EXPECT_NEAR(sim::to_seconds(done_at), 1.0 / cfg.read_factor, 1e-4);
+}
+
+TEST(StorageSystem, StatsTrackConcurrencyAndVolume) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](StorageSystem& s) -> Task<void> {
+      co_await s.write(mib(10));
+    }(fs));
+  }
+  eng.run();
+  EXPECT_EQ(fs.peak_concurrency(), 3);
+  EXPECT_EQ(fs.completed_flows(), 3);
+  EXPECT_EQ(fs.bytes_transferred(), 3 * mib(10));
+  EXPECT_EQ(fs.active_flows(), 0);
+}
+
+TEST(StorageSystem, BusyTimeExcludesIdleGaps) {
+  Engine eng;
+  StorageSystem fs(eng, icpp07_config());
+  eng.spawn([](StorageSystem& s) -> Task<void> {
+    co_await s.write(mib(108));  // 1s busy
+  }(fs));
+  eng.schedule_at(sim::from_seconds(5), [&] {
+    eng.spawn([](StorageSystem& s) -> Task<void> {
+      co_await s.write(mib(108));  // another 1s busy
+    }(fs));
+  });
+  eng.run();
+  EXPECT_NEAR(sim::to_seconds(fs.busy_time()), 2.0, 1e-3);
+  EXPECT_NEAR(sim::to_seconds(eng.now()), 6.0, 1e-3);
+}
+
+TEST(StorageSystem, StaggeredGroupsBeatSimultaneousWrites) {
+  // The core storage-bottleneck arithmetic behind the paper: 32 writers of
+  // 180MB at once each wait ~32*180/agg; in 8 groups of 4 each writer waits
+  // only ~4*180/agg (groups run back-to-back).
+  auto cfg = icpp07_config();
+  double all_at_once, grouped_individual;
+  {
+    Engine eng;
+    StorageSystem fs(eng, cfg);
+    std::vector<Time> done(32, -1);
+    for (int i = 0; i < 32; ++i) {
+      eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+        co_await s.write(mib(180));
+        at = e.now();
+      }(fs, eng, done[i]));
+    }
+    eng.run();
+    all_at_once = sim::to_seconds(done[0]);
+  }
+  {
+    Engine eng;
+    StorageSystem fs(eng, cfg);
+    Time individual = -1;
+    eng.spawn([](StorageSystem& s, Engine& e, Time& at) -> Task<void> {
+      // 8 sequential waves of 4 writers each.
+      for (int wave = 0; wave < 8; ++wave) {
+        Time start = e.now();
+        int remaining = 4;
+        sim::Condition cv(e);
+        for (int i = 0; i < 4; ++i) {
+          e.spawn([](StorageSystem& ss, int& rem,
+                     sim::Condition& c) -> Task<void> {
+            co_await ss.write(mib(180));
+            if (--rem == 0) c.notify_all();
+          }(s, remaining, cv));
+        }
+        co_await cv.wait_until([&remaining] { return remaining == 0; });
+        if (wave == 0) at = e.now() - start;
+      }
+    }(fs, eng, individual));
+    eng.run();
+    grouped_individual = sim::to_seconds(individual);
+  }
+  EXPECT_GT(all_at_once, 40.0);           // ~32*180/140 = 41.1s
+  EXPECT_LT(grouped_individual, 6.0);     // ~4*180/140 = 5.1s
+  EXPECT_GT(all_at_once / grouped_individual, 6.0);
+}
+
+}  // namespace
+}  // namespace gbc::storage

@@ -1,0 +1,126 @@
+#include "workloads/hpl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../mpi/mpi_test_util.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::workloads {
+namespace {
+
+using mpi::testing::MpiWorld;
+
+HplConfig tiny_hpl() {
+  HplConfig c;
+  c.grid_p = 4;
+  c.grid_q = 2;
+  c.n = 4000;
+  c.nb = 200;
+  c.proc_gflops = 4.0;
+  return c;
+}
+
+TEST(HplSim, IterationCountIsCeilNdivNB) {
+  HplSim wl(8, tiny_hpl());
+  EXPECT_EQ(wl.total_iterations(), 20u);
+}
+
+TEST(HplSim, SimulatedRuntimeTracksFlopEstimate) {
+  MpiWorld w(8);
+  HplSim wl(8, tiny_hpl());
+  wl.setup(w.mpi);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  const double est = wl.estimated_runtime_seconds();
+  const double got = sim::to_seconds(w.eng.now());
+  EXPECT_NEAR(got, est, est * 0.25);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(wl.state(r).iteration, wl.total_iterations());
+  }
+}
+
+TEST(HplSim, RowCommunicationDominates) {
+  MpiWorld w(8);
+  HplSim wl(8, tiny_hpl());
+  wl.setup(w.mpi);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  // rank = row*Q + col with Q=2: row pairs are (0,1),(2,3),...; column pairs
+  // are (0,2),(1,3),... Panel bcast along rows must dominate.
+  std::int64_t row_bytes = 0, col_bytes = 0;
+  for (int row = 0; row < 4; ++row) {
+    row_bytes += w.fabric.bytes_between(row * 2, row * 2 + 1);
+  }
+  for (int col = 0; col < 2; ++col) {
+    for (int ra = 0; ra < 4; ++ra) {
+      for (int rb = ra + 1; rb < 4; ++rb) {
+        col_bytes += w.fabric.bytes_between(ra * 2 + col, rb * 2 + col);
+      }
+    }
+  }
+  EXPECT_GT(row_bytes, 2 * col_bytes);
+}
+
+TEST(HplSim, FootprintGrowsOverExecution) {
+  MpiWorld w(8);
+  HplSim wl(8, tiny_hpl());
+  wl.setup(w.mpi);
+  const storage::Bytes at_start = wl.footprint(0);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  const storage::Bytes at_end = wl.footprint(0);
+  EXPECT_GT(at_end, at_start);
+  // Matrix share: 4000^2*8/8 = 16 MB; plus 60 MB base.
+  EXPECT_GT(at_start, storage::mib(60));
+  EXPECT_LT(at_end, storage::mib(60) + storage::mib(17));
+}
+
+TEST(HplSim, DeterministicHashAcrossRuns) {
+  std::uint64_t first = 0;
+  for (int run = 0; run < 2; ++run) {
+    MpiWorld w(8);
+    HplSim wl(8, tiny_hpl());
+    wl.setup(w.mpi);
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    if (run == 0) {
+      first = wl.state(3).hash;
+    } else {
+      EXPECT_EQ(wl.state(3).hash, first);
+    }
+  }
+}
+
+TEST(HplSim, ResumeMidFactorizationReproducesHash) {
+  std::vector<std::uint64_t> full(8);
+  std::vector<std::vector<std::uint64_t>> blobs(8);
+  {
+    MpiWorld w(8);
+    HplSim wl(8, tiny_hpl());
+    wl.setup(w.mpi);
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    for (int r = 0; r < 8; ++r) {
+      full[r] = wl.state(r).hash;
+      blobs[r] = wl.resume_blob(r);
+    }
+  }
+  {
+    MpiWorld w(8);
+    HplSim wl(8, tiny_hpl());
+    wl.setup(w.mpi);
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      auto from = Workload::state_for_iteration(blobs[r.world_rank()], 9);
+      return wl.run_rank(r, from);
+    });
+    for (int r = 0; r < 8; ++r) EXPECT_EQ(wl.state(r).hash, full[r]);
+  }
+}
+
+TEST(HplSim, PaperScaleConfigEstimatesHundredsOfSeconds) {
+  HplConfig c;  // defaults: 8x4 grid, N=44000, NB=440
+  HplSim wl(32, c);
+  EXPECT_GT(wl.estimated_runtime_seconds(), 400.0);
+  EXPECT_LT(wl.estimated_runtime_seconds(), 500.0);
+  EXPECT_EQ(wl.total_iterations(), 200u);
+}
+
+}  // namespace
+}  // namespace gbc::workloads

@@ -1,0 +1,82 @@
+#include "workloads/masterworker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../mpi/mpi_test_util.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::workloads {
+namespace {
+
+using mpi::testing::MpiWorld;
+
+MasterWorkerConfig tiny_mw() {
+  MasterWorkerConfig c;
+  c.rounds = 20;
+  c.mean_chunk_seconds = 0.1;
+  return c;
+}
+
+TEST(MasterWorker, AllRanksCompleteAllRounds) {
+  MpiWorld w(5);
+  MasterWorkerSim wl(5, tiny_mw());
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(wl.state(r).iteration, 20u);
+}
+
+TEST(MasterWorker, OnlyMasterTalksToWorkers) {
+  MpiWorld w(5);
+  MasterWorkerSim wl(5, tiny_mw());
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  for (int a = 1; a < 5; ++a) {
+    EXPECT_GT(w.fabric.bytes_between(0, a), 0);
+    for (int b = a + 1; b < 5; ++b) {
+      EXPECT_EQ(w.fabric.bytes_between(a, b), 0) << a << "-" << b;
+    }
+  }
+}
+
+TEST(MasterWorker, DeterministicAcrossRuns) {
+  std::uint64_t first = 0;
+  sim::Time first_t = 0;
+  for (int run = 0; run < 2; ++run) {
+    MpiWorld w(5);
+    MasterWorkerSim wl(5, tiny_mw());
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    if (run == 0) {
+      first = wl.state(3).hash;
+      first_t = w.eng.now();
+    } else {
+      EXPECT_EQ(wl.state(3).hash, first);
+      EXPECT_EQ(w.eng.now(), first_t);
+    }
+  }
+}
+
+TEST(MasterWorker, ResumeFromCommonRoundReproducesHashes) {
+  std::vector<std::uint64_t> full(5);
+  std::vector<std::vector<std::uint64_t>> blobs(5);
+  {
+    MpiWorld w(5);
+    MasterWorkerSim wl(5, tiny_mw());
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    for (int r = 0; r < 5; ++r) {
+      full[r] = wl.state(r).hash;
+      blobs[r] = wl.resume_blob(r);
+    }
+  }
+  {
+    MpiWorld w(5);
+    MasterWorkerSim wl(5, tiny_mw());
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      auto from = Workload::state_for_iteration(blobs[r.world_rank()], 8);
+      return wl.run_rank(r, from);
+    });
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(wl.state(r).hash, full[r]);
+  }
+}
+
+}  // namespace
+}  // namespace gbc::workloads

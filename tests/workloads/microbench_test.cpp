@@ -1,0 +1,163 @@
+#include "workloads/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../mpi/mpi_test_util.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::workloads {
+namespace {
+
+using mpi::testing::MpiWorld;
+
+CommGroupBenchConfig small_cfg(int comm_group, std::uint64_t iters = 50) {
+  CommGroupBenchConfig c;
+  c.comm_group_size = comm_group;
+  c.compute_per_iter = 10 * sim::kMillisecond;
+  c.iterations = iters;
+  return c;
+}
+
+TEST(CommGroupBench, EmbarrassinglyParallelFinishesAtComputeTime) {
+  MpiWorld w(4);
+  CommGroupBench wl(4, small_cfg(1, 100));
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  EXPECT_EQ(w.eng.now(), 100 * 10 * sim::kMillisecond);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(wl.state(r).iteration, 100u);
+}
+
+TEST(CommGroupBench, GroupsSynchronizeInternally) {
+  MpiWorld w(8);
+  CommGroupBench wl(8, small_cfg(4, 30));
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(wl.state(r).iteration, 30u);
+  // Intra-group ring traffic only: no bytes between groups {0..3} and {4..7}.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 4; b < 8; ++b) {
+      EXPECT_EQ(w.fabric.bytes_between(a, b), 0) << a << "-" << b;
+    }
+  }
+  EXPECT_GT(w.fabric.bytes_between(0, 1), 0);
+}
+
+TEST(CommGroupBench, HashesAreDeterministicAcrossRuns) {
+  std::vector<std::uint64_t> first;
+  for (int run = 0; run < 2; ++run) {
+    MpiWorld w(4);
+    CommGroupBench wl(4, small_cfg(2, 40));
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    if (run == 0) {
+      for (int r = 0; r < 4; ++r) first.push_back(wl.state(r).hash);
+    } else {
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(wl.state(r).hash, first[r]);
+    }
+  }
+}
+
+TEST(CommGroupBench, DistinctRanksProduceDistinctHashes) {
+  MpiWorld w(4);
+  CommGroupBench wl(4, small_cfg(2, 40));
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  EXPECT_NE(wl.state(0).hash, wl.state(1).hash);
+  EXPECT_NE(wl.state(1).hash, wl.state(2).hash);
+}
+
+TEST(CommGroupBench, ResumeFromMidpointMatchesUninterruptedHash) {
+  std::vector<std::uint64_t> full_hash(4);
+  std::vector<std::vector<std::uint64_t>> blob_at_20(4);
+  {
+    MpiWorld w(4);
+    CommGroupBench wl(4, small_cfg(2, 40));
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    for (int r = 0; r < 4; ++r) {
+      full_hash[r] = wl.state(r).hash;
+      blob_at_20[r] = wl.resume_blob(r);
+    }
+  }
+  {
+    MpiWorld w(4);
+    CommGroupBench wl(4, small_cfg(2, 40));
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      // Resume every rank from committed iteration 20 of the previous run.
+      auto from = Workload::state_for_iteration(blob_at_20[r.world_rank()], 20);
+      return wl.run_rank(r, from);
+    });
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(wl.state(r).iteration, 40u);
+      EXPECT_EQ(wl.state(r).hash, full_hash[r]) << "rank " << r;
+    }
+  }
+}
+
+TEST(CommGroupBench, FootprintMatchesConfig) {
+  MpiWorld w(2);
+  auto cfg = small_cfg(1, 1);
+  cfg.footprint_mib = 180.0;
+  CommGroupBench wl(2, cfg);
+  EXPECT_EQ(wl.footprint(0), storage::mib(180));
+}
+
+TEST(Workload, ResumeBlobRoundTrips) {
+  MpiWorld w(2);
+  CommGroupBench wl(2, small_cfg(1, 10));
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  auto blob = wl.resume_blob(0);
+  EXPECT_EQ(Workload::committed_iterations(blob), 10u);
+  auto end = Workload::state_for_iteration(blob, 10);
+  EXPECT_EQ(end.iteration, 10u);
+  EXPECT_EQ(end.hash, wl.state(0).hash);
+  auto start = Workload::state_for_iteration(blob, 0);
+  EXPECT_EQ(start.hash, 0u);
+}
+
+TEST(BarrierBench, BarriersAlignRanksPeriodically) {
+  MpiWorld w(4);
+  BarrierBenchConfig cfg;
+  cfg.comm_group_size = 2;
+  cfg.compute_per_iter = 10 * sim::kMillisecond;
+  cfg.barrier_period = 100 * sim::kMillisecond;  // every 10 iterations
+  cfg.iterations = 40;
+  BarrierBench wl(4, cfg);
+  w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(wl.state(r).iteration, 40u);
+  // World-spanning barrier traffic exists across group boundaries.
+  std::int64_t cross = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 2; b < 4; ++b) cross += w.fabric.bytes_between(a, b);
+  }
+  EXPECT_GT(cross, 0);
+}
+
+TEST(BarrierBench, ResumeReproducesFinalHash) {
+  std::vector<std::uint64_t> full_hash(4);
+  BarrierBenchConfig cfg;
+  cfg.comm_group_size = 2;
+  cfg.compute_per_iter = 10 * sim::kMillisecond;
+  cfg.barrier_period = 100 * sim::kMillisecond;
+  cfg.iterations = 30;
+  std::vector<std::vector<std::uint64_t>> blobs(4);
+  {
+    MpiWorld w(4);
+    BarrierBench wl(4, cfg);
+    w.run_all(
+        [&](mpi::RankCtx& r) -> sim::Task<void> { return wl.run_rank(r); });
+    for (int r = 0; r < 4; ++r) {
+      full_hash[r] = wl.state(r).hash;
+      blobs[r] = wl.resume_blob(r);
+    }
+  }
+  {
+    MpiWorld w(4);
+    BarrierBench wl(4, cfg);
+    w.run_all([&](mpi::RankCtx& r) -> sim::Task<void> {
+      auto from = Workload::state_for_iteration(blobs[r.world_rank()], 15);
+      return wl.run_rank(r, from);
+    });
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(wl.state(r).hash, full_hash[r]);
+  }
+}
+
+}  // namespace
+}  // namespace gbc::workloads
