@@ -60,28 +60,44 @@ int main() {
   cases.push_back({"block-groups of 4 (clusters == rank blocks)",
                    bench::comm_group_factory(4, 1200)});
 
+  // Point layout per case: base run, then the static and dynamic
+  // checkpointed runs — all six simulations go through the SweepRunner.
+  std::vector<harness::ExperimentPoint> pts;
   for (const auto& c : cases) {
-    const double base =
-        harness::run_experiment(preset, c.factory, ckpt::CkptConfig{})
-            .completion_seconds();
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = c.factory;
+    pts.push_back(std::move(base));
     for (bool dynamic : {false, true}) {
-      ckpt::CkptConfig cc;
-      cc.group_size = 2;  // pairs
-      cc.dynamic_formation = dynamic;
-      auto m = harness::measure_effective_delay_with_base(
-          preset, c.factory, cc, sim::from_seconds(20),
-          ckpt::Protocol::kGroupBased, base);
+      harness::ExperimentPoint p;
+      p.preset = preset;
+      p.factory = c.factory;
+      p.ckpt_cfg.group_size = 2;  // pairs
+      p.ckpt_cfg.dynamic_formation = dynamic;
+      p.requests.push_back(harness::CkptRequest{
+          sim::from_seconds(20), ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
+
+  std::size_t at = 0;
+  for (const auto& c : cases) {
+    const double base = runs[at++].completion_seconds();
+    for (bool dynamic : {false, true}) {
+      auto m = harness::to_delay_measurement(runs[at++], base);
       std::string plan = std::to_string(m.checkpoint.plan.size()) +
                          " groups" +
                          (m.checkpoint.plan.used_dynamic ? " (dynamic)"
                                                          : " (static)");
       t.add_row({c.name, dynamic ? "dynamic" : "static", plan,
                  harness::Table::num(m.effective_delay_seconds())});
-      std::fflush(stdout);
     }
   }
   t.print();
   t.write_csv(bench::csv_path("ablation_group_formation"));
+  bench::report_sweep(stats);
   std::printf(
       "\nExpected: when communication clusters cross rank-block boundaries,\n"
       "static formation splits partners into different checkpoint groups and\n"

@@ -17,27 +17,52 @@ int main() {
   fm.mtbf_seconds = 150.0;
   fm.seed = 9;
 
-  harness::Table t({"protocol", "interval_s", "time_to_solution_s",
-                    "failures", "ckpts_completed"});
+  // Each (protocol, interval) cell is an independent failure-injection run
+  // (own Engine per restart attempt, RNG seeded from the cell's FailureModel),
+  // so the grid goes through the generic SweepRunner::map.
+  struct Cell {
+    ckpt::Protocol protocol;
+    double interval;
+  };
+  std::vector<Cell> cells;
   for (auto protocol : {ckpt::Protocol::kBlockingCoordinated,
                         ckpt::Protocol::kGroupBased}) {
     for (double interval : {30.0, 60.0, 120.0, 1e6}) {
-      ckpt::CkptConfig cc;
-      cc.group_size = 4;
-      auto res = harness::run_with_poisson_failures(
-          preset, factory, cc, protocol, sim::from_seconds(interval), fm);
-      t.add_row({protocol == ckpt::Protocol::kGroupBased
-                     ? "group-based(4)"
-                     : "blocking(32)",
-                 interval > 1e5 ? "none" : harness::Table::num(interval, 0),
-                 harness::Table::num(res.total_seconds, 1),
-                 std::to_string(res.failures),
-                 std::to_string(res.checkpoints_completed)});
-      std::fflush(stdout);
+      cells.push_back({protocol, interval});
     }
+  }
+  harness::SweepStats stats;
+  auto results = harness::SweepRunner::shared().map<harness::MtbfRunResult>(
+      cells.size(),
+      [&](std::size_t i) {
+        ckpt::CkptConfig cc;
+        cc.group_size = 4;
+        return harness::run_with_poisson_failures(
+            preset, factory, cc, cells[i].protocol,
+            sim::from_seconds(cells[i].interval), fm);
+      },
+      &stats);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    stats.points[i].events_processed = results[i].events_processed;
+  }
+
+  harness::Table t({"protocol", "interval_s", "time_to_solution_s",
+                    "failures", "ckpts_completed"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& res = results[i];
+    t.add_row({cells[i].protocol == ckpt::Protocol::kGroupBased
+                   ? "group-based(4)"
+                   : "blocking(32)",
+               cells[i].interval > 1e5
+                   ? "none"
+                   : harness::Table::num(cells[i].interval, 0),
+               harness::Table::num(res.total_seconds, 1),
+               std::to_string(res.failures),
+               std::to_string(res.checkpoints_completed)});
   }
   t.print();
   t.write_csv(bench::csv_path("ablation_interval"));
+  bench::report_sweep(stats);
 
   std::printf("\nYoung-optimal intervals for MTBF=%.0fs: blocking C~43s -> "
               "%.0fs; group-based C~10s -> %.0fs\n",

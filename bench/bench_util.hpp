@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
 
 #include "harness/experiment.hpp"
 #include "harness/preset.hpp"
+#include "harness/sweep.hpp"
 #include "harness/table.hpp"
 #include "workloads/hpl.hpp"
 #include "workloads/microbench.hpp"
@@ -14,10 +16,22 @@
 
 namespace gbc::bench {
 
-/// Where figure CSVs land (next to the binaries).
+/// Where figure CSVs land: $GBC_BENCH_OUT when set, else bench_results/
+/// under the current directory.
 inline std::string csv_path(const std::string& name) {
-  std::filesystem::create_directories("bench_results");
-  return "bench_results/" + name + ".csv";
+  const char* env = std::getenv("GBC_BENCH_OUT");
+  const std::string dir = env && *env ? env : "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir + "/" + name + ".csv";
+}
+
+/// One-line sweep telemetry printed by the converted figure drivers.
+inline void report_sweep(const harness::SweepStats& s) {
+  std::printf("[sweep] %zu points on %d thread%s: %.2fs wall, %.2fM "
+              "simulated events (%.1fM events/s)\n",
+              s.points.size(), s.threads, s.threads == 1 ? "" : "s",
+              s.wall_seconds, static_cast<double>(s.total_events()) / 1e6,
+              s.events_per_second() / 1e6);
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

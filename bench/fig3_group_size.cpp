@@ -2,6 +2,9 @@
 // communication-group micro-benchmark (32 procs, 180 MB each) for checkpoint
 // group sizes All(32), 16, 8, 4, 2, 1 across communication group sizes 16,
 // 8, 4, 2 and the embarrassingly-parallel case.
+//
+// All 35 runs (5 bases + 5x6 checkpointed) are independent deterministic
+// simulations, so the whole grid goes through the SweepRunner at once.
 #include "bench_util.hpp"
 
 int main() {
@@ -11,26 +14,45 @@ int main() {
   const auto preset = harness::icpp07_cluster();
   const std::uint64_t iters = 1200;  // ~120s run, outlasting any checkpoint
   const sim::Time issuance = sim::from_seconds(5);
+  const std::vector<int> comms{16, 8, 4, 2, 1};
+  const std::vector<int> ckpt_sizes{0, 16, 8, 4, 2, 1};
+
+  // Point layout: for each comm size, one base run then the six
+  // checkpointed runs.
+  std::vector<harness::ExperimentPoint> pts;
+  for (int comm : comms) {
+    auto factory = bench::comm_group_factory(comm, iters);
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = factory;
+    pts.push_back(base);
+    for (int ckpt_size : ckpt_sizes) {
+      harness::ExperimentPoint p;
+      p.preset = preset;
+      p.factory = factory;
+      p.ckpt_cfg.group_size = ckpt_size;
+      p.requests.push_back(
+          harness::CkptRequest{issuance, ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
 
   harness::Table t({"comm_group", "ckpt_group", "effective_delay_s"});
-  for (int comm : {16, 8, 4, 2, 1}) {
-    auto factory = bench::comm_group_factory(comm, iters);
-    const double base =
-        harness::run_experiment(preset, factory, ckpt::CkptConfig{})
-            .completion_seconds();
-    for (int ckpt_size : {0, 16, 8, 4, 2, 1}) {
-      ckpt::CkptConfig cc;
-      cc.group_size = ckpt_size;
-      auto m = harness::measure_effective_delay_with_base(
-          preset, factory, cc, issuance, ckpt::Protocol::kGroupBased, base);
+  std::size_t at = 0;
+  for (int comm : comms) {
+    const double base = runs[at++].completion_seconds();
+    for (int ckpt_size : ckpt_sizes) {
+      auto m = harness::to_delay_measurement(runs[at++], base);
       t.add_row({comm == 1 ? "EP(1)" : std::to_string(comm),
                  bench::group_label(preset.nranks, ckpt_size),
                  harness::Table::num(m.effective_delay_seconds())});
-      std::fflush(stdout);
     }
   }
   t.print();
   t.write_csv(bench::csv_path("fig3_group_size"));
+  bench::report_sweep(stats);
   std::printf(
       "\nExpected shape (paper): while the checkpoint group covers >= one\n"
       "communication group, halving the checkpoint group roughly halves the\n"

@@ -2,6 +2,9 @@
 // issuance time of the checkpoint request, with the Individual Checkpoint
 // Time and Total Checkpoint Time reference lines. Checkpoint group size =
 // communication group size = 8; a global MPI_Barrier every 60 s.
+//
+// The base run and the eleven issuance points all run through the
+// SweepRunner concurrently.
 #include "bench_util.hpp"
 
 int main() {
@@ -14,23 +17,41 @@ int main() {
   ckpt::CkptConfig cc;
   cc.group_size = 8;
 
-  const double base =
-      harness::run_experiment(preset, factory, cc).completion_seconds();
+  std::vector<harness::ExperimentPoint> pts;
+  {
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = factory;
+    base.ckpt_cfg = cc;
+    pts.push_back(std::move(base));
+  }
+  std::vector<int> issuances;
+  for (int issuance = 15; issuance <= 115; issuance += 10) {
+    issuances.push_back(issuance);
+    harness::ExperimentPoint p;
+    p.preset = preset;
+    p.factory = factory;
+    p.ckpt_cfg = cc;
+    p.requests.push_back(harness::CkptRequest{sim::from_seconds(issuance),
+                                              ckpt::Protocol::kGroupBased});
+    pts.push_back(std::move(p));
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
+  const double base = runs[0].completion_seconds();
 
   harness::Table t({"issuance_s", "effective_delay_s", "individual_ckpt_s",
                     "total_ckpt_s"});
-  for (int issuance = 15; issuance <= 115; issuance += 10) {
-    auto m = harness::measure_effective_delay_with_base(
-        preset, factory, cc, sim::from_seconds(issuance),
-        ckpt::Protocol::kGroupBased, base);
-    t.add_row({std::to_string(issuance),
+  for (std::size_t i = 0; i < issuances.size(); ++i) {
+    auto m = harness::to_delay_measurement(runs[i + 1], base);
+    t.add_row({std::to_string(issuances[i]),
                harness::Table::num(m.effective_delay_seconds()),
                harness::Table::num(m.individual_seconds()),
                harness::Table::num(m.total_seconds())});
-    std::fflush(stdout);
   }
   t.print();
   t.write_csv(bench::csv_path("fig4_placement"));
+  bench::report_sweep(stats);
   std::printf(
       "\nExpected shape (paper): the effective delay always lies between the\n"
       "Individual and Total checkpoint times, and grows toward Total as the\n"

@@ -1,6 +1,9 @@
 // Figure 5: "Effective Checkpoint Delay at 8 Time Points for HPL" — the 8x4
 // HPL run (dominant communication group of four along grid rows), checkpoint
 // group sizes All(32), 16, 8, 4, 2, 1, issuance times 50..400 s.
+//
+// One base run plus the 8x6 grid of checkpointed runs, all through the
+// SweepRunner.
 #include "bench_util.hpp"
 
 int main() {
@@ -9,28 +12,47 @@ int main() {
                 "Figure 5");
   const auto preset = harness::icpp07_cluster();
   auto factory = bench::hpl_factory();
-  const double base =
-      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
-          .completion_seconds();
+  const std::vector<int> sizes{0, 16, 8, 4, 2, 1};
+
+  std::vector<harness::ExperimentPoint> pts;
+  {
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = factory;
+    pts.push_back(std::move(base));
+  }
+  std::vector<int> issuances;
+  for (int issuance = 50; issuance <= 400; issuance += 50) {
+    issuances.push_back(issuance);
+    for (int size : sizes) {
+      harness::ExperimentPoint p;
+      p.preset = preset;
+      p.factory = factory;
+      p.ckpt_cfg.group_size = size;
+      p.requests.push_back(harness::CkptRequest{sim::from_seconds(issuance),
+                                                ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
+  const double base = runs[0].completion_seconds();
   std::printf("HPL failure-free makespan: %.1f s\n\n", base);
 
   harness::Table t({"issuance_s", "All(32)", "Group(16)", "Group(8)",
                     "Group(4)", "Group(2)", "Individual(1)"});
-  for (int issuance = 50; issuance <= 400; issuance += 50) {
+  std::size_t at = 1;
+  for (int issuance : issuances) {
     std::vector<std::string> row{std::to_string(issuance)};
-    for (int size : {0, 16, 8, 4, 2, 1}) {
-      ckpt::CkptConfig cc;
-      cc.group_size = size;
-      auto m = harness::measure_effective_delay_with_base(
-          preset, factory, cc, sim::from_seconds(issuance),
-          ckpt::Protocol::kGroupBased, base);
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      auto m = harness::to_delay_measurement(runs[at++], base);
       row.push_back(harness::Table::num(m.effective_delay_seconds()));
-      std::fflush(stdout);
     }
     t.add_row(std::move(row));
   }
   t.print();
   t.write_csv(bench::csv_path("fig5_hpl_timepoints"));
+  bench::report_sweep(stats);
   std::printf(
       "\nExpected shape (paper): group sizes 2..16 beat All(32) at every\n"
       "point (up to ~78%% reduction, best near sizes 4/8 matching the 8x4\n"

@@ -2,6 +2,9 @@
 // Sizes for HPL" — average over the 8 issuance points with min/max bars,
 // plus the average reduction vs. regular coordinated checkpointing
 // (paper: ~37/46/46/35% for sizes 2/4/8/16; best at 4 and 8).
+//
+// One base run plus the 6x8 grid of checkpointed runs, all through the
+// SweepRunner (this is the sweep the PR's scaling target is measured on).
 #include <algorithm>
 
 #include "bench_util.hpp"
@@ -12,26 +15,43 @@ int main() {
                 "Figure 6");
   const auto preset = harness::icpp07_cluster();
   auto factory = bench::hpl_factory();
-  const double base =
-      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
-          .completion_seconds();
+  const std::vector<int> sizes{0, 16, 8, 4, 2, 1};
+
+  std::vector<harness::ExperimentPoint> pts;
+  {
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = factory;
+    pts.push_back(std::move(base));
+  }
+  for (int size : sizes) {
+    for (int issuance = 50; issuance <= 400; issuance += 50) {
+      harness::ExperimentPoint p;
+      p.preset = preset;
+      p.factory = factory;
+      p.ckpt_cfg.group_size = size;
+      p.requests.push_back(harness::CkptRequest{sim::from_seconds(issuance),
+                                                ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
+  const double base = runs[0].completion_seconds();
 
   harness::Table t({"ckpt_group", "avg_delay_s", "min_delay_s", "max_delay_s",
                     "avg_reduction_vs_all_pct"});
   double all32_avg = 0;
-  for (int size : {0, 16, 8, 4, 2, 1}) {
+  std::size_t at = 1;
+  for (int size : sizes) {
     double sum = 0, lo = 1e18, hi = 0;
     for (int issuance = 50; issuance <= 400; issuance += 50) {
-      ckpt::CkptConfig cc;
-      cc.group_size = size;
-      auto m = harness::measure_effective_delay_with_base(
-          preset, factory, cc, sim::from_seconds(issuance),
-          ckpt::Protocol::kGroupBased, base);
+      (void)issuance;
+      auto m = harness::to_delay_measurement(runs[at++], base);
       const double d = m.effective_delay_seconds();
       sum += d;
       lo = std::min(lo, d);
       hi = std::max(hi, d);
-      std::fflush(stdout);
     }
     const double avg = sum / 8.0;
     if (size == 0) all32_avg = avg;
@@ -43,6 +63,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig6_hpl_groupsize"));
+  bench::report_sweep(stats);
   std::printf(
       "\nExpected shape (paper): sizes 4 and 8 give the best performance\n"
       "(matching the 8x4 process grid), with average reductions around\n"

@@ -3,6 +3,9 @@
 // only, 4 issuance points across the run. Group-based checkpointing still
 // helps because each process has a large compute chunk per iteration
 // (paper: up to 70% reduction; avg ~28/32/27/14% for sizes 16/8/4/2).
+//
+// One base run plus the 4x6 grid of checkpointed runs, all through the
+// SweepRunner.
 #include "bench_util.hpp"
 
 int main() {
@@ -10,34 +13,51 @@ int main() {
   bench::banner("MotifMiner: Effective Checkpoint Delay", "Figure 7");
   const auto preset = harness::icpp07_cluster();
   auto factory = bench::motifminer_factory();
-  const double base =
-      harness::run_experiment(preset, factory, ckpt::CkptConfig{})
-          .completion_seconds();
+  const std::vector<int> sizes{0, 16, 8, 4, 2, 1};
+  const std::vector<int> issuances{30, 60, 90, 120};
+
+  std::vector<harness::ExperimentPoint> pts;
+  {
+    harness::ExperimentPoint base;
+    base.preset = preset;
+    base.factory = factory;
+    pts.push_back(std::move(base));
+  }
+  for (int issuance : issuances) {
+    for (int size : sizes) {
+      harness::ExperimentPoint p;
+      p.preset = preset;
+      p.factory = factory;
+      p.ckpt_cfg.group_size = size;
+      p.requests.push_back(harness::CkptRequest{sim::from_seconds(issuance),
+                                                ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  harness::SweepStats stats;
+  auto runs = harness::run_experiments(pts, &stats);
+  const double base = runs[0].completion_seconds();
   std::printf("MotifMiner failure-free makespan: %.1f s\n\n", base);
 
   harness::Table t({"issuance_s", "All(32)", "Group(16)", "Group(8)",
                     "Group(4)", "Group(2)", "Individual(1)"});
   double all_sum = 0;
   std::vector<double> group_sums(6, 0.0);
-  const std::vector<int> sizes{0, 16, 8, 4, 2, 1};
-  for (int issuance : {30, 60, 90, 120}) {
+  std::size_t at = 1;
+  for (int issuance : issuances) {
     std::vector<std::string> row{std::to_string(issuance)};
     for (std::size_t si = 0; si < sizes.size(); ++si) {
-      ckpt::CkptConfig cc;
-      cc.group_size = sizes[si];
-      auto m = harness::measure_effective_delay_with_base(
-          preset, factory, cc, sim::from_seconds(issuance),
-          ckpt::Protocol::kGroupBased, base);
+      auto m = harness::to_delay_measurement(runs[at++], base);
       const double d = m.effective_delay_seconds();
       group_sums[si] += d;
       if (si == 0) all_sum += d;
       row.push_back(harness::Table::num(d));
-      std::fflush(stdout);
     }
     t.add_row(std::move(row));
   }
   t.print();
   t.write_csv(bench::csv_path("fig7_motifminer"));
+  bench::report_sweep(stats);
 
   std::printf("\nAverage reduction vs All(32):");
   for (std::size_t si = 1; si < sizes.size(); ++si) {

@@ -5,11 +5,16 @@
 // (hundreds of simulated runs) stay fast.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "ckpt/checkpoint.hpp"
+#include "harness/preset.hpp"
+#include "harness/sweep.hpp"
 #include "mpi/minimpi.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "storage/storage.hpp"
+#include "workloads/microbench.hpp"
 
 namespace {
 
@@ -42,6 +47,68 @@ void BM_CoroutineDelayChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CoroutineDelayChain);
+
+// Events/sec through the dispatch loop with the wake-shaped callback (a
+// captured shared_ptr): the exact allocation pattern the InlineFn
+// small-buffer optimization targets. Tracked via events_processed().
+void BM_EventThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    auto token = std::make_shared<std::uint64_t>(0);
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(i, [token] { ++*token; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(*token);
+    events += eng.events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventThroughput);
+
+// Wall-clock scaling of a sweep of independent simulations across the
+// SweepRunner pool; Arg = thread count. The per-thread work is fixed-shape
+// (16 identical micro-runs), so ideal scaling halves the time per doubling.
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  harness::SweepRunner runner(threads);
+  harness::ClusterPreset preset = harness::icpp07_cluster();
+  preset.nranks = 8;
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = 4;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = 40;
+  cfg.footprint_mib = 32.0;
+  harness::WorkloadFactory factory = [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+  std::vector<harness::ExperimentPoint> pts(16);
+  for (auto& p : pts) {
+    p.preset = preset;
+    p.factory = factory;
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::SweepStats stats;
+    auto runs = harness::run_experiments(runner, pts, &stats);
+    benchmark::DoNotOptimize(runs.front().completion);
+    events += stats.total_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+  state.counters["sim_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepRunnerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StorageRebalance(benchmark::State& state) {
   const int writers = static_cast<int>(state.range(0));

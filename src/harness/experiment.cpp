@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include "harness/sweep.hpp"
+
 namespace gbc::harness {
 
 namespace {
@@ -50,6 +52,7 @@ RunResult run_experiment(const ClusterPreset& preset,
     res.final_iterations.push_back(wl->state(r).iteration);
     res.final_hashes.push_back(wl->state(r).hash);
   }
+  res.events_processed = eng.events_processed();
   return res;
 }
 
@@ -58,10 +61,18 @@ DelayMeasurement measure_effective_delay(const ClusterPreset& preset,
                                          const ckpt::CkptConfig& ckpt_cfg,
                                          sim::Time issuance,
                                          ckpt::Protocol protocol) {
-  RunResult base = run_experiment(preset, make, ckpt_cfg);
-  return measure_effective_delay_with_base(preset, make, ckpt_cfg, issuance,
-                                           protocol,
-                                           base.completion_seconds());
+  // The base and checkpointed runs are independent deterministic
+  // simulations; run the pair through the sweep pool.
+  std::vector<ExperimentPoint> pts(2);
+  pts[0].preset = preset;
+  pts[0].factory = make;
+  pts[0].ckpt_cfg = ckpt_cfg;
+  pts[1].preset = preset;
+  pts[1].factory = make;
+  pts[1].ckpt_cfg = ckpt_cfg;
+  pts[1].requests.push_back(CkptRequest{issuance, protocol});
+  auto runs = run_experiments(pts);
+  return to_delay_measurement(runs[1], runs[0].completion_seconds());
 }
 
 DelayMeasurement measure_effective_delay_with_base(

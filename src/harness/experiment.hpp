@@ -30,6 +30,7 @@ struct RunResult {
   std::int64_t connection_teardowns = 0;
   std::vector<std::uint64_t> final_iterations;
   std::vector<std::uint64_t> final_hashes;
+  std::uint64_t events_processed = 0;  ///< engine events this run dispatched
 
   double completion_seconds() const { return sim::to_seconds(completion); }
 };

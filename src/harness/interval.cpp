@@ -62,6 +62,8 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
                                   : sim::Time{1} << 60;
     eng.run_until(fail_at);
 
+    out.events_processed += eng.events_processed();
+
     if (done_at >= 0 && done_at <= fail_at) {
       // Completed before the failure.
       for (const auto& gc : svc.history()) {

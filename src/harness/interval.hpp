@@ -23,6 +23,7 @@ struct MtbfRunResult {
   std::uint64_t lost_work_iterations = 0;  ///< rolled-back progress
   std::vector<std::uint64_t> final_hashes;
   std::vector<std::uint64_t> final_iterations;
+  std::uint64_t events_processed = 0;  ///< engine events across all attempts
 };
 
 /// Runs the workload to completion under random failures: periodic

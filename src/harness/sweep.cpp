@@ -1,0 +1,146 @@
+#include "harness/sweep.hpp"
+
+#include <cstdlib>
+
+namespace gbc::harness {
+
+int default_sweep_threads() {
+  if (const char* env = std::getenv("GBC_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads > 0 ? threads : default_sweep_threads()) {
+  workers_.reserve(threads_ > 1 ? threads_ - 1 : 0);
+  // The submitting thread is worker number threads_; it claims indices too,
+  // so a pool of width T spawns only T-1 threads.
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+SweepRunner& SweepRunner::shared() {
+  static SweepRunner runner;
+  return runner;
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const auto* fn = batch_fn_;
+    const std::size_t n = batch_n_;
+    lk.unlock();
+    for (;;) {
+      const std::size_t i = batch_next_.fetch_add(1);
+      if (i >= n) break;
+      (*fn)(i);
+      std::lock_guard<std::mutex> g(m_);
+      if (++batch_done_ == n) done_cv_.notify_all();
+    }
+    lk.lock();
+  }
+}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    batch_fn_ = &fn;
+    batch_n_ = n;
+    batch_next_.store(0);
+    batch_done_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The submitter works the batch alongside the pool.
+  for (;;) {
+    const std::size_t i = batch_next_.fetch_add(1);
+    if (i >= n) break;
+    fn(i);
+    std::lock_guard<std::mutex> g(m_);
+    if (++batch_done_ == n) done_cv_.notify_all();
+  }
+  std::unique_lock<std::mutex> lk(m_);
+  done_cv_.wait(lk, [&] { return batch_done_ == batch_n_; });
+  batch_fn_ = nullptr;
+}
+
+std::vector<RunResult> run_experiments(SweepRunner& runner,
+                                       const std::vector<ExperimentPoint>& pts,
+                                       SweepStats* stats) {
+  SweepStats local;
+  auto results = runner.map<RunResult>(
+      pts.size(),
+      [&pts](std::size_t i) {
+        const ExperimentPoint& p = pts[i];
+        return run_experiment(p.preset, p.factory, p.ckpt_cfg, p.requests,
+                              p.hooks);
+      },
+      &local);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    local.points[i].events_processed = results[i].events_processed;
+  }
+  if (stats) *stats = std::move(local);
+  return results;
+}
+
+std::vector<RunResult> run_experiments(const std::vector<ExperimentPoint>& pts,
+                                       SweepStats* stats) {
+  return run_experiments(SweepRunner::shared(), pts, stats);
+}
+
+DelayMeasurement to_delay_measurement(const RunResult& with_ckpt,
+                                      double base_seconds) {
+  DelayMeasurement m;
+  m.base_seconds = base_seconds;
+  m.with_ckpt_seconds = with_ckpt.completion_seconds();
+  if (!with_ckpt.checkpoints.empty()) {
+    m.checkpoint = with_ckpt.checkpoints.front();
+  }
+  return m;
+}
+
+std::vector<DelayMeasurement> sweep_effective_delay_with_base(
+    const ClusterPreset& preset, const WorkloadFactory& make,
+    const std::vector<DelayPoint>& points, double base_seconds,
+    SweepStats* stats) {
+  std::vector<ExperimentPoint> pts;
+  pts.reserve(points.size());
+  for (const auto& dp : points) {
+    ExperimentPoint p;
+    p.preset = preset;
+    p.factory = make;
+    p.ckpt_cfg = dp.ckpt_cfg;
+    p.requests.push_back(CkptRequest{dp.issuance, dp.protocol});
+    pts.push_back(std::move(p));
+  }
+  auto runs = run_experiments(pts, stats);
+  std::vector<DelayMeasurement> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(to_delay_measurement(r, base_seconds));
+  return out;
+}
+
+}  // namespace gbc::harness

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace gbc::harness {
+
+/// Per-point execution record: host wall time plus the number of simulated
+/// events the point's Engine dispatched (when the job reports it).
+struct SweepPointStats {
+  double wall_seconds = 0;
+  std::uint64_t events_processed = 0;
+
+  double events_per_second() const {
+    return wall_seconds > 0
+               ? static_cast<double>(events_processed) / wall_seconds
+               : 0.0;
+  }
+};
+
+struct SweepStats {
+  int threads = 1;             ///< workers the sweep actually used
+  double wall_seconds = 0;     ///< whole-sweep wall time
+  std::vector<SweepPointStats> points;
+
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const auto& p : points) n += p.events_processed;
+    return n;
+  }
+  double events_per_second() const {
+    return wall_seconds > 0
+               ? static_cast<double>(total_events()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Sweep width: GBC_SWEEP_THREADS when set (>= 1; 1 = serial, exactly
+/// today's single-threaded behavior), otherwise the hardware concurrency.
+int default_sweep_threads();
+
+/// Fixed-size thread pool for embarrassingly-parallel simulation sweeps.
+///
+/// Every job must be self-contained: it constructs its own Engine (and the
+/// Fabric/StorageSystem/MiniMPI/workload hanging off it) and touches no
+/// mutable state shared with any other point — the engine-isolation
+/// invariant. Each simulation stays single-threaded and deterministic; the
+/// pool only decides which core it runs on, so results are bit-identical to
+/// a serial sweep and land in submission order regardless of which point
+/// finishes first.
+class SweepRunner {
+ public:
+  /// threads == 0 picks default_sweep_threads(). With 1 thread no workers
+  /// are spawned and jobs run inline on the calling thread.
+  explicit SweepRunner(int threads = 0);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs job(0..n-1) across the pool and returns the results in index
+  /// order. The first job exception (lowest index) is rethrown after the
+  /// whole batch has drained.
+  template <typename T>
+  std::vector<T> map(std::size_t n,
+                     const std::function<T(std::size_t)>& job,
+                     SweepStats* stats = nullptr) {
+    std::vector<std::optional<T>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+    SweepStats local;
+    local.threads = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                              n ? n : 1));
+    local.points.resize(n);
+    const auto sweep_start = std::chrono::steady_clock::now();
+    run_indexed(n, [&](std::size_t i) {
+      const auto point_start = std::chrono::steady_clock::now();
+      try {
+        slots[i].emplace(job(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      local.points[i].wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        point_start)
+              .count();
+    });
+    local.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(std::move(*slots[i]));
+    if (stats) {
+      stats->threads = local.threads;
+      stats->wall_seconds = local.wall_seconds;
+      stats->points = std::move(local.points);
+    }
+    return out;
+  }
+
+  /// The process-wide pool used by the sweep helpers below. Sized once from
+  /// GBC_SWEEP_THREADS / hardware concurrency at first use.
+  static SweepRunner& shared();
+
+ private:
+  /// Executes fn(i) for every i in [0, n), threads_-wide. fn must not throw.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+  // Current batch (valid while batch_fn_ != nullptr).
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::atomic<std::size_t> batch_next_{0};
+  std::size_t batch_done_ = 0;
+};
+
+/// One fully-specified run_experiment() invocation, for sweeping. `hooks`
+/// is invoked from the point's worker thread — a hooks instance must never
+/// be shared between points of the same sweep.
+struct ExperimentPoint {
+  ClusterPreset preset;
+  WorkloadFactory factory;
+  ckpt::CkptConfig ckpt_cfg;
+  std::vector<CkptRequest> requests;
+  mpi::MpiHooks* hooks = nullptr;
+};
+
+/// Runs every point through `runner`; results in submission order,
+/// bit-identical to calling run_experiment() on each point serially.
+std::vector<RunResult> run_experiments(SweepRunner& runner,
+                                       const std::vector<ExperimentPoint>& pts,
+                                       SweepStats* stats = nullptr);
+
+/// Same, on the shared (GBC_SWEEP_THREADS-wide) pool.
+std::vector<RunResult> run_experiments(const std::vector<ExperimentPoint>& pts,
+                                       SweepStats* stats = nullptr);
+
+/// Folds a checkpointed run and an already-known base completion time into
+/// the DelayMeasurement shape measure_effective_delay() produces.
+DelayMeasurement to_delay_measurement(const RunResult& with_ckpt,
+                                      double base_seconds);
+
+/// One (config, issuance, protocol) cell of an effective-delay sweep.
+struct DelayPoint {
+  ckpt::CkptConfig ckpt_cfg;
+  sim::Time issuance = 0;
+  ckpt::Protocol protocol = ckpt::Protocol::kGroupBased;
+};
+
+/// Sweeps measure_effective_delay_with_base() over `points` in parallel:
+/// every cell is an independent checkpointed run against the shared
+/// `base_seconds`.
+std::vector<DelayMeasurement> sweep_effective_delay_with_base(
+    const ClusterPreset& preset, const WorkloadFactory& make,
+    const std::vector<DelayPoint>& points, double base_seconds,
+    SweepStats* stats = nullptr);
+
+}  // namespace gbc::harness

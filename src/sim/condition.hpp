@@ -53,15 +53,18 @@ class Condition {
   void notify_all() {
     auto snapshot = std::move(waiters_);
     waiters_.clear();
-    for (auto& s : snapshot) eng_->wake(s);
+    // The snapshot's references are dead after this loop, so hand each one
+    // to the engine by move: the wake callback inherits the reference
+    // instead of paying an atomic refcount bump per waiter.
+    for (auto& s : snapshot) eng_->wake(std::move(s));
   }
 
   void notify_one() {
     while (!waiters_.empty()) {
-      auto s = waiters_.front();
+      auto s = std::move(waiters_.front());
       waiters_.erase(waiters_.begin());
       if (!s->settled && s->alive) {
-        eng_->wake(s);
+        eng_->wake(std::move(s));
         return;
       }
     }

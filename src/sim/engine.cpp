@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -33,12 +34,24 @@ Detached drive(Engine* eng, Task<void> body) {
 
 Engine::~Engine() = default;
 
-void Engine::schedule_at(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "scheduling into the past");
-  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+std::uint32_t Engine::acquire_slot(InlineFn fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+  slots_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Engine::schedule_after(Time delay, std::function<void()> fn) {
+void Engine::schedule_at(Time t, InlineFn fn) {
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++,
+                    acquire_slot(std::move(fn))});
+}
+
+void Engine::schedule_after(Time delay, InlineFn fn) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
 }
 
@@ -47,14 +60,19 @@ void Engine::spawn(Task<void> body) {
   drive(this, std::move(body));
 }
 
-void Engine::step(Event& ev) {
+void Engine::step(const Event& ev) {
   now_ = ev.t;
-  ev.fn();
+  ++events_;
+  // Move the callable out before invoking: the callback may schedule new
+  // events, which can recycle this slot or grow the slot vector.
+  InlineFn fn = std::move(slots_[ev.slot]);
+  free_slots_.push_back(ev.slot);
+  fn();
 }
 
 void Engine::run() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const Event ev = queue_.top();
     queue_.pop();
     step(ev);
     if (!errors_.empty()) {
@@ -67,7 +85,7 @@ void Engine::run() {
 
 void Engine::run_until(Time t) {
   while (!queue_.empty() && queue_.top().t <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const Event ev = queue_.top();
     queue_.pop();
     step(ev);
     if (!errors_.empty()) {
@@ -82,13 +100,16 @@ void Engine::run_until(Time t) {
 void Engine::abort_all() {
   aborted_ = true;
   // Resuming a suspension can cause other suspensions to deregister or new
-  // (immediately-throwing) ones to appear, so drain by repeated sweeps.
+  // (immediately-throwing) ones to appear, so drain by repeated sweeps; any
+  // suspensions registered during a sweep land in the fresh vector and are
+  // handled by the next one.
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (auto it = suspensions_.begin(); it != suspensions_.end();) {
-      auto sp = it->lock();
-      it = suspensions_.erase(it);
+    std::vector<std::weak_ptr<SuspendState>> batch;
+    batch.swap(suspensions_);
+    for (auto& w : batch) {
+      auto sp = w.lock();
       if (sp && sp->alive && !sp->settled) {
         sp->settled = true;
         progressed = true;
@@ -98,31 +119,30 @@ void Engine::abort_all() {
   }
   // Drop any queued callbacks; their targets checked `alive` anyway.
   while (!queue_.empty()) queue_.pop();
+  slots_.clear();
+  free_slots_.clear();
 }
 
 void Engine::register_suspension(const std::shared_ptr<SuspendState>& s) {
   suspensions_.push_back(s);
   if (--prune_countdown_ <= 0) {
-    prune_countdown_ = 256;
-    suspensions_.remove_if(
-        [](const std::weak_ptr<SuspendState>& w) { return w.expired(); });
+    std::erase_if(suspensions_,
+                  [](const std::weak_ptr<SuspendState>& w) {
+                    return w.expired();
+                  });
+    // Amortized: the next prune is at least half a vector's worth of
+    // registrations away, so pruning stays O(1) per registration even when
+    // most entries are long-lived.
+    prune_countdown_ =
+        std::max<int>(256, static_cast<int>(suspensions_.size()));
   }
-}
-
-void Engine::wake(const std::shared_ptr<SuspendState>& s) {
-  if (s->settled) return;
-  s->settled = true;
-  schedule_now([s] {
-    if (s->alive) s->handle.resume();
-  });
 }
 
 void Engine::DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   state = std::make_shared<SuspendState>();
   state->handle = h;
   eng.register_suspension(state);
-  auto s = state;
-  eng.schedule_after(delay, [s] {
+  eng.schedule_after(delay, [s = state] {
     if (s->settled) return;
     s->settled = true;
     if (s->alive) s->handle.resume();

@@ -2,13 +2,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <list>
 #include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -36,11 +35,11 @@ class Engine {
   bool aborted() const noexcept { return aborted_; }
 
   /// Schedules fn at absolute simulated time t (must be >= now()).
-  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_at(Time t, InlineFn fn);
   /// Schedules fn after the given delay.
-  void schedule_after(Time delay, std::function<void()> fn);
+  void schedule_after(Time delay, InlineFn fn);
   /// Schedules fn at the current time, after already-queued same-time events.
-  void schedule_now(std::function<void()> fn) { schedule_at(now_, fn); }
+  void schedule_now(InlineFn fn) { schedule_at(now_, std::move(fn)); }
 
   /// Starts a detached simulated process. The body runs eagerly until its
   /// first suspension. Exceptions other than SimAborted are captured and
@@ -56,6 +55,9 @@ class Engine {
   void abort_all();
 
   int live_processes() const noexcept { return live_; }
+  /// Total events dispatched by run()/run_until() so far; the basis for
+  /// simulated-events-per-second throughput reporting.
+  std::uint64_t events_processed() const noexcept { return events_; }
 
   // Internal hooks used by the detached process driver; not for users.
   void internal_process_error(std::exception_ptr e) { errors_.push_back(e); }
@@ -64,7 +66,10 @@ class Engine {
   // --- used by awaitable primitives ---
   void register_suspension(const std::shared_ptr<SuspendState>& s);
   /// Schedules the resume of a settled suspension at the current time.
-  void wake(const std::shared_ptr<SuspendState>& s);
+  void wake(const std::shared_ptr<SuspendState>& s) { wake_impl(s); }
+  /// Move form: steals the caller's reference instead of bumping the count
+  /// (the wake callback is what keeps the state alive).
+  void wake(std::shared_ptr<SuspendState>&& s) { wake_impl(std::move(s)); }
 
   /// Awaitable: suspends the current coroutine for `delay` sim-time.
   auto delay(Time d) { return DelayAwaiter{*this, d, nullptr}; }
@@ -86,10 +91,14 @@ class Engine {
   };
 
  private:
+  // The heap orders trivially-copyable 24-byte records; the callables live
+  // in stable recycled slots on the side. Sift-up/down during push/pop then
+  // shuffles PODs instead of move-constructing functors, and slot reuse
+  // means a steady-state simulation stops allocating per event entirely.
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -97,13 +106,26 @@ class Engine {
     }
   };
 
-  void step(Event& ev);
+  template <typename Ptr>
+  void wake_impl(Ptr&& s) {
+    if (s->settled) return;
+    s->settled = true;
+    schedule_now([s = std::forward<Ptr>(s)] {
+      if (s->alive) s->handle.resume();
+    });
+  }
+
+  void step(const Event& ev);
+  std::uint32_t acquire_slot(InlineFn fn);
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::list<std::weak_ptr<SuspendState>> suspensions_;
+  std::vector<InlineFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::weak_ptr<SuspendState>> suspensions_;
   std::vector<std::exception_ptr> errors_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_ = 0;
   int live_ = 0;
   bool aborted_ = false;
   int prune_countdown_ = 256;

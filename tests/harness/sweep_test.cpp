@@ -1,0 +1,192 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "workloads/microbench.hpp"
+
+namespace gbc::harness {
+namespace {
+
+using workloads::CommGroupBench;
+using workloads::CommGroupBenchConfig;
+
+ClusterPreset small_cluster(int n) {
+  ClusterPreset p = icpp07_cluster();
+  p.nranks = n;
+  return p;
+}
+
+WorkloadFactory microbench_factory(int comm_group, std::uint64_t iters) {
+  CommGroupBenchConfig cfg;
+  cfg.comm_group_size = comm_group;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = iters;
+  cfg.footprint_mib = 32.0;
+  return [cfg](int n) { return std::make_unique<CommGroupBench>(n, cfg); };
+}
+
+/// A representative mixed sweep: base runs and checkpointed runs over two
+/// workload shapes and several group sizes.
+std::vector<ExperimentPoint> mixed_sweep() {
+  std::vector<ExperimentPoint> pts;
+  for (int comm : {2, 4}) {
+    ExperimentPoint base;
+    base.preset = small_cluster(8);
+    base.factory = microbench_factory(comm, 60);
+    pts.push_back(base);
+    for (int group : {0, 4, 2}) {
+      ExperimentPoint p;
+      p.preset = small_cluster(8);
+      p.factory = microbench_factory(comm, 60);
+      p.ckpt_cfg.group_size = group;
+      p.requests.push_back(
+          CkptRequest{sim::from_seconds(2), ckpt::Protocol::kGroupBased});
+      pts.push_back(std::move(p));
+    }
+  }
+  return pts;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.final_hashes, b.final_hashes);
+  EXPECT_EQ(a.final_iterations, b.final_iterations);
+  EXPECT_EQ(a.storage_peak_concurrency, b.storage_peak_concurrency);
+  EXPECT_EQ(a.connection_setups, b.connection_setups);
+  EXPECT_EQ(a.connection_teardowns, b.connection_teardowns);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t c = 0; c < a.checkpoints.size(); ++c) {
+    EXPECT_EQ(a.checkpoints[c].completed_at, b.checkpoints[c].completed_at);
+    EXPECT_EQ(a.checkpoints[c].max_individual_time(),
+              b.checkpoints[c].max_individual_time());
+    EXPECT_EQ(a.checkpoints[c].total_checkpoint_time(),
+              b.checkpoints[c].total_checkpoint_time());
+  }
+}
+
+TEST(SweepRunner, ParallelSweepIsBitIdenticalToSerial) {
+  auto pts = mixed_sweep();
+  SweepRunner serial(1);
+  SweepRunner wide(8);
+  auto a = run_experiments(serial, pts);
+  auto b = run_experiments(wide, pts);
+  ASSERT_EQ(a.size(), pts.size());
+  ASSERT_EQ(b.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    expect_identical(a[i], b[i]);
+  }
+}
+
+TEST(SweepRunner, ResultsLandInSubmissionOrder) {
+  SweepRunner runner(4);
+  const std::size_t n = 64;
+  auto out = runner.map<std::size_t>(
+      n, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, RecordsPerPointStats) {
+  auto pts = mixed_sweep();
+  SweepStats stats;
+  auto runs = run_experiments(SweepRunner::shared(), pts, &stats);
+  ASSERT_EQ(stats.points.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_GT(stats.points[i].events_processed, 0u);
+    EXPECT_EQ(stats.points[i].events_processed, runs[i].events_processed);
+    EXPECT_GE(stats.points[i].wall_seconds, 0.0);
+  }
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_EQ(stats.total_events(),
+            std::accumulate(runs.begin(), runs.end(), std::uint64_t{0},
+                            [](std::uint64_t acc, const RunResult& r) {
+                              return acc + r.events_processed;
+                            }));
+}
+
+TEST(SweepRunner, FirstExceptionPropagatesAfterDrain) {
+  SweepRunner runner(4);
+  std::atomic<int> completed{0};
+  try {
+    runner.map<int>(16, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("point 3 failed");
+      if (i == 9) throw std::runtime_error("point 9 failed");
+      ++completed;
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Lowest-index failure wins deterministically.
+    EXPECT_STREQ(e.what(), "point 3 failed");
+  }
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(SweepRunner, HonorsThreadCountArgument) {
+  EXPECT_EQ(SweepRunner(1).threads(), 1);
+  EXPECT_EQ(SweepRunner(3).threads(), 3);
+}
+
+TEST(SweepRunner, EnvOverrideControlsDefaultWidth) {
+  ASSERT_EQ(setenv("GBC_SWEEP_THREADS", "5", 1), 0);
+  EXPECT_EQ(default_sweep_threads(), 5);
+  EXPECT_EQ(SweepRunner(0).threads(), 5);
+  // Invalid values fall back to hardware concurrency (>= 1).
+  ASSERT_EQ(setenv("GBC_SWEEP_THREADS", "bogus", 1), 0);
+  EXPECT_GE(default_sweep_threads(), 1);
+  ASSERT_EQ(unsetenv("GBC_SWEEP_THREADS"), 0);
+  EXPECT_GE(default_sweep_threads(), 1);
+}
+
+TEST(SweepRunner, EmptySweepIsANoop) {
+  SweepRunner runner(4);
+  SweepStats stats;
+  auto out = run_experiments(runner, {}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(stats.points.empty());
+}
+
+TEST(SweepRunner, DelaySweepMatchesSerialMeasurement) {
+  const auto preset = small_cluster(8);
+  auto factory = microbench_factory(4, 60);
+  const double base =
+      run_experiment(preset, factory, ckpt::CkptConfig{}).completion_seconds();
+  std::vector<DelayPoint> dps;
+  for (int group : {0, 4, 2}) {
+    DelayPoint dp;
+    dp.ckpt_cfg.group_size = group;
+    dp.issuance = sim::from_seconds(2);
+    dps.push_back(dp);
+  }
+  auto swept = sweep_effective_delay_with_base(preset, factory, dps, base);
+  ASSERT_EQ(swept.size(), dps.size());
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    auto serial = measure_effective_delay_with_base(
+        preset, factory, dps[i].ckpt_cfg, dps[i].issuance,
+        ckpt::Protocol::kGroupBased, base);
+    EXPECT_DOUBLE_EQ(swept[i].with_ckpt_seconds, serial.with_ckpt_seconds);
+    EXPECT_DOUBLE_EQ(swept[i].effective_delay_seconds(),
+                     serial.effective_delay_seconds());
+  }
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  sim::Engine eng;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) eng.schedule_at(i, [&fired] { ++fired; });
+  EXPECT_EQ(eng.events_processed(), 0u);
+  eng.run();
+  EXPECT_EQ(fired, 10);
+  // Exactly the scheduled callbacks, no hidden bookkeeping events.
+  EXPECT_EQ(eng.events_processed(), 10u);
+}
+
+}  // namespace
+}  // namespace gbc::harness
