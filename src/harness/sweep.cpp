@@ -37,34 +37,74 @@ SweepRunner& SweepRunner::shared() {
   return runner;
 }
 
+namespace {
+// True while this thread is executing a swept job (on any runner). A job
+// that submits a sweep (directly or via a pool-backed helper such as
+// measure_effective_delay) must not block on the pool it may itself be
+// occupying, so nested submissions run inline instead.
+thread_local bool t_in_sweep_job = false;
+
+class InSweepJobScope {
+ public:
+  InSweepJobScope() noexcept : prev_(t_in_sweep_job) { t_in_sweep_job = true; }
+  ~InSweepJobScope() { t_in_sweep_job = prev_; }
+  InSweepJobScope(const InSweepJobScope&) = delete;
+  InSweepJobScope& operator=(const InSweepJobScope&) = delete;
+
+ private:
+  bool prev_;
+};
+}  // namespace
+
 void SweepRunner::worker_loop() {
   std::unique_lock<std::mutex> lk(m_);
   std::uint64_t seen = 0;
   for (;;) {
-    work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    // batch_fn_ != nullptr keeps a late-waking worker (stale `seen`) from
+    // touching a batch that already drained and was torn down.
+    work_cv_.wait(lk, [&] {
+      return shutdown_ || (generation_ != seen && batch_fn_ != nullptr);
+    });
     if (shutdown_) return;
     seen = generation_;
     const auto* fn = batch_fn_;
     const std::size_t n = batch_n_;
+    // Joining the batch under the lock pins its state: run_indexed cannot
+    // return (and the next batch cannot be submitted) until this worker
+    // parks again, so the claim below never races a batch handoff.
+    ++workers_in_batch_;
     lk.unlock();
-    for (;;) {
-      const std::size_t i = batch_next_.fetch_add(1);
-      if (i >= n) break;
-      (*fn)(i);
-      std::lock_guard<std::mutex> g(m_);
-      if (++batch_done_ == n) done_cv_.notify_all();
+    {
+      InSweepJobScope scope;
+      for (;;) {
+        const std::size_t i = batch_next_.fetch_add(1);
+        if (i >= n) break;
+        (*fn)(i);
+        std::lock_guard<std::mutex> g(m_);
+        ++batch_done_;
+      }
     }
     lk.lock();
+    if (--workers_in_batch_ == 0 && batch_done_ == batch_n_) {
+      done_cv_.notify_all();
+    }
   }
 }
 
 void SweepRunner::run_indexed(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (threads_ <= 1 || n == 1) {
+  // Inline when the pool adds nothing, and always when called from inside a
+  // swept job: blocking on submit_m_ from a pool thread (or from a job the
+  // submitter is running) would deadlock, since the outer batch cannot
+  // drain while this job waits.
+  if (threads_ <= 1 || n == 1 || t_in_sweep_job) {
+    InSweepJobScope scope;
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // One batch in flight at a time; concurrent submitters queue up here.
+  std::lock_guard<std::mutex> submit_lk(submit_m_);
   {
     std::lock_guard<std::mutex> lk(m_);
     batch_fn_ = &fn;
@@ -75,15 +115,23 @@ void SweepRunner::run_indexed(std::size_t n,
   }
   work_cv_.notify_all();
   // The submitter works the batch alongside the pool.
-  for (;;) {
-    const std::size_t i = batch_next_.fetch_add(1);
-    if (i >= n) break;
-    fn(i);
-    std::lock_guard<std::mutex> g(m_);
-    if (++batch_done_ == n) done_cv_.notify_all();
+  {
+    InSweepJobScope scope;
+    for (;;) {
+      const std::size_t i = batch_next_.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+      std::lock_guard<std::mutex> g(m_);
+      ++batch_done_;
+    }
   }
+  // Wait for the batch to drain AND for every worker that joined it to park
+  // again: a worker between its last claim and re-locking still reads this
+  // batch's fn/n/batch_next_, so the batch state must outlive it.
   std::unique_lock<std::mutex> lk(m_);
-  done_cv_.wait(lk, [&] { return batch_done_ == batch_n_; });
+  done_cv_.wait(lk, [&] {
+    return batch_done_ == batch_n_ && workers_in_batch_ == 0;
+  });
   batch_fn_ = nullptr;
 }
 

@@ -120,21 +120,30 @@ class SweepRunner {
 
  private:
   /// Executes fn(i) for every i in [0, n), threads_-wide. fn must not throw.
+  /// Thread-safe: concurrent callers serialize on submit_m_ (one batch in
+  /// flight at a time), and a call made from inside a swept job runs inline
+  /// on the calling thread instead of deadlocking on its own pool.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
   void worker_loop();
 
   int threads_;
   std::vector<std::thread> workers_;
+  /// Held for the whole of a pooled run_indexed call.
+  std::mutex submit_m_;
   std::mutex m_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool shutdown_ = false;
   std::uint64_t generation_ = 0;
-  // Current batch (valid while batch_fn_ != nullptr).
+  // Current batch. Valid while batch_fn_ != nullptr; must not be reset or
+  // replaced until workers_in_batch_ drops back to 0, because a worker that
+  // joined the batch keeps reading fn/n/batch_next_ until it parks.
   const std::function<void(std::size_t)>* batch_fn_ = nullptr;
   std::size_t batch_n_ = 0;
   std::atomic<std::size_t> batch_next_{0};
   std::size_t batch_done_ = 0;
+  /// Workers currently between picking up the batch and parking again.
+  int workers_in_batch_ = 0;
 };
 
 /// One fully-specified run_experiment() invocation, for sweeping. `hooks`

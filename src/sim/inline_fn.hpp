@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -34,7 +35,8 @@ class InlineFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &inline_ops<Fn>;
     } else {
-      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      Fn* p = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(p));
       ops_ = &heap_ops<Fn>;
     }
   }
@@ -75,13 +77,21 @@ class InlineFn {
         std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
       }};
 
+  // The heap pointer is stored in and loaded from buf_ via memcpy so the
+  // access stays strict-aliasing clean regardless of the buffer's type.
   template <typename Fn>
   static constexpr Ops heap_ops = {
-      [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
-      [](void* src, void* dst) noexcept {
-        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      [](void* buf) {
+        Fn* p;
+        std::memcpy(&p, buf, sizeof(p));
+        (*p)();
       },
-      [](void* buf) noexcept { delete *reinterpret_cast<Fn**>(buf); }};
+      [](void* src, void* dst) noexcept { std::memcpy(dst, src, sizeof(Fn*)); },
+      [](void* buf) noexcept {
+        Fn* p;
+        std::memcpy(&p, buf, sizeof(p));
+        delete p;
+      }};
 
   void move_from(InlineFn& other) noexcept {
     ops_ = other.ops_;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "workloads/microbench.hpp"
 
@@ -143,6 +144,74 @@ TEST(SweepRunner, EnvOverrideControlsDefaultWidth) {
   EXPECT_GE(default_sweep_threads(), 1);
   ASSERT_EQ(unsetenv("GBC_SWEEP_THREADS"), 0);
   EXPECT_GE(default_sweep_threads(), 1);
+}
+
+// Regression: a worker sitting between finishing its last job and its next
+// index claim used to be able to claim index 0 of the NEXT batch while still
+// holding the previous batch's fn — re-running an old job and starving the
+// new batch. Tiny jobs in rapid back-to-back batches maximize that window.
+TEST(SweepRunner, BackToBackBatchesNeverLeakAcrossHandoff) {
+  SweepRunner runner(8);
+  for (int batch = 0; batch < 200; ++batch) {
+    const std::size_t n = 1 + static_cast<std::size_t>(batch % 7);
+    std::vector<std::atomic<int>> ran(n);
+    for (auto& r : ran) r.store(0);
+    auto out = runner.map<int>(n, [&](std::size_t i) {
+      ran[i].fetch_add(1);
+      return batch * 100 + static_cast<int>(i);
+    });
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Every index ran exactly once, with this batch's fn.
+      EXPECT_EQ(ran[i].load(), 1) << "batch " << batch << " index " << i;
+      EXPECT_EQ(out[i], batch * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+// Regression: concurrent run_indexed calls used to overwrite each other's
+// batch state mid-flight. They now serialize on a submit mutex.
+TEST(SweepRunner, ConcurrentSubmittersSerializeSafely) {
+  SweepRunner runner(4);
+  constexpr int kSubmitters = 4;
+  constexpr std::size_t kN = 32;
+  std::vector<std::vector<std::size_t>> results(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 20; ++round) {
+        results[s] = runner.map<std::size_t>(
+            kN, [s](std::size_t i) { return static_cast<std::size_t>(s) * 1000 + i; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    ASSERT_EQ(results[s].size(), kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(results[s][i], static_cast<std::size_t>(s) * 1000 + i);
+    }
+  }
+}
+
+// Regression: a swept job that itself submits a sweep (e.g. via a
+// pool-backed harness helper) used to corrupt the in-flight batch. Nested
+// submissions now run inline on the calling thread instead of deadlocking
+// or clobbering the outer batch.
+TEST(SweepRunner, NestedSubmissionRunsInline) {
+  SweepRunner runner(4);
+  auto outer = runner.map<std::size_t>(8, [&](std::size_t i) {
+    auto inner = runner.map<std::size_t>(
+        4, [i](std::size_t j) { return i * 10 + j; });
+    std::size_t sum = 0;
+    for (std::size_t v : inner) sum += v;
+    return sum;
+  });
+  ASSERT_EQ(outer.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    // sum_j (i*10 + j) for j in [0,4) = 40i + 6
+    EXPECT_EQ(outer[i], 40 * i + 6);
+  }
 }
 
 TEST(SweepRunner, EmptySweepIsANoop) {
