@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_progress.dir/ablation_async_progress.cpp.o"
+  "CMakeFiles/ablation_async_progress.dir/ablation_async_progress.cpp.o.d"
+  "ablation_async_progress"
+  "ablation_async_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffering_vs_logging.dir/ablation_buffering_vs_logging.cpp.o"
+  "CMakeFiles/ablation_buffering_vs_logging.dir/ablation_buffering_vs_logging.cpp.o.d"
+  "ablation_buffering_vs_logging"
+  "ablation_buffering_vs_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffering_vs_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

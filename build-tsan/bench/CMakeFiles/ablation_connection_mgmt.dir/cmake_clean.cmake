@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connection_mgmt.dir/ablation_connection_mgmt.cpp.o"
+  "CMakeFiles/ablation_connection_mgmt.dir/ablation_connection_mgmt.cpp.o.d"
+  "ablation_connection_mgmt"
+  "ablation_connection_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connection_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_connection_mgmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eager_threshold.dir/ablation_eager_threshold.cpp.o"
+  "CMakeFiles/ablation_eager_threshold.dir/ablation_eager_threshold.cpp.o.d"
+  "ablation_eager_threshold"
+  "ablation_eager_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_formation.dir/ablation_group_formation.cpp.o"
+  "CMakeFiles/ablation_group_formation.dir/ablation_group_formation.cpp.o.d"
+  "ablation_group_formation"
+  "ablation_group_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

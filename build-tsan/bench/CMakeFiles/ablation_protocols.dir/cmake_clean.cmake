@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protocols.dir/ablation_protocols.cpp.o"
+  "CMakeFiles/ablation_protocols.dir/ablation_protocols.cpp.o.d"
+  "ablation_protocols"
+  "ablation_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_schedule_trace.dir/fig2_schedule_trace.cpp.o"
+  "CMakeFiles/fig2_schedule_trace.dir/fig2_schedule_trace.cpp.o.d"
+  "fig2_schedule_trace"
+  "fig2_schedule_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_schedule_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_group_size.dir/fig3_group_size.cpp.o"
+  "CMakeFiles/fig3_group_size.dir/fig3_group_size.cpp.o.d"
+  "fig3_group_size"
+  "fig3_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

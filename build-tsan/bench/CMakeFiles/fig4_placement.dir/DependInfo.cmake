@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_placement.cpp" "bench/CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o" "gcc" "bench/CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/harness/CMakeFiles/gbc_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ckpt/CMakeFiles/gbc_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/gbc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpi/CMakeFiles/gbc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/gbc_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/gbc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/gbc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

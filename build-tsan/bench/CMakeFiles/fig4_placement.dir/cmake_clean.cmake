@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o"
+  "CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o.d"
+  "fig4_placement"
+  "fig4_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

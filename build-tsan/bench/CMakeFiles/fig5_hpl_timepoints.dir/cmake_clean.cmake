@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hpl_timepoints.dir/fig5_hpl_timepoints.cpp.o"
+  "CMakeFiles/fig5_hpl_timepoints.dir/fig5_hpl_timepoints.cpp.o.d"
+  "fig5_hpl_timepoints"
+  "fig5_hpl_timepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hpl_timepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hpl_groupsize.dir/fig6_hpl_groupsize.cpp.o"
+  "CMakeFiles/fig6_hpl_groupsize.dir/fig6_hpl_groupsize.cpp.o.d"
+  "fig6_hpl_groupsize"
+  "fig6_hpl_groupsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hpl_groupsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_motifminer.dir/fig7_motifminer.cpp.o"
+  "CMakeFiles/fig7_motifminer.dir/fig7_motifminer.cpp.o.d"
+  "fig7_motifminer"
+  "fig7_motifminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_motifminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

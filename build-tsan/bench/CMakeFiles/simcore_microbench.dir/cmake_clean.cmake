@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_microbench.dir/simcore_microbench.cpp.o"
+  "CMakeFiles/simcore_microbench.dir/simcore_microbench.cpp.o.d"
+  "simcore_microbench"
+  "simcore_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_checkpoint.dir/hpl_checkpoint.cpp.o"
+  "CMakeFiles/hpl_checkpoint.dir/hpl_checkpoint.cpp.o.d"
+  "hpl_checkpoint"
+  "hpl_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

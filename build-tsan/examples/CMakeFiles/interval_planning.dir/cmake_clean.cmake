@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_planning.dir/interval_planning.cpp.o"
+  "CMakeFiles/interval_planning.dir/interval_planning.cpp.o.d"
+  "interval_planning"
+  "interval_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

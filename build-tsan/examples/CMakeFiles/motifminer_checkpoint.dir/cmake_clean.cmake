@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifminer_checkpoint.dir/motifminer_checkpoint.cpp.o"
+  "CMakeFiles/motifminer_checkpoint.dir/motifminer_checkpoint.cpp.o.d"
+  "motifminer_checkpoint"
+  "motifminer_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifminer_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/gbc_ckpt.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/gbc_ckpt.dir/consistency.cpp.o"
+  "CMakeFiles/gbc_ckpt.dir/consistency.cpp.o.d"
+  "CMakeFiles/gbc_ckpt.dir/group_formation.cpp.o"
+  "CMakeFiles/gbc_ckpt.dir/group_formation.cpp.o.d"
+  "CMakeFiles/gbc_ckpt.dir/store.cpp.o"
+  "CMakeFiles/gbc_ckpt.dir/store.cpp.o.d"
+  "libgbc_ckpt.a"
+  "libgbc_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_harness.dir/cli.cpp.o"
+  "CMakeFiles/gbc_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/gbc_harness.dir/experiment.cpp.o"
+  "CMakeFiles/gbc_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/gbc_harness.dir/gantt.cpp.o"
+  "CMakeFiles/gbc_harness.dir/gantt.cpp.o.d"
+  "CMakeFiles/gbc_harness.dir/interval.cpp.o"
+  "CMakeFiles/gbc_harness.dir/interval.cpp.o.d"
+  "CMakeFiles/gbc_harness.dir/recovery.cpp.o"
+  "CMakeFiles/gbc_harness.dir/recovery.cpp.o.d"
+  "CMakeFiles/gbc_harness.dir/sweep.cpp.o"
+  "CMakeFiles/gbc_harness.dir/sweep.cpp.o.d"
+  "libgbc_harness.a"
+  "libgbc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

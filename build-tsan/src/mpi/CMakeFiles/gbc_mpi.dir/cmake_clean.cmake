@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/gbc_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/gbc_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/gbc_mpi.dir/minimpi.cpp.o.d"
+  "libgbc_mpi.a"
+  "libgbc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

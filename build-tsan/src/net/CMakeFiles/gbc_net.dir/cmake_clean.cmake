@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_net.dir/fabric.cpp.o"
+  "CMakeFiles/gbc_net.dir/fabric.cpp.o.d"
+  "libgbc_net.a"
+  "libgbc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

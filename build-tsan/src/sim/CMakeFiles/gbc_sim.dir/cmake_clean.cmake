@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_sim.dir/condition.cpp.o"
+  "CMakeFiles/gbc_sim.dir/condition.cpp.o.d"
+  "CMakeFiles/gbc_sim.dir/engine.cpp.o"
+  "CMakeFiles/gbc_sim.dir/engine.cpp.o.d"
+  "libgbc_sim.a"
+  "libgbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_storage.dir/storage.cpp.o"
+  "CMakeFiles/gbc_storage.dir/storage.cpp.o.d"
+  "libgbc_storage.a"
+  "libgbc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbcsim.dir/gbcsim_main.cpp.o"
+  "CMakeFiles/gbcsim.dir/gbcsim_main.cpp.o.d"
+  "gbcsim"
+  "gbcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hpl.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/hpl.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/hpl.cpp.o.d"
+  "/root/repo/src/workloads/masterworker.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/masterworker.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/masterworker.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/microbench.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/workloads/motifminer.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/motifminer.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/motifminer.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/stencil.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/gbc_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/gbc_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mpi/CMakeFiles/gbc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/gbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/gbc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/gbc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbc_workloads.dir/hpl.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/hpl.cpp.o.d"
+  "CMakeFiles/gbc_workloads.dir/masterworker.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/masterworker.cpp.o.d"
+  "CMakeFiles/gbc_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/gbc_workloads.dir/motifminer.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/motifminer.cpp.o.d"
+  "CMakeFiles/gbc_workloads.dir/stencil.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/stencil.cpp.o.d"
+  "CMakeFiles/gbc_workloads.dir/workload.cpp.o"
+  "CMakeFiles/gbc_workloads.dir/workload.cpp.o.d"
+  "libgbc_workloads.a"
+  "libgbc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gbc_workloads.
+# This may be replaced when dependencies are built.

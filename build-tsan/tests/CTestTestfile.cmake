@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gbcsim_help "/root/repo/build-tsan/src/tools/gbcsim" "help")
+set_tests_properties(gbcsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbcsim_storage_smoke "/root/repo/build-tsan/src/tools/gbcsim" "storage" "--max-clients" "4" "--file-mib" "32")
+set_tests_properties(gbcsim_storage_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;20;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbcsim_delay_smoke "/root/repo/build-tsan/src/tools/gbcsim" "delay" "--ranks" "4" "--comm-group" "2" "--group-size" "2" "--footprint-mib" "32" "--issuance" "5")
+set_tests_properties(gbcsim_delay_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbcsim_trace_smoke "/root/repo/build-tsan/src/tools/gbcsim" "trace" "--ranks" "8" "--comm-group" "2" "--group-size" "4" "--footprint-mib" "32")
+set_tests_properties(gbcsim_trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;22;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbcsim_recover_smoke "/root/repo/build-tsan/src/tools/gbcsim" "recover" "--ranks" "4" "--comm-group" "2" "--group-size" "2" "--footprint-mib" "32" "--ckpt-at" "5" "--fail-at" "30")
+set_tests_properties(gbcsim_recover_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gbcsim_bad_flag "/root/repo/build-tsan/src/tools/gbcsim" "delay" "--bogus" "1")
+set_tests_properties(gbcsim_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+subdirs("sim")
+subdirs("storage")
+subdirs("net")
+subdirs("mpi")
+subdirs("ckpt")
+subdirs("workloads")
+subdirs("harness")
+subdirs("integration")
+subdirs("property")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_checkpoint2_test.dir/checkpoint2_test.cpp.o"
+  "CMakeFiles/ckpt_checkpoint2_test.dir/checkpoint2_test.cpp.o.d"
+  "ckpt_checkpoint2_test"
+  "ckpt_checkpoint2_test.pdb"
+  "ckpt_checkpoint2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_checkpoint2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

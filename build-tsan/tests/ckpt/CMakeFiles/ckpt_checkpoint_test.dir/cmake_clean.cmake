@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_checkpoint_test.dir/checkpoint_test.cpp.o"
+  "CMakeFiles/ckpt_checkpoint_test.dir/checkpoint_test.cpp.o.d"
+  "ckpt_checkpoint_test"
+  "ckpt_checkpoint_test.pdb"
+  "ckpt_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_group_formation_test.dir/group_formation_test.cpp.o"
+  "CMakeFiles/ckpt_group_formation_test.dir/group_formation_test.cpp.o.d"
+  "ckpt_group_formation_test"
+  "ckpt_group_formation_test.pdb"
+  "ckpt_group_formation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_group_formation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

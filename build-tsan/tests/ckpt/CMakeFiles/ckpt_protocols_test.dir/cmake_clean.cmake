@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_protocols_test.dir/protocols_test.cpp.o"
+  "CMakeFiles/ckpt_protocols_test.dir/protocols_test.cpp.o.d"
+  "ckpt_protocols_test"
+  "ckpt_protocols_test.pdb"
+  "ckpt_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

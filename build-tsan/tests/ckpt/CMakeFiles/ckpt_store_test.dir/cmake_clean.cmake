@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_store_test.dir/store_test.cpp.o"
+  "CMakeFiles/ckpt_store_test.dir/store_test.cpp.o.d"
+  "ckpt_store_test"
+  "ckpt_store_test.pdb"
+  "ckpt_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/ckpt_trace_test.dir/trace_test.cpp.o.d"
+  "ckpt_trace_test"
+  "ckpt_trace_test.pdb"
+  "ckpt_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

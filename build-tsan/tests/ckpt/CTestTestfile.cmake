@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ckpt
+# Build directory: /root/repo/build-tsan/tests/ckpt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/ckpt/ckpt_group_formation_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ckpt/ckpt_checkpoint_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ckpt/ckpt_checkpoint2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ckpt/ckpt_store_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ckpt/ckpt_protocols_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ckpt/ckpt_trace_test[1]_include.cmake")

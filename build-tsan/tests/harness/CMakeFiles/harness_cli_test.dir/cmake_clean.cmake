@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_cli_test.dir/cli_test.cpp.o"
+  "CMakeFiles/harness_cli_test.dir/cli_test.cpp.o.d"
+  "harness_cli_test"
+  "harness_cli_test.pdb"
+  "harness_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

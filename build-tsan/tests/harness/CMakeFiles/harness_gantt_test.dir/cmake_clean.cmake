@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_gantt_test.dir/gantt_test.cpp.o"
+  "CMakeFiles/harness_gantt_test.dir/gantt_test.cpp.o.d"
+  "harness_gantt_test"
+  "harness_gantt_test.pdb"
+  "harness_gantt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_interval_test.dir/interval_test.cpp.o"
+  "CMakeFiles/harness_interval_test.dir/interval_test.cpp.o.d"
+  "harness_interval_test"
+  "harness_interval_test.pdb"
+  "harness_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_sweep_test.dir/sweep_test.cpp.o"
+  "CMakeFiles/harness_sweep_test.dir/sweep_test.cpp.o.d"
+  "harness_sweep_test"
+  "harness_sweep_test.pdb"
+  "harness_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

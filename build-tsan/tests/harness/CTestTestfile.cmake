@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/harness
+# Build directory: /root/repo/build-tsan/tests/harness
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/harness/harness_experiment_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness/harness_sweep_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness/harness_interval_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness/harness_cli_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness/harness_gantt_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_jobpause_test.dir/jobpause_test.cpp.o"
+  "CMakeFiles/integration_jobpause_test.dir/jobpause_test.cpp.o.d"
+  "integration_jobpause_test"
+  "integration_jobpause_test.pdb"
+  "integration_jobpause_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_jobpause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

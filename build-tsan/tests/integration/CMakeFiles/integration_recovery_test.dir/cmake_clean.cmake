@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_recovery_test.dir/recovery_test.cpp.o"
+  "CMakeFiles/integration_recovery_test.dir/recovery_test.cpp.o.d"
+  "integration_recovery_test"
+  "integration_recovery_test.pdb"
+  "integration_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

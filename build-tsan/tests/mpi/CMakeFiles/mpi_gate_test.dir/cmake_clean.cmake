@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_gate_test.dir/gate_test.cpp.o"
+  "CMakeFiles/mpi_gate_test.dir/gate_test.cpp.o.d"
+  "mpi_gate_test"
+  "mpi_gate_test.pdb"
+  "mpi_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

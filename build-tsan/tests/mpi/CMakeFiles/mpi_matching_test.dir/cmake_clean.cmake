@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_matching_test.dir/matching_test.cpp.o"
+  "CMakeFiles/mpi_matching_test.dir/matching_test.cpp.o.d"
+  "mpi_matching_test"
+  "mpi_matching_test.pdb"
+  "mpi_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_nonblocking_test.dir/nonblocking_test.cpp.o"
+  "CMakeFiles/mpi_nonblocking_test.dir/nonblocking_test.cpp.o.d"
+  "mpi_nonblocking_test"
+  "mpi_nonblocking_test.pdb"
+  "mpi_nonblocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_nonblocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

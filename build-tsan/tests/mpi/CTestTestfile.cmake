@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpi
+# Build directory: /root/repo/build-tsan/tests/mpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/mpi/mpi_p2p_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mpi/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mpi/mpi_gate_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mpi/mpi_collectives2_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mpi/mpi_matching_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mpi/mpi_nonblocking_test[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build-tsan/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/net/net_fabric_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/net/net_fabric2_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masterworker_property_test.dir/masterworker_property_test.cpp.o"
+  "CMakeFiles/masterworker_property_test.dir/masterworker_property_test.cpp.o.d"
+  "masterworker_property_test"
+  "masterworker_property_test.pdb"
+  "masterworker_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masterworker_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/property
+# Build directory: /root/repo/build-tsan/tests/property
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/property/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property/masterworker_property_test[1]_include.cmake")

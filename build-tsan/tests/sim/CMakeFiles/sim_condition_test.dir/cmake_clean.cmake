@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_condition_test.dir/condition_test.cpp.o"
+  "CMakeFiles/sim_condition_test.dir/condition_test.cpp.o.d"
+  "sim_condition_test"
+  "sim_condition_test.pdb"
+  "sim_condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_join_test.dir/join_test.cpp.o"
+  "CMakeFiles/sim_join_test.dir/join_test.cpp.o.d"
+  "sim_join_test"
+  "sim_join_test.pdb"
+  "sim_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

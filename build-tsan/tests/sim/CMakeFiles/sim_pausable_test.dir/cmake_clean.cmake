@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pausable_test.dir/pausable_test.cpp.o"
+  "CMakeFiles/sim_pausable_test.dir/pausable_test.cpp.o.d"
+  "sim_pausable_test"
+  "sim_pausable_test.pdb"
+  "sim_pausable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pausable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

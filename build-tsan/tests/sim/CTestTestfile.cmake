@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build-tsan/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/sim/sim_engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim/sim_condition_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim/sim_pausable_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim/sim_random_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim/sim_join_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim/sim_trace_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_striped_test.dir/striped_test.cpp.o"
+  "CMakeFiles/storage_striped_test.dir/striped_test.cpp.o.d"
+  "storage_striped_test"
+  "storage_striped_test.pdb"
+  "storage_striped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_striped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

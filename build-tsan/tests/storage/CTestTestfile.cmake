@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build-tsan/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/storage/storage_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/storage/storage_striped_test[1]_include.cmake")

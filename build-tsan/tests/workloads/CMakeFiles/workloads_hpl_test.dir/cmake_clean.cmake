@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_hpl_test.dir/hpl_test.cpp.o"
+  "CMakeFiles/workloads_hpl_test.dir/hpl_test.cpp.o.d"
+  "workloads_hpl_test"
+  "workloads_hpl_test.pdb"
+  "workloads_hpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_hpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_masterworker_test.dir/masterworker_test.cpp.o"
+  "CMakeFiles/workloads_masterworker_test.dir/masterworker_test.cpp.o.d"
+  "workloads_masterworker_test"
+  "workloads_masterworker_test.pdb"
+  "workloads_masterworker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_masterworker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

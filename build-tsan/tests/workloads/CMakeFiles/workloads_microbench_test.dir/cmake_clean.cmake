@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_microbench_test.dir/microbench_test.cpp.o"
+  "CMakeFiles/workloads_microbench_test.dir/microbench_test.cpp.o.d"
+  "workloads_microbench_test"
+  "workloads_microbench_test.pdb"
+  "workloads_microbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_microbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_motifminer_test.dir/motifminer_test.cpp.o"
+  "CMakeFiles/workloads_motifminer_test.dir/motifminer_test.cpp.o.d"
+  "workloads_motifminer_test"
+  "workloads_motifminer_test.pdb"
+  "workloads_motifminer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_motifminer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build-tsan/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/workloads/workloads_microbench_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workloads/workloads_hpl_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workloads/workloads_motifminer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workloads/workloads_stencil_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workloads/workloads_masterworker_test[1]_include.cmake")
