@@ -25,13 +25,29 @@ inline std::string csv_path(const std::string& name) {
   return dir + "/" + name + ".csv";
 }
 
-/// One-line sweep telemetry printed by the converted figure drivers.
-inline void report_sweep(const harness::SweepStats& s) {
+/// One-line sweep telemetry printed by the converted figure drivers. When
+/// $GBC_BENCH_JSON names a file, also appends one JSON record per sweep
+/// (JSONL) so scripts/run_benchmarks.sh can assemble a machine-readable
+/// summary without parsing stdout.
+inline void report_sweep(const std::string& name,
+                         const harness::SweepStats& s) {
   std::printf("[sweep] %zu points on %d thread%s: %.2fs wall, %.2fM "
               "simulated events (%.1fM events/s)\n",
               s.points.size(), s.threads, s.threads == 1 ? "" : "s",
               s.wall_seconds, static_cast<double>(s.total_events()) / 1e6,
               s.events_per_second() / 1e6);
+  const char* json = std::getenv("GBC_BENCH_JSON");
+  if (!json || !*json) return;
+  std::FILE* f = std::fopen(json, "a");
+  if (!f) return;
+  std::fprintf(f,
+               "{\"sweep\":\"%s\",\"threads\":%d,\"points\":%zu,"
+               "\"wall_seconds\":%.6f,\"events\":%lld,"
+               "\"events_per_second\":%.0f}\n",
+               name.c_str(), s.threads, s.points.size(), s.wall_seconds,
+               static_cast<long long>(s.total_events()),
+               s.events_per_second());
+  std::fclose(f);
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

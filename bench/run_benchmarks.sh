@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the simulator microbenchmarks plus two representative figure sweeps
+# (fig3 micro-benchmark sweep, fig6 HPL group-size sweep) and assembles a
+# machine-readable perf snapshot. This is the file committed as BENCH_pr<N>.json
+# to track the events/s trajectory across PRs.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+#   build-dir   cmake build tree containing bench/ binaries   (default: build)
+#   output.json snapshot destination                          (default: BENCH_pr2.json)
+# Env: GBC_BENCH_MIN_TIME  seconds per microbenchmark case    (default: 2)
+#
+# Run on an otherwise-idle machine: the microbench numbers are the ones the
+# acceptance thresholds compare against.
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_pr2.json}
+MIN_TIME=${GBC_BENCH_MIN_TIME:-2}
+
+for bin in simcore_microbench fig3_group_size fig6_hpl_groupsize; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "error: $BUILD/bench/$bin missing; build first: cmake --build $BUILD -j" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== microbenchmarks (--benchmark_min_time=$MIN_TIME) =="
+"$BUILD/bench/simcore_microbench" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$tmp/micro.json"
+
+echo "== figure sweeps =="
+export GBC_BENCH_JSON="$tmp/sweeps.jsonl"
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig3_group_size"
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig6_hpl_groupsize"
+
+# Assemble the snapshot: per-benchmark name/time/throughput from the
+# google-benchmark JSON, plus the one-record-per-sweep JSONL the drivers
+# appended via bench_util.hpp's report_sweep().
+awk -v sweeps="$tmp/sweeps.jsonl" '
+  function num(l) { sub(/.*: */, "", l); sub(/,[ \t\r]*$/, "", l); return l }
+  function str(l) { sub(/.*": *"/, "", l); sub(/".*/, "", l); return l }
+  function flush_rec() {
+    if (name == "") return
+    printf "%s    {\"name\":\"%s\",\"real_time\":%s,\"time_unit\":\"%s\",\"items_per_second\":%s}", \
+           (first ? "" : ",\n"), name, rt, tu, (ips == "" ? "null" : ips)
+    first = 0; name = ""; rt = ""; tu = ""; ips = ""
+  }
+  BEGIN {
+    in_bm = 0; first = 1
+    print "{"
+    print "  \"benchmarks\": ["
+  }
+  /"benchmarks": \[/    { in_bm = 1; next }
+  !in_bm                { next }
+  /"name":/             { flush_rec(); name = str($0) }
+  /"real_time":/        { rt = num($0) }
+  /"time_unit":/        { tu = str($0) }
+  /"items_per_second":/ { ips = num($0) }
+  END {
+    flush_rec()
+    print ""
+    print "  ],"
+    print "  \"sweeps\": ["
+    sfirst = 1
+    while ((getline line < sweeps) > 0) {
+      if (line == "") continue
+      printf "%s    %s", (sfirst ? "" : ",\n"), line
+      sfirst = 0
+    }
+    print ""
+    print "  ]"
+    print "}"
+  }
+' "$tmp/micro.json" >"$OUT"
+
+echo "wrote $OUT"

@@ -34,6 +34,27 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleDispatch);
 
+// Far-future scheduling: delays spanning every timing-wheel level (1 ns up
+// to beyond the 2^48 ns epoch horizon, which lands in the overflow heap),
+// stressing coarse placement, cascades and epoch migration rather than the
+// leaf-level fast path the other benchmarks exercise.
+void BM_ScheduleFar(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int fired = 0;
+    sim::Time t = 1;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(t, [&fired] { ++fired; });
+      t = t * 2 > t + 1 ? t * 2 : t + 1;
+      if (t > (sim::Time{1} << 52)) t = 1 + fired;
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ScheduleFar);
+
 sim::Task<void> chained_sleeper(sim::Engine& eng, int hops) {
   for (int i = 0; i < hops; ++i) co_await eng.delay(1);
 }
@@ -68,47 +89,6 @@ void BM_EventThroughput(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventThroughput);
-
-// Wall-clock scaling of a sweep of independent simulations across the
-// SweepRunner pool; Arg = thread count. The per-thread work is fixed-shape
-// (16 identical micro-runs), so ideal scaling halves the time per doubling.
-void BM_SweepRunnerScaling(benchmark::State& state) {
-  const int threads = static_cast<int>(state.range(0));
-  harness::SweepRunner runner(threads);
-  harness::ClusterPreset preset = harness::icpp07_cluster();
-  preset.nranks = 8;
-  workloads::CommGroupBenchConfig cfg;
-  cfg.comm_group_size = 4;
-  cfg.compute_per_iter = 100 * sim::kMillisecond;
-  cfg.iterations = 40;
-  cfg.footprint_mib = 32.0;
-  harness::WorkloadFactory factory = [cfg](int n) {
-    return std::make_unique<workloads::CommGroupBench>(n, cfg);
-  };
-  std::vector<harness::ExperimentPoint> pts(16);
-  for (auto& p : pts) {
-    p.preset = preset;
-    p.factory = factory;
-  }
-  std::uint64_t events = 0;
-  for (auto _ : state) {
-    harness::SweepStats stats;
-    auto runs = harness::run_experiments(runner, pts, &stats);
-    benchmark::DoNotOptimize(runs.front().completion);
-    events += stats.total_events();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(pts.size()));
-  state.counters["sim_events_per_sec"] = benchmark::Counter(
-      static_cast<double>(events), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_SweepRunnerScaling)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
 
 void BM_StorageRebalance(benchmark::State& state) {
   const int writers = static_cast<int>(state.range(0));
@@ -157,6 +137,30 @@ void BM_MpiPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_MpiPingPong);
 
+// Message-path allocation churn in isolation: one pooled envelope body plus
+// one arena-allocated request record per message, the per-message allocation
+// pattern of the MPI layer (to_packet + make_request). Steady state must be
+// allocation-free — the pool stats assert recycling actually happens.
+void BM_MsgAlloc(benchmark::State& state) {
+  sim::Engine eng;
+  sim::MsgPool<mpi::Envelope> pool;
+  auto arena = std::make_shared<sim::ArenaCore>();
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim::MsgBuf body =
+          pool.make(mpi::Envelope{0, 0, 1, 0, 4096, nullptr, 0});
+      auto req = std::allocate_shared<mpi::ReqState>(
+          sim::ArenaAlloc<mpi::ReqState>(arena), eng);
+      benchmark::DoNotOptimize(body.get<mpi::Envelope>());
+      benchmark::DoNotOptimize(req->done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["pool_reuse"] = static_cast<double>(pool.reused());
+  state.counters["arena_reuse"] = static_cast<double>(arena->reused());
+}
+BENCHMARK(BM_MsgAlloc);
+
 void BM_Allreduce(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -195,6 +199,51 @@ void BM_GroupCheckpointCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupCheckpointCycle)->Arg(0)->Arg(8)->Arg(1);
+
+// Wall-clock scaling of a sweep of independent simulations across the
+// SweepRunner pool; Arg = thread count. The per-thread work is fixed-shape
+// (16 identical micro-runs), so ideal scaling halves the time per doubling.
+// Registered last on purpose: spawning the pool's worker threads permanently
+// switches glibc malloc off its single-threaded fast path for the rest of
+// the process, which would depress every allocation-heavy single-threaded
+// benchmark running after it.
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  harness::SweepRunner runner(threads);
+  harness::ClusterPreset preset = harness::icpp07_cluster();
+  preset.nranks = 8;
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = 4;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = 40;
+  cfg.footprint_mib = 32.0;
+  harness::WorkloadFactory factory = [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+  std::vector<harness::ExperimentPoint> pts(16);
+  for (auto& p : pts) {
+    p.preset = preset;
+    p.factory = factory;
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::SweepStats stats;
+    auto runs = harness::run_experiments(runner, pts, &stats);
+    benchmark::DoNotOptimize(runs.front().completion);
+    events += stats.total_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pts.size()));
+  state.counters["sim_events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepRunnerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

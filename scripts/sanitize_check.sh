@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree under ASan+UBSan and runs the tier-1 test suite. The sim
+# memory pools degrade to plain new/delete in this configuration
+# (GBC_POOLS_PASSTHROUGH), so recycling cannot mask use-after-free in the
+# message/request/suspension lifetimes the pools serve.
+#
+# Usage: scripts/sanitize_check.sh [build-dir]
+#   build-dir  sanitizer build tree (default: build-asan)
+set -euo pipefail
+
+BUILD=${1:-build-asan}
+
+cmake -B "$BUILD" -S . -DGBC_SANITIZE=address,undefined
+cmake --build "$BUILD" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "sanitize check passed"

@@ -68,9 +68,8 @@ bool CheckpointService::DeferralGate::allowed(int a, int b) const {
 CheckpointService::CheckpointService(mpi::MiniMPI& mpi,
                                      storage::StorageSystem& fs,
                                      CkptConfig cfg)
-    : eng_(mpi.engine()), mpi_(mpi), fs_(fs), cfg_(cfg) {
+    : eng_(mpi.engine()), mpi_(mpi), fs_(fs), cfg_(cfg), cycle_done_(eng_) {
   gate_ = std::make_unique<DeferralGate>(*this);
-  cycle_done_ = std::make_unique<sim::Condition>(eng_);
   done_.assign(mpi_.nranks(), 0);
   last_snapshot_at_.assign(mpi_.nranks(), -1);
   mpi_.set_gate(gate_.get());
@@ -135,7 +134,7 @@ Bytes CheckpointService::image_bytes_for(int rank) const {
 
 sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
   // Requests serialize: a second request issued mid-cycle waits its turn.
-  while (cycle_active_) co_await cycle_done_->wait();
+  while (cycle_active_) co_await cycle_done_.wait();
   cycle_active_ = true;
   if (trace_) {
     trace_->add(eng_.now(), -1, "cycle", std::string("begin ") +
@@ -186,7 +185,7 @@ sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
   if (trace_) trace_->add(eng_.now(), -1, "cycle", "complete");
   history_.push_back(gc);
   cycle_active_ = false;
-  cycle_done_->notify_all();
+  cycle_done_.notify_all();
   co_return history_.back();
 }
 

@@ -178,7 +178,7 @@ class CheckpointService {
   std::vector<char> done_;      // per-rank: group snapshot complete
   bool cycle_active_ = false;
   bool defer_active_ = false;   // gate enforces the done/not-done rule
-  std::unique_ptr<sim::Condition> cycle_done_;
+  sim::Condition cycle_done_;
   sim::Trace* trace_ = nullptr;
   std::vector<sim::Time> last_snapshot_at_;  // -1: no snapshot yet
   std::vector<GlobalCheckpoint> history_;

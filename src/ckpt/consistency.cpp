@@ -4,6 +4,12 @@
 
 namespace gbc::ckpt {
 
+namespace {
+/// Cap on formatted violation details: the report stays bounded even when a
+/// deliberately-inconsistent protocol produces violations at message rate.
+constexpr std::size_t kMaxDetails = 32;
+}  // namespace
+
 ConsistencyReport check_recovery_line(
     const std::vector<mpi::MessageRecord>& records,
     const GlobalCheckpoint& gc) {
@@ -18,7 +24,7 @@ ConsistencyReport check_recovery_line(
     const bool recv_after_line = m.arrival_time >= dst_snap.taken_at;
     if (sent_after_line != recv_after_line) {
       ++report.violations;
-      if (report.details.size() < 32) {
+      if (report.details.size() < kMaxDetails) {
         std::ostringstream os;
         os << (sent_after_line ? "orphan" : "lost-in-transit") << ": " << m.src
            << "->" << m.dst << " bytes=" << m.bytes

@@ -89,22 +89,24 @@ RankCtx::RankCtx(MiniMPI& mpi, int world_rank)
     : mpi_(mpi),
       rank_(world_rank),
       exec_(std::make_unique<sim::Pausable>(mpi.engine())),
-      any_complete_(std::make_unique<sim::Condition>(mpi.engine())) {}
+      any_complete_(mpi.engine()) {}
 
 int RankCtx::nranks() const noexcept { return mpi_.nranks(); }
 sim::Engine& RankCtx::engine() noexcept { return mpi_.eng_; }
 
 Request RankCtx::make_request(bool is_recv) {
-  auto req = std::make_shared<ReqState>();
+  // One arena allocation covers control block + ReqState + its condition
+  // variable; the storage recycles at message rate.
+  auto req = std::allocate_shared<ReqState>(
+      sim::ArenaAlloc<ReqState>(mpi_.req_arena_), engine());
   req->is_recv = is_recv;
-  req->cv = std::make_unique<sim::Condition>(engine());
   return req;
 }
 
 void RankCtx::complete(const Request& req) {
   req->done = true;
-  req->cv->notify_all();
-  any_complete_->notify_all();
+  req->cv.notify_all();
+  any_complete_.notify_all();
   exec_->mark_progress();
 }
 
@@ -130,7 +132,7 @@ Tag RankCtx::begin_collective(const Comm& c) {
 net::Packet RankCtx::to_packet(const OutItem& item) const {
   net::Packet p;
   p.id = item.env.id;
-  p.body = std::make_shared<Envelope>(item.env);
+  p.body = mpi_.env_pool_.make(item.env);
   switch (item.kind) {
     case OutItem::Kind::kEager:
       p.src = item.env.src_world;
@@ -358,7 +360,7 @@ Request RankCtx::irecv(const Comm& c, int src, Tag tag) {
 
 sim::Task<void> RankCtx::wait(Request req) {
   co_await exec_->freeze_point();
-  while (!req->done) co_await req->cv->wait();
+  while (!req->done) co_await req->cv.wait();
   // A request can complete while this process is frozen for a snapshot
   // (in-flight data drained into library buffers); the application itself
   // must not run until the thaw.
@@ -381,7 +383,7 @@ sim::Task<std::size_t> RankCtx::wait_any(std::vector<Request> reqs) {
         co_return i;
       }
     }
-    co_await any_complete_->wait();
+    co_await any_complete_.wait();
   }
 }
 
@@ -446,8 +448,8 @@ void RankCtx::deliver_rts(const Envelope& env) {
 }
 
 void RankCtx::on_packet(net::Packet p) {
-  auto env_ptr = std::static_pointer_cast<Envelope>(p.body);
-  assert(env_ptr);
+  const Envelope* env_ptr = p.body.get<Envelope>();
+  assert(env_ptr != nullptr);
   const Envelope& env = *env_ptr;
   switch (p.kind) {
     case net::PacketKind::kEager:

@@ -14,6 +14,7 @@
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
 #include "sim/pausable.hpp"
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 
 namespace gbc::mpi {
@@ -223,7 +224,7 @@ class RankCtx {
   std::unordered_map<std::uint64_t, Request> rndv_recv_;     // by transfer id
   std::unordered_map<std::uint64_t, std::uint64_t> coll_seq_;  // per comm
   std::function<void(net::Packet)> control_handler_;
-  std::unique_ptr<sim::Condition> any_complete_;  // wakes wait_any
+  sim::Condition any_complete_;  // wakes wait_any
   Bytes msg_buffer_cur_ = 0;
 };
 
@@ -287,6 +288,12 @@ class MiniMPI {
   std::vector<std::unique_ptr<Comm>> comms_;
   CommGate* gate_ = nullptr;
   MpiHooks* hooks_ = nullptr;
+  /// Envelopes ride the wire inside pooled, refcounted packet bodies; the
+  /// request records come from a shared arena. Both recycle storage at
+  /// message rate instead of hitting the heap (DESIGN.md §8).
+  sim::MsgPool<Envelope> env_pool_;
+  std::shared_ptr<sim::ArenaCore> req_arena_ =
+      std::make_shared<sim::ArenaCore>();
   std::uint64_t id_counter_ = 0;
   std::uint64_t comm_counter_ = 0;
   Stats stats_;

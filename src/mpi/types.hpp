@@ -63,7 +63,11 @@ struct Envelope {
 };
 
 /// Request state shared between the app coroutine and the progress engine.
+/// Requests are created at message rate, so the condition variable is a
+/// direct member (one allocation instead of two) and the whole record is
+/// placed by allocate_shared into the library's request arena.
 struct ReqState {
+  explicit ReqState(sim::Engine& eng) : cv(eng) {}
   bool done = false;
   bool is_recv = false;
   // Matching criteria for posted receives (world-rank source or kAnySource).
@@ -71,7 +75,7 @@ struct ReqState {
   int match_src = kAnySource;
   Tag match_tag = kAnyTag;
   RecvInfo info;
-  std::unique_ptr<sim::Condition> cv;
+  sim::Condition cv;
 };
 
 using Request = std::shared_ptr<ReqState>;

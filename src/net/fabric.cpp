@@ -10,15 +10,12 @@ namespace gbc::net {
 
 ConnectionManager::ConnectionManager(sim::Engine& eng, Fabric& fabric, int n,
                                      NetConfig cfg)
-    : eng_(eng), cfg_(cfg), n_(n), locked_(n, false),
-      unlock_cv_(std::make_unique<sim::Condition>(eng)) {
+    : eng_(eng), cfg_(cfg), n_(n), locked_(n, false), unlock_cv_(eng) {
   (void)fabric;
 }
 
 ConnectionManager::Conn& ConnectionManager::conn(int a, int b) {
-  auto& c = conns_[key(a, b)];
-  if (!c.cv) c.cv = std::make_unique<sim::Condition>(eng_);
-  return c;
+  return conns_.try_emplace(key(a, b), eng_).first->second;
 }
 
 const ConnectionManager::Conn* ConnectionManager::find(int a, int b) const {
@@ -35,14 +32,14 @@ sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
   assert(a != b);
   for (;;) {
     // Establishment requires both endpoints available (not frozen).
-    while (locked_[a] || locked_[b]) co_await unlock_cv_->wait();
+    while (locked_[a] || locked_[b]) co_await unlock_cv_.wait();
     Conn& c = conn(a, b);
     switch (c.state) {
       case ConnState::kConnected:
         co_return;
       case ConnState::kConnecting:
       case ConnState::kDraining:
-        co_await c.cv->wait();
+        co_await c.cv.wait();
         continue;  // re-evaluate from scratch (locks may have changed)
       case ConnState::kDisconnected: {
         c.state = ConnState::kConnecting;
@@ -51,7 +48,7 @@ sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
         Conn& c2 = conn(a, b);  // iterator-stable (std::map), but be explicit
         c2.state = ConnState::kConnected;
         ++setups_;
-        c2.cv->notify_all();
+        c2.cv.notify_all();
         co_return;
       }
     }
@@ -60,7 +57,7 @@ sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
 
 sim::Task<void> ConnectionManager::drain(int a, int b) {
   Conn& c = conn(a, b);
-  while (c.in_flight > 0) co_await c.cv->wait();
+  while (c.in_flight > 0) co_await c.cv.wait();
 }
 
 sim::Task<void> ConnectionManager::disconnect(int a, int b) {
@@ -71,15 +68,15 @@ sim::Task<void> ConnectionManager::disconnect(int a, int b) {
         co_return;
       case ConnState::kConnecting:
       case ConnState::kDraining:
-        co_await c.cv->wait();
+        co_await c.cv.wait();
         continue;
       case ConnState::kConnected: {
         c.state = ConnState::kDraining;
-        while (c.in_flight > 0) co_await c.cv->wait();
+        while (c.in_flight > 0) co_await c.cv.wait();
         co_await eng_.delay(cfg_.teardown_cost);
         c.state = ConnState::kDisconnected;
         ++teardowns_;
-        c.cv->notify_all();
+        c.cv.notify_all();
         co_return;
       }
     }
@@ -90,7 +87,7 @@ void ConnectionManager::lock_endpoint(int ep) { locked_[ep] = true; }
 
 void ConnectionManager::unlock_endpoint(int ep) {
   locked_[ep] = false;
-  unlock_cv_->notify_all();
+  unlock_cv_.notify_all();
 }
 
 std::vector<int> ConnectionManager::connected_peers(int ep) const {
@@ -120,7 +117,7 @@ void ConnectionManager::on_transmit_start(int a, int b) {
 void ConnectionManager::on_delivered(int a, int b) {
   Conn& c = conn(a, b);
   assert(c.in_flight > 0);
-  if (--c.in_flight == 0) c.cv->notify_all();
+  if (--c.in_flight == 0) c.cv.notify_all();
 }
 
 // ---------------------------------------------------------------------------

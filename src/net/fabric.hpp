@@ -10,6 +10,7 @@
 
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "storage/storage.hpp"
@@ -50,7 +51,9 @@ struct Packet {
   Bytes bytes = 0;
   PacketKind kind = PacketKind::kControl;
   std::uint64_t id = 0;
-  std::shared_ptr<void> body;  ///< opaque payload owned by the MPI layer
+  /// Opaque payload owned by the MPI layer: a pooled, refcounted buffer
+  /// (sim::MsgPool) instead of a heap-allocated shared_ptr<void>.
+  sim::MsgBuf body;
 };
 
 enum class ConnState : std::uint8_t {
@@ -107,9 +110,10 @@ class ConnectionManager {
 
  private:
   struct Conn {
+    explicit Conn(sim::Engine& eng) : cv(eng) {}
     ConnState state = ConnState::kDisconnected;
     int in_flight = 0;
-    std::unique_ptr<sim::Condition> cv;  // state / drain changes
+    sim::Condition cv;  // state / drain changes
   };
   using Key = std::pair<int, int>;
   static Key key(int a, int b) {
@@ -123,7 +127,7 @@ class ConnectionManager {
   int n_;
   std::map<Key, Conn> conns_;
   std::vector<bool> locked_;
-  std::unique_ptr<sim::Condition> unlock_cv_;
+  sim::Condition unlock_cv_;
   std::int64_t setups_ = 0;
   std::int64_t teardowns_ = 0;
 };

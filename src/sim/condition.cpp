@@ -5,7 +5,7 @@ namespace gbc::sim {
 Task<bool> Condition::wait_for(Time timeout) {
   // Race a timer against the condition; whichever settles the shared state
   // first wins, the loser finds `settled` already true and does nothing.
-  auto state = std::make_shared<SuspendState>();
+  auto state = eng_->make_suspend_state();
   bool notified = false;
 
   struct RaceAwaiter {

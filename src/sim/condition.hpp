@@ -26,7 +26,7 @@ class Condition {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      state = std::make_shared<SuspendState>();
+      state = cv.eng_->make_suspend_state();
       state->handle = h;
       cv.eng_->register_suspension(state);
       cv.waiters_.push_back(state);

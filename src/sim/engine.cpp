@@ -10,7 +10,7 @@ namespace {
 
 // Detached driver coroutine: eagerly started, self-destroying.
 struct Detached {
-  struct promise_type {
+  struct promise_type : PooledFrame {
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -47,8 +47,8 @@ std::uint32_t Engine::acquire_slot(InlineFn fn) {
 
 void Engine::schedule_at(Time t, InlineFn fn) {
   assert(t >= now_ && "scheduling into the past");
-  queue_.push(Event{t < now_ ? now_ : t, next_seq_++,
-                    acquire_slot(std::move(fn))});
+  queue_.push(WheelEvent{t < now_ ? now_ : t, next_seq_++,
+                         acquire_slot(std::move(fn))});
 }
 
 void Engine::schedule_after(Time delay, InlineFn fn) {
@@ -60,7 +60,7 @@ void Engine::spawn(Task<void> body) {
   drive(this, std::move(body));
 }
 
-void Engine::step(const Event& ev) {
+void Engine::step(const WheelEvent& ev) {
   now_ = ev.t;
   ++events_;
   // Move the callable out before invoking: the callback may schedule new
@@ -71,9 +71,8 @@ void Engine::step(const Event& ev) {
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  WheelEvent ev;
+  while (queue_.pop(kMaxSimTime, ev)) {
     step(ev);
     if (!errors_.empty()) {
       auto e = errors_.front();
@@ -84,9 +83,8 @@ void Engine::run() {
 }
 
 void Engine::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  WheelEvent ev;
+  while (queue_.pop(t, ev)) {
     step(ev);
     if (!errors_.empty()) {
       auto e = errors_.front();
@@ -118,7 +116,7 @@ void Engine::abort_all() {
     }
   }
   // Drop any queued callbacks; their targets checked `alive` anyway.
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
   slots_.clear();
   free_slots_.clear();
 }
@@ -139,10 +137,14 @@ void Engine::register_suspension(const std::shared_ptr<SuspendState>& s) {
 }
 
 void Engine::DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
-  state = std::make_shared<SuspendState>();
+  state = eng.make_suspend_state();
   state->handle = h;
   eng.register_suspension(state);
-  eng.schedule_after(delay, [s = state] {
+  // Raw capture, not a shared_ptr copy: the awaiter's reference keeps the
+  // record alive while the coroutine is suspended, the callback never
+  // touches it after resume(), and a callback dropped unrun (abort_all /
+  // teardown clears the queue) destroys only the pointer.
+  eng.schedule_after(delay, [s = state.get()] {
     if (s->settled) return;
     s->settled = true;
     if (s->alive) s->handle.resume();

@@ -3,13 +3,14 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/inline_fn.hpp"
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace gbc::sim {
 
@@ -65,6 +66,17 @@ class Engine {
 
   // --- used by awaitable primitives ---
   void register_suspension(const std::shared_ptr<SuspendState>& s);
+  /// Allocates a SuspendState from the engine's recycling arena. The arena
+  /// core is kept alive by every control block it produced, so records (and
+  /// the weak_ptrs in suspensions_) may outlive the Engine safely.
+  std::shared_ptr<SuspendState> make_suspend_state() {
+    return std::allocate_shared<SuspendState>(
+        ArenaAlloc<SuspendState>(suspend_arena_));
+  }
+  /// Arena backing suspension records; exposed for recycling tests.
+  const std::shared_ptr<ArenaCore>& suspend_arena() const noexcept {
+    return suspend_arena_;
+  }
   /// Schedules the resume of a settled suspension at the current time.
   void wake(const std::shared_ptr<SuspendState>& s) { wake_impl(s); }
   /// Move form: steals the caller's reference instead of bumping the count
@@ -91,21 +103,6 @@ class Engine {
   };
 
  private:
-  // The heap orders trivially-copyable 24-byte records; the callables live
-  // in stable recycled slots on the side. Sift-up/down during push/pop then
-  // shuffles PODs instead of move-constructing functors, and slot reuse
-  // means a steady-state simulation stops allocating per event entirely.
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
-
   template <typename Ptr>
   void wake_impl(Ptr&& s) {
     if (s->settled) return;
@@ -115,13 +112,17 @@ class Engine {
     });
   }
 
-  void step(const Event& ev);
+  void step(const WheelEvent& ev);
   std::uint32_t acquire_slot(InlineFn fn);
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // The wheel orders trivially-copyable 24-byte records; the callables live
+  // in stable recycled slots on the side, so a steady-state simulation stops
+  // allocating per event entirely.
+  TimingWheel queue_;
   std::vector<InlineFn> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::weak_ptr<SuspendState>> suspensions_;
+  std::shared_ptr<ArenaCore> suspend_arena_ = std::make_shared<ArenaCore>();
   std::vector<std::exception_ptr> errors_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,383 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+// Memory pools for the simulation hot path. Every simulated send, buffered
+// message, suspension and coroutine frame used to be a fresh heap allocation;
+// at millions of events per sweep point the allocator dominates. The pools
+// here trade a little slab bookkeeping for steady-state allocation-free
+// operation. All of them are single-threaded by design: a pool belongs to one
+// Engine, and the sweep runner confines each Engine to one worker thread
+// (DESIGN.md §8), so no atomics are needed.
+//
+// Under AddressSanitizer the pools degrade to plain new/delete so recycling
+// cannot mask use-after-free bugs in the code they serve.
+#if defined(__SANITIZE_ADDRESS__)
+#define GBC_POOLS_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GBC_POOLS_PASSTHROUGH 1
+#endif
+#endif
+#ifndef GBC_POOLS_PASSTHROUGH
+#define GBC_POOLS_PASSTHROUGH 0
+#endif
+
+namespace gbc::sim {
+
+/// Typed slab allocator. Objects are carved out of fixed-size slabs and
+/// recycled through an intrusive free list (the link lives in the freed
+/// node's own storage), so steady-state acquire/release touches no heap.
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(std::size_t nodes_per_slab = 64)
+      : per_slab_(nodes_per_slab ? nodes_per_slab : 1) {}
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() { assert(outstanding_ == 0 && "Pool destroyed with live objects"); }
+
+  /// Constructs a T in recycled (or freshly-slabbed) storage.
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+#if GBC_POOLS_PASSTHROUGH
+    ++outstanding_;
+    return new T(std::forward<Args>(args)...);
+#else
+    Slot* s = free_;
+    if (s != nullptr) {
+      free_ = s->next;
+      ++reused_;
+    } else {
+      s = grow();
+    }
+    ++outstanding_;
+    return ::new (static_cast<void*>(s->raw)) T(std::forward<Args>(args)...);
+#endif
+  }
+
+  /// Destroys *p and returns its storage to the free list.
+  void release(T* p) noexcept {
+    assert(outstanding_ > 0);
+    --outstanding_;
+#if GBC_POOLS_PASSTHROUGH
+    delete p;
+#else
+    p->~T();
+    Slot* s = reinterpret_cast<Slot*>(p);
+    s->next = free_;
+    free_ = s;
+#endif
+  }
+
+  std::size_t outstanding() const noexcept { return outstanding_; }
+  /// Acquisitions served from the free list (i.e. recycled storage).
+  std::uint64_t reused() const noexcept { return reused_; }
+
+ private:
+  union Slot {
+    Slot* next;
+    alignas(alignof(T)) std::byte raw[sizeof(T)];
+  };
+
+  Slot* grow() {
+    slabs_.push_back(std::make_unique<Slot[]>(per_slab_));
+    Slot* base = slabs_.back().get();
+    // Hand out the first node; chain the rest onto the free list in address
+    // order so reuse patterns stay deterministic.
+    for (std::size_t i = per_slab_; i-- > 1;) {
+      base[i].next = free_;
+      free_ = &base[i];
+    }
+    return base;
+  }
+
+  std::size_t per_slab_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  Slot* free_ = nullptr;
+  std::size_t outstanding_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+/// Size-class free lists backing ArenaAlloc. Built for std::allocate_shared:
+/// the allocator (holding a shared_ptr to this core) is copied into every
+/// control block it creates, so outstanding shared/weak_ptrs keep the core
+/// alive even after its owning object is destroyed — no destruction-order
+/// hazards between e.g. an Engine's suspension registry and the arena that
+/// allocated the suspension records.
+class ArenaCore {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 16;  // blocks up to 1 KiB recycled
+
+  ArenaCore() = default;
+  ArenaCore(const ArenaCore&) = delete;
+  ArenaCore& operator=(const ArenaCore&) = delete;
+  ~ArenaCore() {
+    for (void* head : free_) {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+    if (GBC_POOLS_PASSTHROUGH || cls == 0 || cls > kClasses) {
+      return ::operator new(bytes);
+    }
+    void*& head = free_[cls - 1];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      ++reused_;
+      return p;
+    }
+    return ::operator new(cls * kGranularity);
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+    if (GBC_POOLS_PASSTHROUGH || cls == 0 || cls > kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = free_[cls - 1];
+    free_[cls - 1] = p;
+  }
+
+  /// Allocations served from a free list (recycled storage).
+  std::uint64_t reused() const noexcept { return reused_; }
+
+ private:
+  void* free_[kClasses] = {};
+  std::uint64_t reused_ = 0;
+};
+
+/// Allocator adapter over a shared ArenaCore, for std::allocate_shared.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+
+  explicit ArenaAlloc(std::shared_ptr<ArenaCore> core)
+      : core_(std::move(core)) {}
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>& other) noexcept  // NOLINT: allocator rebind
+      : core_(other.core()) {}
+
+  T* allocate(std::size_t n) {
+    if (n != 1) return static_cast<T*>(::operator new(n * sizeof(T)));
+    return static_cast<T*>(core_->allocate(sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    core_->deallocate(p, sizeof(T));
+  }
+
+  const std::shared_ptr<ArenaCore>& core() const noexcept { return core_; }
+
+  friend bool operator==(const ArenaAlloc& a, const ArenaAlloc& b) noexcept {
+    return a.core_ == b.core_;
+  }
+
+ private:
+  std::shared_ptr<ArenaCore> core_;
+};
+
+namespace detail {
+struct MsgBufHeader {
+  std::uint32_t refs = 0;
+  void* payload = nullptr;
+  void (*release)(MsgBufHeader*) noexcept = nullptr;
+};
+}  // namespace detail
+
+/// Type-erased, intrusively-refcounted handle to a pooled message payload.
+/// Replaces shared_ptr<void> packet bodies: one pooled node holds refcount,
+/// vtable-free release hook and payload together, and the (non-atomic)
+/// refcount is engine-confined like everything else on the hot path.
+class MsgBuf {
+ public:
+  MsgBuf() noexcept = default;
+  MsgBuf(std::nullptr_t) noexcept {}  // NOLINT: keeps Packet{..., nullptr}
+                                      // aggregate initializers working
+  /// Adopts one reference (the pool's make() hands these out).
+  explicit MsgBuf(detail::MsgBufHeader* h) noexcept : h_(h) {}
+
+  MsgBuf(const MsgBuf& o) noexcept : h_(o.h_) {
+    if (h_ != nullptr) ++h_->refs;
+  }
+  MsgBuf(MsgBuf&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  MsgBuf& operator=(const MsgBuf& o) noexcept {
+    MsgBuf tmp(o);
+    std::swap(h_, tmp.h_);
+    return *this;
+  }
+  MsgBuf& operator=(MsgBuf&& o) noexcept {
+    MsgBuf tmp(std::move(o));
+    std::swap(h_, tmp.h_);
+    return *this;
+  }
+  ~MsgBuf() { reset(); }
+
+  void reset() noexcept {
+    if (h_ != nullptr && --h_->refs == 0) h_->release(h_);
+    h_ = nullptr;
+  }
+
+  explicit operator bool() const noexcept { return h_ != nullptr; }
+  friend bool operator==(const MsgBuf& b, std::nullptr_t) noexcept {
+    return b.h_ == nullptr;
+  }
+
+  /// The payload, as constructed by MsgPool<T>::make(). The caller asserts
+  /// the type, exactly as with the static_pointer_cast it replaces.
+  template <typename T>
+  T* get() const noexcept {
+    return h_ != nullptr ? static_cast<T*>(h_->payload) : nullptr;
+  }
+
+  std::uint32_t use_count() const noexcept {
+    return h_ != nullptr ? h_->refs : 0;
+  }
+
+ private:
+  detail::MsgBufHeader* h_ = nullptr;
+};
+
+/// Pool of refcounted T payloads handed out as MsgBuf. Orphan-safe: packets
+/// captured in still-queued engine events can outlive the pool's owner (e.g.
+/// MiniMPI dies before its Engine), so the backing storage is only torn down
+/// once the pool is destroyed AND the last in-flight buffer has released.
+template <typename T>
+class MsgPool {
+  struct Core;
+  struct Node {
+    Core* core = nullptr;
+    detail::MsgBufHeader hdr;
+    alignas(alignof(T)) std::byte value[sizeof(T)];
+  };
+  struct Core {
+    Pool<Node> pool;
+    std::size_t outstanding = 0;
+    bool orphaned = false;
+  };
+
+ public:
+  MsgPool() : core_(new Core) {}
+  MsgPool(const MsgPool&) = delete;
+  MsgPool& operator=(const MsgPool&) = delete;
+  ~MsgPool() {
+    if (core_->outstanding == 0) {
+      delete core_;
+    } else {
+      core_->orphaned = true;  // last MsgBuf release deletes the core
+    }
+  }
+
+  template <typename... Args>
+  MsgBuf make(Args&&... args) {
+    Node* n = core_->pool.acquire();
+    n->core = core_;
+    n->hdr.refs = 1;
+    n->hdr.release = &MsgPool::release_node;
+    n->hdr.payload =
+        ::new (static_cast<void*>(n->value)) T(std::forward<Args>(args)...);
+    ++core_->outstanding;
+    return MsgBuf(&n->hdr);
+  }
+
+  std::size_t outstanding() const noexcept { return core_->outstanding; }
+  std::uint64_t reused() const noexcept { return core_->pool.reused(); }
+
+ private:
+  static void release_node(detail::MsgBufHeader* h) noexcept {
+    Node* n = reinterpret_cast<Node*>(reinterpret_cast<std::byte*>(h) -
+                                      offsetof(Node, hdr));
+    Core* core = n->core;
+    static_cast<T*>(h->payload)->~T();
+    core->pool.release(n);
+    if (--core->outstanding == 0 && core->orphaned) delete core;
+  }
+
+  Core* core_;
+};
+
+/// Thread-local size-class recycler for coroutine frames. Frames for
+/// send/recv/wait/pump/checkpoint coroutines are created and destroyed at
+/// event rate; this keeps the storage on a per-thread free list. Blocks come
+/// from plain ::operator new, so a frame freed on a different thread than it
+/// was allocated on (the sweep pool moves engines between workers across
+/// batches, never concurrently) just migrates to that thread's cache.
+class FramePool {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 32;  // frames up to 2 KiB recycled
+
+  static void* allocate(std::size_t n) {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    if (GBC_POOLS_PASSTHROUGH || cls == 0 || cls > kClasses) {
+      return ::operator new(n);
+    }
+    void*& head = cache().free[cls - 1];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new(cls * kGranularity);
+  }
+
+  static void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    if (GBC_POOLS_PASSTHROUGH || cls == 0 || cls > kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    void*& head = cache().free[cls - 1];
+    *static_cast<void**>(p) = head;
+    head = p;
+  }
+
+ private:
+  struct Cache {
+    void* free[kClasses] = {};
+    ~Cache() {
+      for (void* head : free) {
+        while (head != nullptr) {
+          void* next = *static_cast<void**>(head);
+          ::operator delete(head);
+          head = next;
+        }
+      }
+    }
+  };
+  static Cache& cache() {
+    static thread_local Cache c;
+    return c;
+  }
+};
+
+/// Mixin for coroutine promise types: routes the coroutine frame through
+/// FramePool. C++20 looks the operators up on the promise, so inheriting
+/// this is all a promise type needs.
+struct PooledFrame {
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
+};
+
+}  // namespace gbc::sim

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/pool.hpp"
+
 // Lazy coroutine task used for all simulated activities. A Task<T> does not
 // start until it is co_awaited; completion resumes the awaiting coroutine via
 // symmetric transfer, so arbitrarily deep call chains use O(1) stack.
@@ -35,7 +37,9 @@ struct FinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct PromiseBase {
+// PooledFrame routes every Task's coroutine frame through the thread-local
+// FramePool: frames are created/destroyed at event rate on the hot path.
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
 

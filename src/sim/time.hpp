@@ -10,6 +10,8 @@ namespace gbc::sim {
 using Time = std::int64_t;
 
 inline constexpr Time kNanosecond = 1;
+/// Largest representable timestamp ("run with no time bound").
+inline constexpr Time kMaxSimTime = INT64_MAX;
 inline constexpr Time kMicrosecond = 1000 * kNanosecond;
 inline constexpr Time kMillisecond = 1000 * kMicrosecond;
 inline constexpr Time kSecond = 1000 * kMillisecond;

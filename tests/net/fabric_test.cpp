@@ -262,17 +262,17 @@ TEST(Fabric, TrafficMatrixIsSymmetricAndCountsDataPlaneOnly) {
 
 TEST(Fabric, PayloadBodyTravelsIntact) {
   World w(2);
-  std::shared_ptr<void> received;
-  w.fabric.set_receiver(1, [&](Packet p) { received = p.body; });
-  auto body = std::make_shared<std::vector<int>>(std::vector<int>{1, 2, 3});
-  w.eng.spawn([](World& w, std::shared_ptr<void> b) -> Task<void> {
+  sim::MsgPool<std::vector<int>> pool;
+  sim::MsgBuf received;
+  w.fabric.set_receiver(1, [&](Packet p) { received = std::move(p.body); });
+  sim::MsgBuf body = pool.make(std::vector<int>{1, 2, 3});
+  w.eng.spawn([](World& w, sim::MsgBuf b) -> Task<void> {
     co_await connect(w.fabric, 0, 1);
     w.fabric.transmit(Packet{0, 1, 12, PacketKind::kEager, 0, std::move(b)});
-  }(w, body));
+  }(w, std::move(body)));
   w.eng.run();
   ASSERT_TRUE(received);
-  auto vec = std::static_pointer_cast<std::vector<int>>(received);
-  EXPECT_EQ(*vec, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(*received.get<std::vector<int>>(), (std::vector<int>{1, 2, 3}));
 }
 
 }  // namespace
