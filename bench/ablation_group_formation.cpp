@@ -97,7 +97,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("ablation_group_formation"));
-  bench::report_sweep("ablation_group_formation", stats);
+  bench::report_sweep("ablation_group_formation", stats, &preset);
   std::printf(
       "\nExpected: when communication clusters cross rank-block boundaries,\n"
       "static formation splits partners into different checkpoint groups and\n"

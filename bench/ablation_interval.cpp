@@ -62,7 +62,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("ablation_interval"));
-  bench::report_sweep("ablation_interval", stats);
+  bench::report_sweep("ablation_interval", stats, &preset);
 
   std::printf("\nYoung-optimal intervals for MTBF=%.0fs: blocking C~43s -> "
               "%.0fs; group-based C~10s -> %.0fs\n",

@@ -87,7 +87,7 @@ int main() {
 
   t.print();
   t.write_csv(bench::csv_path("ablation_protocols"));
-  bench::report_sweep("ablation_protocols", stats);
+  bench::report_sweep("ablation_protocols", stats, &preset);
   std::printf(
       "\nExpected: group-based has the smallest effective delay and per-rank\n"
       "downtime; blocking and Chandy-Lamport both saturate the storage with\n"

@@ -28,9 +28,12 @@ inline std::string csv_path(const std::string& name) {
 /// One-line sweep telemetry printed by the converted figure drivers. When
 /// $GBC_BENCH_JSON names a file, also appends one JSON record per sweep
 /// (JSONL) so scripts/run_benchmarks.sh can assemble a machine-readable
-/// summary without parsing stdout.
-inline void report_sweep(const std::string& name,
-                         const harness::SweepStats& s) {
+/// summary without parsing stdout. Records carry the provenance needed to
+/// compare runs across commits: the git SHA ($GBC_GIT_SHA, exported by
+/// run_benchmarks.sh) and, when `preset` is given, the active storage and
+/// staging-tier configuration.
+inline void report_sweep(const std::string& name, const harness::SweepStats& s,
+                         const harness::ClusterPreset* preset = nullptr) {
   std::printf("[sweep] %zu points on %d thread%s: %.2fs wall, %.2fM "
               "simulated events (%.1fM events/s)\n",
               s.points.size(), s.threads, s.threads == 1 ? "" : "s",
@@ -40,13 +43,35 @@ inline void report_sweep(const std::string& name,
   if (!json || !*json) return;
   std::FILE* f = std::fopen(json, "a");
   if (!f) return;
+  const char* sha = std::getenv("GBC_GIT_SHA");
   std::fprintf(f,
-               "{\"sweep\":\"%s\",\"threads\":%d,\"points\":%zu,"
-               "\"wall_seconds\":%.6f,\"events\":%lld,"
-               "\"events_per_second\":%.0f}\n",
-               name.c_str(), s.threads, s.points.size(), s.wall_seconds,
+               "{\"sweep\":\"%s\",\"git_sha\":\"%s\",\"threads\":%d,"
+               "\"points\":%zu,\"wall_seconds\":%.6f,\"events\":%lld,"
+               "\"events_per_second\":%.0f",
+               name.c_str(), sha && *sha ? sha : "unknown", s.threads,
+               s.points.size(), s.wall_seconds,
                static_cast<long long>(s.total_events()),
                s.events_per_second());
+  if (preset) {
+    const auto& st = preset->storage;
+    std::fprintf(f,
+                 ",\"storage\":{\"num_servers\":%d,"
+                 "\"per_client_cap_mbps\":%g,\"aggregate_cap_mbps\":%g,"
+                 "\"stripe_count\":%d}",
+                 st.num_servers, st.per_client_cap_mbps, st.aggregate_cap_mbps,
+                 st.stripe_count);
+    const auto& tc = preset->tier;
+    std::fprintf(f,
+                 ",\"tier\":{\"enabled\":%s,\"local_write_mbps\":%g,"
+                 "\"local_read_mbps\":%g,\"local_capacity_mib\":%g,"
+                 "\"drain_mbps\":%g,\"drain_chunk_mib\":%g,"
+                 "\"replicate\":%s,\"replica_offset\":%d}",
+                 tc.enabled ? "true" : "false", tc.local_write_mbps,
+                 tc.local_read_mbps, tc.local_capacity_mib, tc.drain_mbps,
+                 tc.drain_chunk_mib, tc.replicate ? "true" : "false",
+                 tc.replica_offset);
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 

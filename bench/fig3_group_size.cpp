@@ -52,7 +52,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig3_group_size"));
-  bench::report_sweep("fig3_group_size", stats);
+  bench::report_sweep("fig3_group_size", stats, &preset);
   std::printf(
       "\nExpected shape (paper): while the checkpoint group covers >= one\n"
       "communication group, halving the checkpoint group roughly halves the\n"

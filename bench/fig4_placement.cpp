@@ -51,7 +51,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig4_placement"));
-  bench::report_sweep("fig4_placement", stats);
+  bench::report_sweep("fig4_placement", stats, &preset);
   std::printf(
       "\nExpected shape (paper): the effective delay always lies between the\n"
       "Individual and Total checkpoint times, and grows toward Total as the\n"

@@ -52,7 +52,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig5_hpl_timepoints"));
-  bench::report_sweep("fig5_hpl_timepoints", stats);
+  bench::report_sweep("fig5_hpl_timepoints", stats, &preset);
   std::printf(
       "\nExpected shape (paper): group sizes 2..16 beat All(32) at every\n"
       "point (up to ~78%% reduction, best near sizes 4/8 matching the 8x4\n"

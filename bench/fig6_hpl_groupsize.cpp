@@ -63,7 +63,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig6_hpl_groupsize"));
-  bench::report_sweep("fig6_hpl_groupsize", stats);
+  bench::report_sweep("fig6_hpl_groupsize", stats, &preset);
   std::printf(
       "\nExpected shape (paper): sizes 4 and 8 give the best performance\n"
       "(matching the 8x4 process grid), with average reductions around\n"

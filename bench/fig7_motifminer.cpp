@@ -57,7 +57,7 @@ int main() {
   }
   t.print();
   t.write_csv(bench::csv_path("fig7_motifminer"));
-  bench::report_sweep("fig7_motifminer", stats);
+  bench::report_sweep("fig7_motifminer", stats, &preset);
 
   std::printf("\nAverage reduction vs All(32):");
   for (std::size_t si = 1; si < sizes.size(); ++si) {

@@ -27,6 +27,11 @@ done
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# Provenance: every JSONL sweep record embeds the commit it was measured at
+# (bench_util.hpp reads GBC_GIT_SHA), and the snapshot header repeats it.
+GBC_GIT_SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+export GBC_GIT_SHA
+
 echo "== microbenchmarks (--benchmark_min_time=$MIN_TIME) =="
 "$BUILD/bench/simcore_microbench" \
   --benchmark_min_time="$MIN_TIME" \
@@ -36,11 +41,14 @@ echo "== figure sweeps =="
 export GBC_BENCH_JSON="$tmp/sweeps.jsonl"
 GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig3_group_size"
 GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig6_hpl_groupsize"
+if [[ -x "$BUILD/bench/fig8_staging" ]]; then
+  GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig8_staging"
+fi
 
 # Assemble the snapshot: per-benchmark name/time/throughput from the
 # google-benchmark JSON, plus the one-record-per-sweep JSONL the drivers
 # appended via bench_util.hpp's report_sweep().
-awk -v sweeps="$tmp/sweeps.jsonl" '
+awk -v sweeps="$tmp/sweeps.jsonl" -v sha="$GBC_GIT_SHA" '
   function num(l) { sub(/.*: */, "", l); sub(/,[ \t\r]*$/, "", l); return l }
   function str(l) { sub(/.*": *"/, "", l); sub(/".*/, "", l); return l }
   function flush_rec() {
@@ -52,6 +60,7 @@ awk -v sweeps="$tmp/sweeps.jsonl" '
   BEGIN {
     in_bm = 0; first = 1
     print "{"
+    printf "  \"git_sha\": \"%s\",\n", sha
     print "  \"benchmarks\": ["
   }
   /"benchmarks": \[/    { in_bm = 1; next }

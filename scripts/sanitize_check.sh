@@ -4,11 +4,17 @@
 # (GBC_POOLS_PASSTHROUGH), so recycling cannot mask use-after-free in the
 # message/request/suspension lifetimes the pools serve.
 #
-# Usage: scripts/sanitize_check.sh [build-dir]
-#   build-dir  sanitizer build tree (default: build-asan)
+# A second stage rebuilds under TSan and runs the tests that actually cross
+# threads: the sweep pool (label `sweep`) and the staging-tier suites
+# (label `storage`, swept 8-wide by the fig8 determinism check).
+#
+# Usage: scripts/sanitize_check.sh [build-dir] [tsan-build-dir]
+#   build-dir       ASan/UBSan build tree (default: build-asan)
+#   tsan-build-dir  TSan build tree       (default: build-tsan)
 set -euo pipefail
 
 BUILD=${1:-build-asan}
+TSAN_BUILD=${2:-build-tsan}
 
 cmake -B "$BUILD" -S . -DGBC_SANITIZE=address,undefined
 cmake --build "$BUILD" -j "$(nproc)"
@@ -17,5 +23,12 @@ cmake --build "$BUILD" -j "$(nproc)"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== thread sanitizer stage =="
+cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j "$(nproc)"
+export TSAN_OPTIONS="halt_on_error=1"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
+      -L "sweep|storage"
 
 echo "sanitize check passed"

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "sim/join.hpp"
+#include "storage/tiers.hpp"
 
 namespace gbc::ckpt {
 
@@ -106,7 +107,13 @@ sim::Task<void> periodic_driver(CheckpointService* svc, sim::Engine* eng,
   // time would otherwise pile up requests and starve the application.
   for (;;) {
     // Stop once only this driver remains alive (the application is done).
-    if (eng->live_processes() <= 1) co_return;
+    // Background drain services are detached processes too, but they are
+    // storage activity, not application progress — counting them would keep
+    // the driver (and thus the drain) alive forever once drains lag the
+    // checkpoint interval.
+    const int background =
+        svc->tier() ? svc->tier()->drain_tasks_running() : 0;
+    if (eng->live_processes() <= 1 + background) co_return;
     (void)co_await svc->checkpoint(p);
     co_await eng->delay(interval);
   }
@@ -224,7 +231,25 @@ sim::Task<void> CheckpointService::snapshot_rank(int rank,
   snap.taken_at = eng_.now();
   last_snapshot_at_[rank] = eng_.now();
   const sim::Time t0 = eng_.now();
-  co_await fs_.write(snap.image_bytes);
+  if (tier_ && tier_->enabled() && cfg_.use_tier) {
+    // Multi-level staging: the frozen rank writes to its node-local tier
+    // (plus the partner replica when enabled); the drain to the PFS runs on
+    // in the background after the rank thaws.
+    const bool pause = cfg_.pause_drain_during_snapshot;
+    if (pause) tier_->pause_drain(rank);
+    snap.image_id = co_await tier_->snapshot(rank, snap.image_bytes);
+    if (pause) tier_->resume_drain(rank);
+    const auto* img = tier_->find(snap.image_id);
+    if (img && img->local) {
+      snap.placement = img->partner >= 0 ? ImagePlacement::kLocalReplicated
+                                         : ImagePlacement::kLocal;
+      snap.replica_node = img->partner;
+    } else {
+      snap.placement = ImagePlacement::kPfs;  // capacity write-through
+    }
+  } else {
+    co_await fs_.write(snap.image_bytes);
+  }
   snap.storage_time = eng_.now() - t0;
 }
 

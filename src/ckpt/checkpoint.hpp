@@ -14,6 +14,10 @@
 #include "sim/time.hpp"
 #include "storage/storage.hpp"
 
+namespace gbc::storage {
+class TieredStore;
+}
+
 namespace gbc::ckpt {
 
 using Bytes = storage::Bytes;
@@ -64,6 +68,22 @@ struct CkptConfig {
   bool incremental = false;
   double dirty_floor = 0.15;            ///< fraction dirtied immediately
   double dirty_rate_per_second = 0.02;  ///< extra fraction per second
+
+  // --- Multi-level staging (storage::TieredStore; DESIGN.md §10). When a
+  // tier is attached and use_tier is set, snapshots land on the node-local
+  // tier (and optionally a partner replica) instead of the shared PFS; the
+  // background drain makes them PFS-durable later.
+  bool use_tier = true;
+  /// Pause the node's background drain while its foreground snapshot writes
+  /// to the local disk (the two compete for the same device).
+  bool pause_drain_during_snapshot = true;
+};
+
+/// Where a rank's snapshot image lived when its checkpoint completed.
+enum class ImagePlacement : std::uint8_t {
+  kPfs,              ///< written straight to the shared PFS (no tier)
+  kLocal,            ///< node-local tier only (lost with the node)
+  kLocalReplicated,  ///< node-local tier + partner replica
 };
 
 /// One rank's snapshot (what BLCR would write).
@@ -75,6 +95,11 @@ struct RankSnapshot {
   sim::Time freeze_begin = -1;
   sim::Time resume_at = -1;         ///< thawed (downtime = resume - freeze)
   sim::Time storage_time = 0;       ///< portion spent writing the image
+
+  // --- staging (set only when a TieredStore handled the write) ---
+  std::uint64_t image_id = 0;  ///< TieredStore ledger id (0 = direct PFS)
+  ImagePlacement placement = ImagePlacement::kPfs;
+  int replica_node = -1;  ///< partner holding the replica, -1 if none
 };
 
 /// Result of one global checkpoint cycle.
@@ -142,6 +167,11 @@ class CheckpointService {
   /// snapshot/resume), for debugging and schedule visualisation.
   void set_trace(sim::Trace* trace) { trace_ = trace; }
 
+  /// Attaches a node-local staging tier: snapshot writes go to it instead
+  /// of the shared PFS (when cfg_.use_tier; see DESIGN.md §10).
+  void set_tier(storage::TieredStore* tier) { tier_ = tier; }
+  storage::TieredStore* tier() const noexcept { return tier_; }
+
  private:
   class DeferralGate : public mpi::CommGate {
    public:
@@ -170,6 +200,7 @@ class CheckpointService {
   sim::Engine& eng_;
   mpi::MiniMPI& mpi_;
   storage::StorageSystem& fs_;
+  storage::TieredStore* tier_ = nullptr;
   CkptConfig cfg_;
   std::function<Bytes(int)> footprint_;
   std::function<std::vector<std::uint64_t>(int)> capture_;

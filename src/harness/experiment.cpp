@@ -1,6 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <optional>
+
 #include "harness/sweep.hpp"
+#include "storage/tiers.hpp"
 
 namespace gbc::harness {
 
@@ -17,12 +20,23 @@ RunResult run_experiment(const ClusterPreset& preset,
                          const WorkloadFactory& make,
                          const ckpt::CkptConfig& ckpt_cfg,
                          const std::vector<CkptRequest>& requests,
-                         mpi::MpiHooks* hooks) {
+                         mpi::MpiHooks* hooks, sim::Trace* trace) {
   sim::Engine eng;
   net::Fabric fabric(eng, preset.net, preset.nranks);
   storage::StorageSystem fs(eng, preset.storage);
   mpi::MiniMPI mpi(eng, fabric, preset.mpi);
   ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
+  std::optional<storage::TieredStore> tier;
+  if (preset.tier.enabled) {
+    tier.emplace(eng, fs, preset.tier, preset.nranks);
+    tier->set_replica_transport(
+        [&fabric](int src, int dst, storage::Bytes b) {
+          return fabric.bulk_transfer(src, dst, b);
+        });
+    tier->set_trace(trace);
+    ckpt.set_tier(&*tier);
+  }
+  if (trace) ckpt.set_trace(trace);
   if (hooks) mpi.set_hooks(hooks);
 
   std::unique_ptr<workloads::Workload> wl = make(preset.nranks);
@@ -51,6 +65,11 @@ RunResult run_experiment(const ClusterPreset& preset,
   for (int r = 0; r < preset.nranks; ++r) {
     res.final_iterations.push_back(wl->state(r).iteration);
     res.final_hashes.push_back(wl->state(r).hash);
+  }
+  if (tier) {
+    res.tier_images_drained = tier->images_drained();
+    res.tier_write_throughs = tier->write_throughs();
+    res.tier_replicas = tier->replicas_made();
   }
   res.events_processed = eng.events_processed();
   return res;

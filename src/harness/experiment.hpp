@@ -32,16 +32,24 @@ struct RunResult {
   std::vector<std::uint64_t> final_hashes;
   std::uint64_t events_processed = 0;  ///< engine events this run dispatched
 
+  // --- staging-tier stats (zero when preset.tier is disabled) ---
+  std::int64_t tier_images_drained = 0;
+  std::int64_t tier_write_throughs = 0;  ///< capacity fallbacks to the PFS
+  std::int64_t tier_replicas = 0;
+
   double completion_seconds() const { return sim::to_seconds(completion); }
 };
 
 /// Runs one deterministic simulation of `make(n)` on the preset cluster,
-/// optionally taking checkpoints at the requested times.
+/// optionally taking checkpoints at the requested times. When `trace` is
+/// given, checkpoint/staging protocol events are recorded into it (enable
+/// it first; see sim/trace_chrome.hpp for the chrome://tracing export).
 RunResult run_experiment(const ClusterPreset& preset,
                          const WorkloadFactory& make,
                          const ckpt::CkptConfig& ckpt_cfg,
                          const std::vector<CkptRequest>& requests = {},
-                         mpi::MpiHooks* hooks = nullptr);
+                         mpi::MpiHooks* hooks = nullptr,
+                         sim::Trace* trace = nullptr);
 
 /// Effective Checkpoint Delay (paper Sec. 5): the increase in application
 /// running time caused by taking one checkpoint, measured exactly as

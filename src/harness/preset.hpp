@@ -3,6 +3,7 @@
 #include "mpi/minimpi.hpp"
 #include "net/fabric.hpp"
 #include "storage/storage.hpp"
+#include "storage/tiers.hpp"
 
 namespace gbc::harness {
 
@@ -10,6 +11,8 @@ namespace gbc::harness {
 struct ClusterPreset {
   int nranks = 32;
   storage::StorageConfig storage;
+  /// Node-local staging tier (disabled by default: single-tier PFS model).
+  storage::TierConfig tier;
   net::NetConfig net;
   mpi::MpiConfig mpi;
 };

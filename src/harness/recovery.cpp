@@ -1,30 +1,270 @@
 #include "harness/recovery.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 
 #include "ckpt/store.hpp"
 #include "sim/join.hpp"
+#include "storage/tiers.hpp"
 
 namespace gbc::harness {
 
 namespace {
 
-sim::Task<void> restart_rank(storage::StorageSystem* fs,
-                             workloads::Workload* wl, mpi::RankCtx* rank,
-                             storage::Bytes image,
-                             workloads::WorkloadState from, sim::Time* done,
-                             double* read_seconds) {
-  // Restart: reload the process image from the central storage (all ranks
-  // contend, same bottleneck as writing), then resume the application.
+using storage::TieredStore;
+
+/// Where one rank's image is read from during restart.
+struct RestoreSource {
+  enum Kind : std::uint8_t {
+    kNone,     ///< nothing to read (job-pause healthy rank rollback)
+    kLocal,    ///< surviving node-local tier copy
+    kReplica,  ///< partner's replica: partner disk read + fabric transfer
+    kPfs,      ///< shared parallel file system (contended)
+  };
+  Kind kind = Kind::kPfs;
+  storage::Bytes bytes = 0;
+  int from_node = -1;  ///< replica source node (kReplica only)
+};
+
+/// Everything recovery needs to know about the run up to the failure.
+struct Phase1 {
+  std::vector<ckpt::GlobalCheckpoint> completed;
+  std::deque<TieredStore::ImageInfo> images;  ///< tier ledger at failure time
+};
+
+Phase1 run_phase1(const ClusterPreset& preset, const WorkloadFactory& make,
+                  const ckpt::CkptConfig& ckpt_cfg,
+                  const std::vector<CkptRequest>& requests,
+                  sim::Time failure_at) {
+  Phase1 out;
+  sim::Engine eng;
+  net::Fabric fabric(eng, preset.net, preset.nranks);
+  storage::StorageSystem fs(eng, preset.storage);
+  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
+  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
+  std::optional<TieredStore> tier;
+  if (preset.tier.enabled) {
+    tier.emplace(eng, fs, preset.tier, preset.nranks);
+    tier->set_replica_transport(
+        [&fabric](int src, int dst, storage::Bytes b) {
+          return fabric.bulk_transfer(src, dst, b);
+        });
+    ckpt.set_tier(&*tier);
+  }
+  auto wl = make(preset.nranks);
+  wl->setup(mpi);
+  wl->attach(ckpt);
+  for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
+  for (int r = 0; r < preset.nranks; ++r) {
+    eng.spawn(wl->run_rank(mpi.rank(r)));
+  }
+  eng.run_until(failure_at);
+  for (const auto& gc : ckpt.history()) {
+    if (gc.completed_at >= 0 && gc.completed_at <= failure_at) {
+      out.completed.push_back(gc);
+    }
+  }
+  if (tier) out.images = tier->images();
+  eng.abort_all();  // the failure: unwind every process
+  return out;
+}
+
+const TieredStore::ImageInfo* find_image(const Phase1& p1, std::uint64_t id) {
+  return id >= 1 && id <= p1.images.size() ? &p1.images[id - 1] : nullptr;
+}
+
+/// Restore source for one rank of checkpoint `gc` after `failed_rank`'s
+/// node (and its local tier) died. Returns nullopt if the image is gone.
+std::optional<RestoreSource> source_for_rank(const Phase1& p1,
+                                             const ckpt::GlobalCheckpoint& gc,
+                                             int rank, int failed_rank) {
+  const auto& snap = gc.snapshots[rank];
+  const TieredStore::ImageInfo* img = find_image(p1, snap.image_id);
+  if (!img) {
+    // Direct PFS write (no tier involved): always durable.
+    return RestoreSource{RestoreSource::kPfs, snap.image_bytes, -1};
+  }
+  const bool node_lost = rank == failed_rank;
+  if (!node_lost && TieredStore::local_available(*img)) {
+    return RestoreSource{RestoreSource::kLocal, img->bytes, -1};
+  }
+  if (TieredStore::replica_available(*img, failed_rank)) {
+    return RestoreSource{RestoreSource::kReplica, img->bytes, img->partner};
+  }
+  if (TieredStore::pfs_durable(*img)) {
+    return RestoreSource{RestoreSource::kPfs, img->bytes, -1};
+  }
+  return std::nullopt;
+}
+
+void count_source(const RestoreSource& src, RecoveryResult* out) {
+  switch (src.kind) {
+    case RestoreSource::kLocal: ++out->ranks_restored_local; break;
+    case RestoreSource::kReplica: ++out->ranks_restored_replica; break;
+    case RestoreSource::kPfs: ++out->ranks_restored_pfs; break;
+    case RestoreSource::kNone: break;
+  }
+}
+
+/// Rolls every rank of `gc` back to the common committed iteration.
+std::uint64_t common_rollback(const ClusterPreset& preset,
+                              const ckpt::GlobalCheckpoint& gc,
+                              std::vector<workloads::WorkloadState>* resume) {
+  std::uint64_t common = UINT64_MAX;
+  for (int r = 0; r < preset.nranks; ++r) {
+    common = std::min(common, workloads::Workload::committed_iterations(
+                                  gc.snapshots[r].app_state));
+  }
+  for (int r = 0; r < preset.nranks; ++r) {
+    (*resume)[r] = workloads::Workload::state_for_iteration(
+        gc.snapshots[r].app_state, common);
+  }
+  return common;
+}
+
+struct RestartCtx {
+  storage::StorageSystem* fs;
+  net::Fabric* fabric;
+  const storage::TierConfig* tier;
+  workloads::Workload* wl;
+  sim::Time* done;
+  double* read_seconds;
+};
+
+sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
+                             RestoreSource src,
+                             workloads::WorkloadState from) {
+  // Restart: reload the process image from wherever it durably lives, then
+  // resume the application. PFS reads contend through the shared storage;
+  // local-tier reads run at the node's dedicated bandwidth; replica reads
+  // add the partner's disk plus a real fabric transfer.
   const sim::Time t0 = rank->engine().now();
-  co_await fs->read(image);
+  switch (src.kind) {
+    case RestoreSource::kPfs:
+      co_await ctx->fs->read(src.bytes);
+      break;
+    case RestoreSource::kLocal:
+      co_await rank->engine().delay(
+          storage::transfer_time(src.bytes, ctx->tier->local_read_mbps));
+      break;
+    case RestoreSource::kReplica:
+      co_await rank->engine().delay(
+          storage::transfer_time(src.bytes, ctx->tier->local_read_mbps));
+      co_await ctx->fabric->bulk_transfer(src.from_node, rank->world_rank(),
+                                          src.bytes);
+      break;
+    case RestoreSource::kNone:
+      break;
+  }
   const double rs = sim::to_seconds(rank->engine().now() - t0);
-  if (rs > *read_seconds) *read_seconds = rs;
-  co_await wl->run_rank(*rank, from);
-  if (rank->engine().now() > *done) *done = rank->engine().now();
+  if (rs > *ctx->read_seconds) *ctx->read_seconds = rs;
+  co_await ctx->wl->run_rank(*rank, from);
+  if (rank->engine().now() > *ctx->done) *ctx->done = rank->engine().now();
+}
+
+/// Phase 2: fresh cluster, reload images per plan, re-execute to completion.
+void run_restart(const ClusterPreset& preset, const WorkloadFactory& make,
+                 const ckpt::CkptConfig& ckpt_cfg,
+                 const std::vector<RestoreSource>& plan,
+                 const std::vector<workloads::WorkloadState>& resume,
+                 RecoveryResult* out) {
+  sim::Engine eng;
+  net::Fabric fabric(eng, preset.net, preset.nranks);
+  storage::StorageSystem fs(eng, preset.storage);
+  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
+  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);  // no new checkpoints
+  auto wl = make(preset.nranks);
+  wl->setup(mpi);
+  wl->attach(ckpt);
+  sim::Time done = 0;
+  double read_seconds = 0;
+  RestartCtx ctx{&fs, &fabric, &preset.tier, wl.get(), &done, &read_seconds};
+  for (int r = 0; r < preset.nranks; ++r) {
+    eng.spawn(restart_rank(&ctx, &mpi.rank(r), plan[r], resume[r]));
+  }
+  eng.run();
+  out->restart_read_seconds = read_seconds;
+  out->rerun_seconds = sim::to_seconds(done);
+  out->total_seconds = sim::to_seconds(out->failure_at) + out->rerun_seconds;
+  out->final_iterations.clear();
+  out->final_hashes.clear();
+  for (int r = 0; r < preset.nranks; ++r) {
+    out->final_iterations.push_back(wl->state(r).iteration);
+    out->final_hashes.push_back(wl->state(r).hash);
+  }
 }
 
 }  // namespace
+
+RecoveryResult run_with_failure(const ClusterPreset& preset,
+                                const WorkloadFactory& make,
+                                const ckpt::CkptConfig& ckpt_cfg,
+                                const std::vector<CkptRequest>& requests,
+                                sim::Time failure_at, int failed_rank) {
+  RecoveryResult out;
+  out.failure_at = failure_at;
+
+  // ---- Phase 1: run until the failure, remember completed checkpoints
+  // and where the staging tier left every image.
+  Phase1 p1 = run_phase1(preset, make, ckpt_cfg, requests, failure_at);
+
+  // ---- Determine the rollback point. The store models the checkpoint
+  // directory on the PFS: under incremental checkpointing a restore has to
+  // read the whole chain back to the last full image, not just the newest
+  // increment.
+  std::vector<workloads::WorkloadState> resume(preset.nranks);
+  std::vector<RestoreSource> plan(
+      preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
+  if (!p1.completed.empty()) {
+    ckpt::CheckpointStore store(/*retention=*/2);
+    for (std::size_t i = 0; i < p1.completed.size(); ++i) {
+      store.commit(p1.completed[i], ckpt_cfg.incremental && i > 0);
+    }
+    if (!preset.tier.enabled) {
+      // Single-tier model: every image is on the PFS, the latest completed
+      // checkpoint is always recoverable.
+      const auto* set = store.latest();
+      const ckpt::GlobalCheckpoint& gc = p1.completed.back();
+      out.used_checkpoint = true;
+      out.rollback_iteration = common_rollback(preset, gc, &resume);
+      for (int r = 0; r < preset.nranks; ++r) {
+        plan[r].bytes = set ? store.restore_bytes(*set, r)
+                            : gc.snapshots[r].image_bytes;
+        ++out.ranks_restored_pfs;
+      }
+    } else {
+      // Tiered model: the failed node's local images died with it. Walk
+      // checkpoints newest-first until one is restorable for every rank.
+      for (int i = static_cast<int>(p1.completed.size()) - 1; i >= 0; --i) {
+        const ckpt::GlobalCheckpoint& gc = p1.completed[i];
+        std::vector<RestoreSource> candidate(preset.nranks);
+        bool ok = true;
+        for (int r = 0; r < preset.nranks && ok; ++r) {
+          auto src = source_for_rank(p1, gc, r, failed_rank);
+          if (!src) {
+            ok = false;
+          } else {
+            candidate[r] = *src;
+          }
+        }
+        if (!ok) {
+          ++out.checkpoints_skipped;
+          continue;
+        }
+        out.used_checkpoint = true;
+        out.rollback_iteration = common_rollback(preset, gc, &resume);
+        plan = std::move(candidate);
+        for (int r = 0; r < preset.nranks; ++r) count_source(plan[r], &out);
+        break;
+      }
+    }
+  }
+
+  // ---- Phase 2: fresh cluster, reload images, re-execute to completion.
+  run_restart(preset, make, ckpt_cfg, plan, resume, &out);
+  return out;
+}
 
 RecoveryResult run_with_single_failure(const ClusterPreset& preset,
                                        const WorkloadFactory& make,
@@ -33,166 +273,50 @@ RecoveryResult run_with_single_failure(const ClusterPreset& preset,
                                        sim::Time failure_at, int failed_rank,
                                        bool job_pause) {
   if (!job_pause) {
-    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at);
+    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
+                            failed_rank);
   }
-  // Phase 1 identical to run_with_failure; phase 2 reloads only the failed
-  // rank's image — the healthy ranks roll back from their resident memory.
-  RecoveryResult out =
-      run_with_failure(preset, make, ckpt_cfg, requests, failure_at);
-  // Re-run phase 2 with the cheap reload to get the job-pause timing; the
-  // rollback point and final state are the ones computed above.
-  if (!out.used_checkpoint) return out;
-  // Recompute phase 2 directly.
-  std::vector<workloads::WorkloadState> resume(preset.nranks);
-  std::vector<storage::Bytes> images(preset.nranks, 0);
-  {
-    // Reconstruct the snapshot info by re-running phase 1 deterministically.
-    sim::Engine eng;
-    net::Fabric fabric(eng, preset.net, preset.nranks);
-    storage::StorageSystem fs(eng, preset.storage);
-    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-    ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
-    auto wl = make(preset.nranks);
-    wl->setup(mpi);
-    wl->attach(ckpt);
-    for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
-    for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(wl->run_rank(mpi.rank(r)));
-    }
-    eng.run_until(failure_at);
-    const ckpt::GlobalCheckpoint* last = nullptr;
-    for (const auto& gc : ckpt.history()) {
-      if (gc.completed_at >= 0 && gc.completed_at <= failure_at) last = &gc;
-    }
-    if (last) {
-      std::uint64_t common = UINT64_MAX;
-      for (int r = 0; r < preset.nranks; ++r) {
-        common = std::min(common, workloads::Workload::committed_iterations(
-                                      last->snapshots[r].app_state));
-      }
-      for (int r = 0; r < preset.nranks; ++r) {
-        resume[r] = workloads::Workload::state_for_iteration(
-            last->snapshots[r].app_state, common);
-      }
-      // Job pause: only the failed rank reads its image back.
-      images[failed_rank] = last->snapshots[failed_rank].image_bytes;
-    }
-    eng.abort_all();
+  Phase1 p1 = run_phase1(preset, make, ckpt_cfg, requests, failure_at);
+  // With no completed checkpoint there is nothing to pause around: the job
+  // degrades to the full (cold) restart.
+  if (p1.completed.empty()) {
+    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
+                            failed_rank);
   }
-  {
-    sim::Engine eng;
-    net::Fabric fabric(eng, preset.net, preset.nranks);
-    storage::StorageSystem fs(eng, preset.storage);
-    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-    ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
-    auto wl = make(preset.nranks);
-    wl->setup(mpi);
-    wl->attach(ckpt);
-    sim::Time done = 0;
-    double read_seconds = 0;
-    for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(restart_rank(&fs, wl.get(), &mpi.rank(r), images[r],
-                             resume[r], &done, &read_seconds));
-    }
-    eng.run();
-    out.restart_read_seconds = read_seconds;
-    out.rerun_seconds = sim::to_seconds(done);
-    out.total_seconds = sim::to_seconds(failure_at) + out.rerun_seconds;
-    out.final_iterations.clear();
-    out.final_hashes.clear();
-    for (int r = 0; r < preset.nranks; ++r) {
-      out.final_iterations.push_back(wl->state(r).iteration);
-      out.final_hashes.push_back(wl->state(r).hash);
-    }
-  }
-  return out;
-}
 
-RecoveryResult run_with_failure(const ClusterPreset& preset,
-                                const WorkloadFactory& make,
-                                const ckpt::CkptConfig& ckpt_cfg,
-                                const std::vector<CkptRequest>& requests,
-                                sim::Time failure_at) {
   RecoveryResult out;
   out.failure_at = failure_at;
-
-  // ---- Phase 1: run until the failure, remember completed checkpoints.
-  std::vector<ckpt::GlobalCheckpoint> completed;
-  {
-    sim::Engine eng;
-    net::Fabric fabric(eng, preset.net, preset.nranks);
-    storage::StorageSystem fs(eng, preset.storage);
-    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-    ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
-    auto wl = make(preset.nranks);
-    wl->setup(mpi);
-    wl->attach(ckpt);
-    for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
-    for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(wl->run_rank(mpi.rank(r)));
-    }
-    eng.run_until(failure_at);
-    for (const auto& gc : ckpt.history()) {
-      if (gc.completed_at >= 0 && gc.completed_at <= failure_at) {
-        completed.push_back(gc);
-      }
-    }
-    eng.abort_all();  // the failure: unwind every process
-  }
-
-  // ---- Determine the rollback point. The store models the checkpoint
-  // directory on the PFS: under incremental checkpointing a restore has to
-  // read the whole chain back to the last full image, not just the newest
-  // increment.
+  // Job pause only reloads the failed rank's image; the healthy ranks roll
+  // back from their resident memory. Pick the newest checkpoint whose
+  // failed-rank image survives (replica or drained PFS copy under the tier
+  // model; the PFS copy always exists without one).
   std::vector<workloads::WorkloadState> resume(preset.nranks);
-  std::vector<storage::Bytes> images(preset.nranks, 0);
-  if (!completed.empty()) {
-    ckpt::CheckpointStore store(/*retention=*/2);
-    for (std::size_t i = 0; i < completed.size(); ++i) {
-      store.commit(completed[i], ckpt_cfg.incremental && i > 0);
+  std::vector<RestoreSource> plan(
+      preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
+  for (int i = static_cast<int>(p1.completed.size()) - 1; i >= 0; --i) {
+    const ckpt::GlobalCheckpoint& gc = p1.completed[i];
+    std::optional<RestoreSource> src;
+    if (!preset.tier.enabled) {
+      src = RestoreSource{RestoreSource::kPfs,
+                          gc.snapshots[failed_rank].image_bytes, -1};
+    } else {
+      src = source_for_rank(p1, gc, failed_rank, failed_rank);
     }
-    const auto* set = store.latest();
-    const ckpt::GlobalCheckpoint& gc = completed.back();
+    if (!src) {
+      ++out.checkpoints_skipped;
+      continue;
+    }
     out.used_checkpoint = true;
-    std::uint64_t common = UINT64_MAX;
-    for (int r = 0; r < preset.nranks; ++r) {
-      common = std::min(common, workloads::Workload::committed_iterations(
-                                    gc.snapshots[r].app_state));
-    }
-    out.rollback_iteration = common;
-    for (int r = 0; r < preset.nranks; ++r) {
-      resume[r] = workloads::Workload::state_for_iteration(
-          gc.snapshots[r].app_state, common);
-      images[r] = set ? store.restore_bytes(*set, r)
-                      : gc.snapshots[r].image_bytes;
-    }
+    out.rollback_iteration = common_rollback(preset, gc, &resume);
+    plan[failed_rank] = *src;
+    count_source(*src, &out);
+    break;
   }
-
-  // ---- Phase 2: fresh cluster, reload images, re-execute to completion.
-  {
-    sim::Engine eng;
-    net::Fabric fabric(eng, preset.net, preset.nranks);
-    storage::StorageSystem fs(eng, preset.storage);
-    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-    ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);  // no new checkpoints
-    auto wl = make(preset.nranks);
-    wl->setup(mpi);
-    wl->attach(ckpt);
-    sim::Time done = 0;
-    double read_seconds = 0;
-    for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(restart_rank(&fs, wl.get(), &mpi.rank(r), images[r],
-                             resume[r], &done, &read_seconds));
-    }
-    eng.run();
-    out.restart_read_seconds = read_seconds;
-    out.rerun_seconds = sim::to_seconds(done);
-    out.total_seconds = sim::to_seconds(failure_at) + out.rerun_seconds;
-    for (int r = 0; r < preset.nranks; ++r) {
-      out.final_iterations.push_back(wl->state(r).iteration);
-      out.final_hashes.push_back(wl->state(r).hash);
-    }
+  if (!out.used_checkpoint) {
+    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
+                            failed_rank);
   }
+  run_restart(preset, make, ckpt_cfg, plan, resume, &out);
   return out;
 }
 

@@ -14,31 +14,50 @@ struct RecoveryResult {
   std::uint64_t rollback_iteration = 0;
   std::vector<std::uint64_t> final_iterations;
   std::vector<std::uint64_t> final_hashes;
+
+  // --- staging-tier restore provenance (all zero without a tier) ---
+  /// Newer checkpoints that had to be passed over because the failed node's
+  /// image was neither replicated nor drained to the PFS yet.
+  int checkpoints_skipped = 0;
+  int ranks_restored_local = 0;    ///< read back from the node-local tier
+  int ranks_restored_replica = 0;  ///< fetched from the partner's replica
+  int ranks_restored_pfs = 0;      ///< read from the shared PFS
 };
 
 /// Runs the workload with the given checkpoint requests, injects a fatal
 /// failure at `failure_at` (the whole job dies — the paper's model, where a
 /// node crash forces a global rollback), restores from the most recent
-/// *completed* global checkpoint, and re-executes to completion.
+/// *recoverable* global checkpoint, and re-executes to completion.
 ///
 /// Restore semantics (DESIGN.md substitution): instead of reloading exact
 /// BLCR process images, every rank rolls back to the highest iteration
 /// committed by *all* snapshots ("coordinated rollback"), whose hash-chain
 /// value is in the snapshot's resume blob. Restart still pays the real
-/// costs: every rank reads its image back from the shared storage system,
+/// costs: every rank reads its image back from wherever it durably lives,
 /// then rebuilds connections lazily.
+///
+/// Without a staging tier every image is on the shared PFS and the latest
+/// completed checkpoint is always recoverable. With `preset.tier` enabled
+/// the crash also destroys `failed_rank`'s node-local storage, so a
+/// checkpoint is recoverable only if the failed rank's image reached the
+/// partner replica or the PFS drain finished; otherwise recovery falls back
+/// to an older fully-durable checkpoint (possibly none — cold restart).
+/// Healthy ranks restore from their surviving local images at local-tier
+/// bandwidth (DESIGN.md §10).
 RecoveryResult run_with_failure(const ClusterPreset& preset,
                                 const WorkloadFactory& make,
                                 const ckpt::CkptConfig& ckpt_cfg,
                                 const std::vector<CkptRequest>& requests,
-                                sim::Time failure_at);
+                                sim::Time failure_at, int failed_rank = 0);
 
 /// Single-node failure with the *job pause* recovery style (Wang et al.,
 /// IPDPS'07 — discussed in the paper's related work): healthy processes are
 /// paused in place and roll back from memory; only `failed_rank` reloads its
-/// image from the shared storage (onto a spare node). Much cheaper than a
-/// full-job restart, which re-reads every image through the same bottleneck.
-/// With job_pause=false this degrades to the full restart for comparison.
+/// image (onto a spare node) — from the partner replica or the PFS when a
+/// staging tier is active, from the shared storage otherwise. Much cheaper
+/// than a full-job restart, which re-reads every image through the same
+/// bottleneck. With job_pause=false this degrades to the full restart for
+/// comparison.
 RecoveryResult run_with_single_failure(const ClusterPreset& preset,
                                        const WorkloadFactory& make,
                                        const ckpt::CkptConfig& ckpt_cfg,

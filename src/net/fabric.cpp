@@ -146,6 +146,20 @@ void Fabric::transmit_control(Packet p) {
   enqueue(std::move(p), /*data_plane=*/false);
 }
 
+sim::Task<void> Fabric::bulk_transfer(int src, int dst, Bytes bytes) {
+  assert(src >= 0 && src < n_ && dst >= 0 && dst < n_ && src != dst);
+  ++packets_;
+  bytes_ += bytes;
+  const double bps =
+      cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
+  const auto xfer = static_cast<sim::Time>(
+      static_cast<double>(bytes) / bps * static_cast<double>(sim::kSecond));
+  const sim::Time start = std::max(eng_.now(), nic_busy_until_[src]);
+  const sim::Time done = start + cfg_.per_message_overhead + xfer;
+  nic_busy_until_[src] = done;
+  co_await eng_.delay_until(done + cfg_.wire_latency);
+}
+
 void Fabric::enqueue(Packet p, bool data_plane) {
   assert(p.src >= 0 && p.src < n_ && p.dst >= 0 && p.dst < n_);
   ++packets_;

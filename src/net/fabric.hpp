@@ -159,6 +159,14 @@ class Fabric {
   /// channel. Costs per_message_overhead + wire_latency.
   void transmit_control(Packet p);
 
+  /// Awaitable bulk copy src -> dst over the interconnect (checkpoint
+  /// staging traffic: partner replication, replica fetch on restart). Like
+  /// control traffic it uses a dedicated channel — no established data
+  /// connection needed and no entry in the application traffic matrix — but
+  /// it pays the real cost: the transfer serializes on src's NIC for
+  /// overhead + bytes/bandwidth and completes wire_latency later.
+  sim::Task<void> bulk_transfer(int src, int dst, Bytes bytes);
+
   // --- accounting ---
   std::int64_t packets_sent() const noexcept { return packets_; }
   Bytes bytes_sent() const noexcept { return bytes_; }

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace gbc::sim {
+
+/// Serializes a Trace into the Chrome trace-event JSON format, loadable in
+/// chrome://tracing or https://ui.perfetto.dev. Each actor becomes a thread
+/// row (rank 0.., or "global" for actor -1). Event pairing:
+///   freeze / resume                    -> B/E span "frozen"
+///   detail "begin ..." / "end ..."     -> B/E span named by category
+///   cycle "begin ..." / "complete"     -> B/E span on the global row
+///   anything else                      -> instant event
+/// Timestamps convert from simulated nanoseconds to microseconds (the
+/// format's native unit), so spans read in real simulated time.
+std::string trace_to_chrome_json(const Trace& trace);
+
+}  // namespace gbc::sim

@@ -1,0 +1,179 @@
+#include "storage/tiers.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gbc::storage {
+
+TieredStore::TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
+                         int nnodes)
+    : eng_(eng), pfs_(pfs), cfg_(cfg), idle_cv_(eng) {
+  for (int i = 0; i < nnodes; ++i) nodes_.emplace_back(eng_);
+}
+
+void TieredStore::trace_event(int node, const char* category,
+                              std::string detail) {
+  if (trace_) trace_->add(eng_.now(), node, category, std::move(detail));
+}
+
+bool TieredStore::make_room(int node, Bytes need) {
+  const Bytes cap = capacity();
+  if (cap <= 0) return true;  // unbounded
+  if (need > cap) return false;
+  NodeState& st = nodes_[node];
+  if (st.used + need <= cap) return true;
+  // Evict oldest fully-drained images first; undrained images are pinned
+  // (dropping them would lose the only copy before it reached the PFS).
+  for (auto& img : images_) {
+    if (st.used + need <= cap) break;
+    if (img.node != node || !local_available(img) || !pfs_durable(img)) {
+      continue;
+    }
+    img.evicted = true;
+    st.used -= img.bytes;
+    ++images_evicted_;
+    trace_event(node, "tier-evict", "img=" + std::to_string(img.id));
+  }
+  return st.used + need <= cap;
+}
+
+sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
+  images_.push_back(ImageInfo{});
+  ImageInfo& img = images_.back();
+  img.id = images_.size();
+  img.node = node;
+  img.bytes = bytes;
+
+  NodeState& st = nodes_[node];
+  if (!make_room(node, bytes)) {
+    // Local tier full of not-yet-durable images: fall through to the shared
+    // PFS, paying the storage bottleneck this subsystem exists to avoid.
+    ++write_throughs_;
+    trace_event(node, "pfs-write", "begin img=" + std::to_string(img.id));
+    co_await pfs_.write(bytes);
+    img.written_at = eng_.now();
+    img.drained_at = eng_.now();  // already on the PFS
+    trace_event(node, "pfs-write", "end img=" + std::to_string(img.id));
+    co_return img.id;
+  }
+
+  // Local write: dedicated per-node bandwidth, serialized on this node's
+  // disk, no cross-node contention.
+  img.local = true;
+  st.used += bytes;
+  const sim::Time start = std::max(eng_.now(), st.disk_busy_until);
+  const sim::Time done = start + transfer_time(bytes, cfg_.local_write_mbps);
+  st.disk_busy_until = done;
+  trace_event(node, "local-write", "begin img=" + std::to_string(img.id));
+  co_await eng_.delay_until(done);
+  img.written_at = eng_.now();
+  trace_event(node, "local-write", "end img=" + std::to_string(img.id));
+
+  // Hand the image to the background drain before replicating, so the PFS
+  // copy makes progress while the partner copy is in flight.
+  if (cfg_.drain_mbps > 0) {
+    st.drain_queue.push_back(img.id);
+    if (!st.drain_running) {
+      st.drain_running = true;
+      eng_.spawn(drain_service(node));
+    }
+  }
+
+  if (cfg_.replicate && nnodes() > 1) co_await replicate_image(img.id);
+  co_return img.id;
+}
+
+sim::Task<void> TieredStore::replicate_image(std::uint64_t id) {
+  ImageInfo& img = images_[id - 1];
+  img.partner = (img.node + cfg_.replica_offset) % nnodes();
+  trace_event(img.node, "replicate",
+              "begin img=" + std::to_string(id) + " to=" +
+                  std::to_string(img.partner));
+  if (transport_) {
+    co_await transport_(img.node, img.partner, img.bytes);
+  } else {
+    co_await eng_.delay(transfer_time(img.bytes, cfg_.replica_fallback_mbps));
+  }
+  img.replicated_at = eng_.now();
+  ++replicas_made_;
+  trace_event(img.node, "replicate", "end img=" + std::to_string(id));
+}
+
+sim::Task<void> TieredStore::read_local(int node, Bytes bytes) {
+  NodeState& st = nodes_[node];
+  const sim::Time start = std::max(eng_.now(), st.disk_busy_until);
+  const sim::Time done = start + transfer_time(bytes, cfg_.local_read_mbps);
+  st.disk_busy_until = done;
+  co_await eng_.delay_until(done);
+}
+
+sim::Task<void> TieredStore::drain_service(int node) {
+  NodeState& st = nodes_[node];
+  while (!st.drain_queue.empty()) {
+    while (st.paused) co_await st.cv.wait();
+    const std::uint64_t id = st.drain_queue.front();
+    st.drain_queue.pop_front();
+    st.draining = id;
+    ImageInfo& img = images_[id - 1];
+    trace_event(node, "drain", "begin img=" + std::to_string(id));
+    Bytes remaining = img.bytes;
+    const Bytes chunk = chunk_bytes();
+    while (remaining > 0) {
+      while (st.paused) co_await st.cv.wait();
+      const Bytes piece = std::min(chunk, remaining);
+      // Each chunk is a real PFS write, so the drain contends with
+      // foreground flows; pacing tops the rate out at drain_mbps.
+      const sim::Time t0 = eng_.now();
+      co_await pfs_.write(piece);
+      const sim::Time target = transfer_time(piece, cfg_.drain_mbps);
+      const sim::Time elapsed = eng_.now() - t0;
+      if (elapsed < target) co_await eng_.delay(target - elapsed);
+      remaining -= piece;
+    }
+    img.drained_at = eng_.now();
+    st.draining = 0;
+    ++images_drained_;
+    trace_event(node, "drain", "end img=" + std::to_string(id));
+    idle_cv_.notify_all();
+  }
+  st.drain_running = false;
+  idle_cv_.notify_all();
+}
+
+void TieredStore::pause_drain(int node) { nodes_[node].paused = true; }
+
+void TieredStore::resume_drain(int node) {
+  NodeState& st = nodes_[node];
+  st.paused = false;
+  st.cv.notify_all();
+}
+
+int TieredStore::drain_tasks_running() const {
+  int n = 0;
+  for (const auto& st : nodes_) {
+    if (st.drain_running) ++n;
+  }
+  return n;
+}
+
+int TieredStore::drain_backlog() const {
+  int n = 0;
+  for (const auto& st : nodes_) {
+    n += static_cast<int>(st.drain_queue.size());
+    if (st.draining != 0) ++n;  // the image currently in flight
+  }
+  return n;
+}
+
+sim::Task<void> TieredStore::quiesce() {
+  for (;;) {
+    bool busy = false;
+    for (const auto& st : nodes_) {
+      if (st.drain_running || !st.drain_queue.empty()) busy = true;
+    }
+    if (!busy) co_return;
+    co_await idle_cv_.wait();
+  }
+}
+
+}  // namespace gbc::storage

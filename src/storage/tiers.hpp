@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::storage {
+
+/// Multi-level checkpoint staging knobs (FTI-style storage hierarchy in
+/// front of the shared PFS). Disabled by default so every existing
+/// experiment is bit-identical to the single-tier model.
+struct TierConfig {
+  bool enabled = false;
+
+  /// Node-local tier (SSD/ramdisk): dedicated per-node bandwidth, no
+  /// cross-node contention. Foreground snapshot writes land here.
+  double local_write_mbps = 400.0;
+  double local_read_mbps = 600.0;
+  /// Per-node capacity (MiB). 0 = unbounded. Only images that finished
+  /// draining to the PFS may be evicted to make room; when even eviction
+  /// cannot free enough space, the write falls through to the PFS directly
+  /// (paying the full shared-storage contention).
+  double local_capacity_mib = 0.0;
+
+  /// Background drain rate per node (MB/s) at which local images trickle to
+  /// the shared PFS while computation continues. The actual rate is
+  /// min(drain_mbps, this node's fair share of the PFS) since drain traffic
+  /// moves through the real StorageSystem. 0 disables draining entirely
+  /// (images stay local-only).
+  double drain_mbps = 50.0;
+  /// Drain granularity: each chunk is one PFS write, so foreground PFS
+  /// traffic and the drain contend at chunk boundaries.
+  double drain_chunk_mib = 16.0;
+
+  /// Partner replication: each image is also copied to a buddy node over
+  /// the fabric, so a single node loss cannot destroy the only copy.
+  bool replicate = false;
+  int replica_offset = 1;  ///< partner = (node + offset) % nnodes
+  /// Fallback replica bandwidth (MB/s) used only when no fabric transport
+  /// is installed (standalone storage tests).
+  double replica_fallback_mbps = 1250.0;
+};
+
+/// Duration of moving `bytes` at `mbps` (binary MB/s), in simulated time.
+inline sim::Time transfer_time(Bytes bytes, double mbps) {
+  if (mbps <= 0) return 0;
+  return static_cast<sim::Time>(static_cast<double>(bytes) /
+                                (mbps * static_cast<double>(kMiB)) *
+                                static_cast<double>(sim::kSecond));
+}
+
+/// Node-local checkpoint tier in front of the shared StorageSystem, with a
+/// background drain service per node and optional partner replication.
+///
+/// Every snapshot becomes a ledger entry (ImageInfo) recording where the
+/// image lives and when each durability level was reached:
+///   written_at     local copy complete (survives a job abort, not the node)
+///   replicated_at  partner copy complete (survives losing the home node)
+///   drained_at     PFS copy complete (survives anything)
+/// Recovery reads this ledger to decide which checkpoint is restorable
+/// after a node loss (harness/recovery.cpp; DESIGN.md §10).
+class TieredStore {
+ public:
+  /// Copies `bytes` from node `src` to node `dst` over the interconnect.
+  using Transport = std::function<sim::Task<void>(int src, int dst,
+                                                  Bytes bytes)>;
+
+  struct ImageInfo {
+    std::uint64_t id = 0;  ///< ledger id, 1-based; 0 means "no image"
+    int node = -1;
+    Bytes bytes = 0;
+    bool local = false;    ///< written to the local tier (vs PFS write-through)
+    bool evicted = false;  ///< local copy dropped to make room
+    int partner = -1;      ///< replica node, -1 when not replicated
+    sim::Time written_at = -1;     ///< local (or write-through) completion
+    sim::Time replicated_at = -1;  ///< partner copy completion, -1 pending
+    sim::Time drained_at = -1;     ///< PFS durability instant, -1 pending
+  };
+
+  TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
+              int nnodes);
+  TieredStore(const TieredStore&) = delete;
+  TieredStore& operator=(const TieredStore&) = delete;
+
+  bool enabled() const noexcept { return cfg_.enabled; }
+  const TierConfig& config() const noexcept { return cfg_; }
+  int nnodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Replica copies go through this (the harness installs the fabric's
+  /// bulk_transfer). Without one, replica_fallback_mbps is charged.
+  void set_replica_transport(Transport t) { transport_ = std::move(t); }
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  /// Foreground snapshot write from `node`: local-tier write (plus partner
+  /// replication when enabled), falling through to a direct PFS write when
+  /// the local tier cannot make room. Resolves when the image is durable at
+  /// checkpoint-completion level (local [+replica], or PFS for
+  /// write-through); the drain to the PFS continues in the background.
+  /// Returns the ledger id.
+  sim::Task<std::uint64_t> snapshot(int node, Bytes bytes);
+
+  /// Local restore read on `node` (dedicated bandwidth, serialized on the
+  /// node's disk like writes).
+  sim::Task<void> read_local(int node, Bytes bytes);
+
+  /// Pauses / resumes node's background drain (between chunks).
+  void pause_drain(int node);
+  void resume_drain(int node);
+  bool drain_paused(int node) const { return nodes_[node].paused; }
+
+  /// Waits until every enqueued image has fully drained to the PFS (no-op
+  /// when draining is disabled).
+  sim::Task<void> quiesce();
+
+  // --- ledger / durability queries (recovery) ---
+  const std::deque<ImageInfo>& images() const noexcept { return images_; }
+  const ImageInfo* find(std::uint64_t id) const {
+    return id >= 1 && id <= images_.size() ? &images_[id - 1] : nullptr;
+  }
+  static bool local_available(const ImageInfo& img) {
+    return img.local && !img.evicted;
+  }
+  static bool pfs_durable(const ImageInfo& img) { return img.drained_at >= 0; }
+  static bool replica_available(const ImageInfo& img, int failed_node) {
+    return img.replicated_at >= 0 && img.partner != failed_node;
+  }
+
+  // --- stats ---
+  Bytes local_used(int node) const { return nodes_[node].used; }
+  std::int64_t write_throughs() const noexcept { return write_throughs_; }
+  std::int64_t images_drained() const noexcept { return images_drained_; }
+  std::int64_t images_evicted() const noexcept { return images_evicted_; }
+  std::int64_t replicas_made() const noexcept { return replicas_made_; }
+  /// Images still waiting for (or in) the drain across all nodes.
+  int drain_backlog() const;
+  /// Drain service coroutines currently alive (they are detached engine
+  /// processes; periodic checkpoint drivers must not count them as
+  /// application activity).
+  int drain_tasks_running() const;
+
+ private:
+  struct NodeState {
+    explicit NodeState(sim::Engine& eng) : cv(eng) {}
+    Bytes used = 0;               // resident (non-evicted) local image bytes
+    sim::Time disk_busy_until = 0;
+    std::deque<std::uint64_t> drain_queue;
+    std::uint64_t draining = 0;  // image currently being drained, 0 if none
+    bool drain_running = false;
+    bool paused = false;
+    sim::Condition cv;  // pause/resume wakeups
+  };
+
+  sim::Task<void> drain_service(int node);
+  sim::Task<void> replicate_image(std::uint64_t id);
+  /// Frees drained images until `need` more bytes fit; false if impossible.
+  bool make_room(int node, Bytes need);
+  Bytes capacity() const {
+    return cfg_.local_capacity_mib > 0 ? mib(cfg_.local_capacity_mib) : 0;
+  }
+  Bytes chunk_bytes() const {
+    const Bytes c = mib(cfg_.drain_chunk_mib);
+    return c > 0 ? c : kMiB;
+  }
+  void trace_event(int node, const char* category, std::string detail);
+
+  sim::Engine& eng_;
+  StorageSystem& pfs_;
+  TierConfig cfg_;
+  Transport transport_;
+  sim::Trace* trace_ = nullptr;
+  std::deque<NodeState> nodes_;  // deque: Condition is immovable
+  std::deque<ImageInfo> images_;  // deque: stable refs across coroutine waits
+  sim::Condition idle_cv_;
+  std::int64_t write_throughs_ = 0;
+  std::int64_t images_drained_ = 0;
+  std::int64_t images_evicted_ = 0;
+  std::int64_t replicas_made_ = 0;
+};
+
+}  // namespace gbc::storage

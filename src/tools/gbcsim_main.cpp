@@ -13,6 +13,7 @@
 #include <string>
 
 #include "harness/cli.hpp"
+#include "sim/trace_chrome.hpp"
 #include "harness/experiment.hpp"
 #include "harness/gantt.hpp"
 #include "harness/interval.hpp"
@@ -40,6 +41,14 @@ void add_common_flags(harness::FlagSet& flags) {
   flags.add_string("protocol", "group",
                    "group | blocking | chandy-lamport | uncoordinated");
   flags.add_int("stripe", 0, "storage stripe_count (0 = pooled model)");
+  flags.add_bool("tier", false, "enable the node-local staging tier");
+  flags.add_double("local-write-mbps", 400.0,
+                   "local tier write bandwidth per node (MB/s)");
+  flags.add_double("tier-capacity-mib", 0.0,
+                   "local tier capacity per node (MiB, 0 = unbounded)");
+  flags.add_double("drain-mbps", 50.0,
+                   "background drain rate to the PFS (MB/s, 0 = never drain)");
+  flags.add_bool("replicate", false, "copy each image to a partner node");
 }
 
 ckpt::Protocol parse_protocol(const std::string& s) {
@@ -53,6 +62,11 @@ harness::ClusterPreset make_cluster(const harness::FlagSet& flags) {
   harness::ClusterPreset p = harness::icpp07_cluster();
   p.nranks = flags.get_int("ranks");
   p.storage.stripe_count = flags.get_int("stripe");
+  p.tier.enabled = flags.get_bool("tier");
+  p.tier.local_write_mbps = flags.get_double("local-write-mbps");
+  p.tier.local_capacity_mib = flags.get_double("tier-capacity-mib");
+  p.tier.drain_mbps = flags.get_double("drain-mbps");
+  p.tier.replicate = flags.get_bool("replicate");
   return p;
 }
 
@@ -174,6 +188,8 @@ int cmd_trace(int argc, const char* const* argv) {
   harness::FlagSet flags("gbcsim trace");
   add_common_flags(flags);
   flags.add_double("issuance", 5.0, "checkpoint request time (seconds)");
+  flags.add_string("trace-out", "",
+                   "write a chrome://tracing JSON file of the schedule");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -186,11 +202,26 @@ int cmd_trace(int argc, const char* const* argv) {
   reqs.push_back(
       harness::CkptRequest{sim::from_seconds(flags.get_double("issuance")),
                            parse_protocol(flags.get_string("protocol"))});
-  auto res =
-      harness::run_experiment(cluster, factory, make_ckpt_config(flags), reqs);
+  const std::string trace_out = flags.get_string("trace-out");
+  sim::Trace trace;
+  trace.enable(!trace_out.empty());
+  auto res = harness::run_experiment(cluster, factory, make_ckpt_config(flags),
+                                     reqs, nullptr, &trace);
   if (res.checkpoints.empty()) {
     std::fprintf(stderr, "no checkpoint completed\n");
     return 1;
+  }
+  if (!trace_out.empty()) {
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    const std::string json = sim::trace_to_chrome_json(trace);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu events)\n", trace_out.c_str(),
+                 trace.events().size());
   }
   std::vector<std::pair<std::string, ckpt::GlobalCheckpoint>> runs;
   runs.emplace_back("checkpoint schedule", res.checkpoints.front());
@@ -203,6 +234,7 @@ int cmd_recover(int argc, const char* const* argv) {
   add_common_flags(flags);
   flags.add_double("ckpt-at", 20.0, "checkpoint request time (seconds)");
   flags.add_double("fail-at", 60.0, "failure injection time (seconds)");
+  flags.add_int("failed-rank", 0, "rank whose node dies (staging tier)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -218,13 +250,20 @@ int cmd_recover(int argc, const char* const* argv) {
                            parse_protocol(flags.get_string("protocol"))});
   auto rec = harness::run_with_failure(
       cluster, factory, cc, reqs,
-      sim::from_seconds(flags.get_double("fail-at")));
+      sim::from_seconds(flags.get_double("fail-at")),
+      flags.get_int("failed-rank"));
   std::printf("clean completion      : %8.1f s\n", clean.completion_seconds());
   std::printf("failure at            : %8.1f s\n",
               sim::to_seconds(rec.failure_at));
   std::printf("restored from ckpt    : %s (rollback to iteration %llu)\n",
               rec.used_checkpoint ? "yes" : "no (cold restart)",
               static_cast<unsigned long long>(rec.rollback_iteration));
+  if (cluster.tier.enabled) {
+    std::printf("ckpts skipped (tier)  : %8d\n", rec.checkpoints_skipped);
+    std::printf("restored local/rep/pfs: %4d /%4d /%4d\n",
+                rec.ranks_restored_local, rec.ranks_restored_replica,
+                rec.ranks_restored_pfs);
+  }
   std::printf("restart image reads   : %8.1f s\n", rec.restart_read_seconds);
   std::printf("time to solution      : %8.1f s\n", rec.total_seconds);
   const bool ok = rec.final_hashes == clean.final_hashes;

@@ -3,10 +3,11 @@
 # pool. Guards the engine's (t, seq) delivery contract — a scheduler or pool
 # change that perturbs event order shows up here as a CSV diff.
 #
-# Usage: cmake -DFIG3=<fig3_group_size binary> -DWORK=<scratch dir>
-#              -P determinism_check.cmake
-if(NOT FIG3 OR NOT WORK)
-  message(FATAL_ERROR "pass -DFIG3=<binary> and -DWORK=<scratch dir>")
+# Usage: cmake -DBIN=<figure binary> -DCSV=<csv basename, no extension>
+#              -DWORK=<scratch dir> -P determinism_check.cmake
+if(NOT BIN OR NOT CSV OR NOT WORK)
+  message(FATAL_ERROR
+          "pass -DBIN=<binary>, -DCSV=<csv basename> and -DWORK=<scratch dir>")
 endif()
 
 file(REMOVE_RECURSE "${WORK}")
@@ -17,22 +18,22 @@ foreach(threads IN ITEMS 1 8)
     COMMAND "${CMAKE_COMMAND}" -E env
             "GBC_SWEEP_THREADS=${threads}"
             "GBC_BENCH_OUT=${WORK}/threads${threads}"
-            "${FIG3}"
+            "${BIN}"
     RESULT_VARIABLE rc
     OUTPUT_QUIET)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "fig3 sweep with GBC_SWEEP_THREADS=${threads} "
+    message(FATAL_ERROR "${CSV} sweep with GBC_SWEEP_THREADS=${threads} "
                         "failed (exit ${rc})")
   endif()
 endforeach()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${WORK}/threads1/fig3_group_size.csv"
-          "${WORK}/threads8/fig3_group_size.csv"
+          "${WORK}/threads1/${CSV}.csv"
+          "${WORK}/threads8/${CSV}.csv"
   RESULT_VARIABLE diff)
 if(NOT diff EQUAL 0)
-  message(FATAL_ERROR "fig3_group_size.csv differs between serial and "
+  message(FATAL_ERROR "${CSV}.csv differs between serial and "
                       "8-thread sweeps: determinism broken")
 endif()
-message(STATUS "fig3 CSVs byte-identical across thread counts")
+message(STATUS "${CSV} CSVs byte-identical across thread counts")

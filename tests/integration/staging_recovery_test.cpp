@@ -1,0 +1,160 @@
+// Tier-aware failure recovery: a node crash destroys the failed node's
+// local staging tier, so where each checkpoint image can still be read
+// from — partner replica, drained PFS copy, or nowhere — decides which
+// checkpoint the job rolls back to.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/recovery.hpp"
+#include "workloads/microbench.hpp"
+
+namespace gbc::harness {
+namespace {
+
+ClusterPreset tier_cluster(int n, double drain_mbps, bool replicate) {
+  ClusterPreset p = icpp07_cluster();
+  p.nranks = n;
+  p.tier.enabled = true;
+  p.tier.local_write_mbps = 400.0;
+  p.tier.local_read_mbps = 600.0;
+  p.tier.drain_mbps = drain_mbps;
+  p.tier.replicate = replicate;
+  return p;
+}
+
+WorkloadFactory microbench_factory(int comm_group, std::uint64_t iters) {
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = comm_group;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = iters;
+  cfg.footprint_mib = 64.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+TEST(StagingRecovery, FailedRankRestoresFromPartnerReplica) {
+  // Draining disabled: the only surviving copy of the failed node's image
+  // is the partner replica.
+  auto preset = tier_cluster(8, /*drain_mbps=*/0, /*replicate=*/true);
+  auto factory = microbench_factory(4, 150);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  RunResult clean = run_experiment(preset, factory, cc);
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(5), ckpt::Protocol::kGroupBased});
+  auto rec = run_with_failure(preset, factory, cc, reqs,
+                              sim::from_seconds(12), /*failed_rank=*/0);
+  EXPECT_TRUE(rec.used_checkpoint);
+  EXPECT_EQ(rec.checkpoints_skipped, 0);
+  EXPECT_EQ(rec.ranks_restored_replica, 1);  // the failed rank
+  EXPECT_EQ(rec.ranks_restored_local, 7);    // everyone else, in place
+  EXPECT_EQ(rec.ranks_restored_pfs, 0);
+  EXPECT_GT(rec.rollback_iteration, 0u);
+  EXPECT_EQ(rec.final_hashes, clean.final_hashes);
+  EXPECT_EQ(rec.final_iterations, clean.final_iterations);
+}
+
+TEST(StagingRecovery, FailedRankRestoresFromDrainedPfsCopy) {
+  // No replication, fast drain: by the failure every image reached the
+  // PFS, so the failed rank reads the drained copy while healthy ranks
+  // use their surviving local images.
+  auto preset = tier_cluster(8, /*drain_mbps=*/100, /*replicate=*/false);
+  auto factory = microbench_factory(4, 220);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  RunResult clean = run_experiment(preset, factory, cc);
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(5), ckpt::Protocol::kGroupBased});
+  auto rec = run_with_failure(preset, factory, cc, reqs,
+                              sim::from_seconds(20), /*failed_rank=*/3);
+  EXPECT_TRUE(rec.used_checkpoint);
+  EXPECT_EQ(rec.checkpoints_skipped, 0);
+  EXPECT_EQ(rec.ranks_restored_pfs, 1);  // the failed rank
+  EXPECT_EQ(rec.ranks_restored_local, 7);
+  EXPECT_EQ(rec.ranks_restored_replica, 0);
+  EXPECT_EQ(rec.final_hashes, clean.final_hashes);
+}
+
+TEST(StagingRecovery, UndrainedNewestCheckpointForcesOlderRollback) {
+  // Slow drain (64 MiB at 10 MB/s = ~6.4 s/image) and no replica. The
+  // first checkpoint (t=2) is fully drained long before the failure; the
+  // second (t=12) is still local-only on the dead node at t=14 — so
+  // recovery must skip it and roll back to the older checkpoint.
+  auto preset = tier_cluster(8, /*drain_mbps=*/10, /*replicate=*/false);
+  auto factory = microbench_factory(4, 220);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  RunResult clean = run_experiment(preset, factory, cc);
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(2), ckpt::Protocol::kGroupBased});
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(12), ckpt::Protocol::kGroupBased});
+
+  auto rec = run_with_failure(preset, factory, cc, reqs,
+                              sim::from_seconds(14), /*failed_rank=*/0);
+  EXPECT_TRUE(rec.used_checkpoint);
+  EXPECT_EQ(rec.checkpoints_skipped, 1);
+  // The rollback point is the t=2 checkpoint (~iteration 15), not the
+  // t=12 one (~iteration 100).
+  EXPECT_GT(rec.rollback_iteration, 0u);
+  EXPECT_LT(rec.rollback_iteration, 60u);
+  EXPECT_EQ(rec.final_hashes, clean.final_hashes);
+  EXPECT_EQ(rec.final_iterations, clean.final_iterations);
+
+  // Control: fail after the second checkpoint finished draining and the
+  // newest checkpoint is recoverable again.
+  auto late = run_with_failure(preset, factory, cc, reqs,
+                               sim::from_seconds(20), /*failed_rank=*/0);
+  EXPECT_EQ(late.checkpoints_skipped, 0);
+  EXPECT_GT(late.rollback_iteration, 80u);
+  EXPECT_GT(late.rollback_iteration, rec.rollback_iteration);
+  EXPECT_EQ(late.final_hashes, clean.final_hashes);
+}
+
+TEST(StagingRecovery, JobPauseReloadsOnlyFailedRankFromReplica) {
+  auto preset = tier_cluster(8, /*drain_mbps=*/0, /*replicate=*/true);
+  auto factory = microbench_factory(4, 150);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  RunResult clean = run_experiment(preset, factory, cc);
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(5), ckpt::Protocol::kGroupBased});
+  auto pause = run_with_single_failure(preset, factory, cc, reqs,
+                                       sim::from_seconds(12),
+                                       /*failed_rank=*/2, /*job_pause=*/true);
+  EXPECT_TRUE(pause.used_checkpoint);
+  EXPECT_EQ(pause.checkpoints_skipped, 0);
+  EXPECT_EQ(pause.ranks_restored_replica, 1);
+  EXPECT_EQ(pause.ranks_restored_local, 0);  // healthy ranks stay in memory
+  EXPECT_EQ(pause.ranks_restored_pfs, 0);
+  EXPECT_EQ(pause.final_hashes, clean.final_hashes);
+}
+
+TEST(StagingRecovery, TierDisabledMatchesLegacyRecoveryExactly) {
+  // With the tier off, the tier-aware path must be byte-for-byte the old
+  // single-tier recovery (same sources, same timings).
+  auto preset = icpp07_cluster();
+  preset.nranks = 8;
+  ASSERT_FALSE(preset.tier.enabled);
+  auto factory = microbench_factory(4, 150);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(
+      CkptRequest{sim::from_seconds(5), ckpt::Protocol::kGroupBased});
+  auto rec = run_with_failure(preset, factory, cc, reqs,
+                              sim::from_seconds(12));
+  EXPECT_TRUE(rec.used_checkpoint);
+  EXPECT_EQ(rec.checkpoints_skipped, 0);
+  EXPECT_EQ(rec.ranks_restored_pfs, 8);
+  EXPECT_EQ(rec.ranks_restored_local, 0);
+  EXPECT_EQ(rec.ranks_restored_replica, 0);
+}
+
+}  // namespace
+}  // namespace gbc::harness

@@ -1,0 +1,82 @@
+#include "sim/trace_chrome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace gbc::sim {
+namespace {
+
+TEST(TraceChrome, EmptyTraceIsValidDocument) {
+  Trace t;
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);  // no events
+}
+
+TEST(TraceChrome, FreezeResumePairsToBeginEndSpan) {
+  Trace t;
+  t.enable(true);
+  t.add(2 * kSecond, 3, "freeze", "");
+  t.add(3 * kSecond, 3, "resume", "");
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"name\":\"frozen\",\"cat\":\"freeze\",\"ph\":\"B\","
+                      "\"ts\":2000000.000,\"pid\":0,\"tid\":4"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"frozen\",\"cat\":\"resume\",\"ph\":\"E\","
+                      "\"ts\":3000000.000,\"pid\":0,\"tid\":4"),
+            std::string::npos);
+}
+
+TEST(TraceChrome, BeginEndDetailsPairAndGlobalActorMapsToTidZero) {
+  Trace t;
+  t.enable(true);
+  t.add(0, -1, "cycle", "begin group-based");
+  t.add(kSecond, 0, "drain", "begin img=1");
+  t.add(2 * kSecond, 0, "drain", "end img=1");
+  t.add(5 * kSecond, -1, "cycle", "complete");
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"name\":\"cycle\",\"cat\":\"cycle\",\"ph\":\"B\","
+                      "\"ts\":0.000,\"pid\":0,\"tid\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"drain\",\"cat\":\"drain\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"drain\",\"cat\":\"drain\",\"ph\":\"E\""),
+            std::string::npos);
+  // "complete" closes the cycle span.
+  EXPECT_NE(json.find("\"name\":\"cycle\",\"cat\":\"cycle\",\"ph\":\"E\""),
+            std::string::npos);
+  // Thread-name metadata rows for both actors.
+  EXPECT_NE(json.find("\"name\":\"global\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+}
+
+TEST(TraceChrome, OtherEventsBecomeInstants) {
+  Trace t;
+  t.enable(true);
+  t.add(100, 1, "snapshot", "recovery line");
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"recovery line\""), std::string::npos);
+}
+
+TEST(TraceChrome, EscapesQuotesAndControlCharacters) {
+  Trace t;
+  t.enable(true);
+  t.add(0, 0, "cat", "say \"hi\"\nnew\tline");
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\nnew\\tline"), std::string::npos);
+}
+
+TEST(TraceChrome, SubMicrosecondTimestampsKeepPrecision) {
+  Trace t;
+  t.enable(true);
+  t.add(1234, 0, "cat", "");  // 1234 ns = 1.234 us
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"ts\":1.234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbc::sim
