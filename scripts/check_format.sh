@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Dry-run clang-format over the sources and fail when anything would be
+# rewritten. Prints the offending diff so CI logs show exactly what drifted.
+#
+# Exits 0 with a warning when clang-format is not installed (the container
+# used for the figure runs does not ship it); this keeps the check advisory
+# on minimal machines while still gating on developer boxes and CI.
+#
+# Usage: scripts/check_format.sh [clang-format-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT=${1:-clang-format}
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "warning: $FMT not found; skipping format check" >&2
+  exit 0
+fi
+
+status=0
+while IFS= read -r f; do
+  if ! diff -u "$f" <("$FMT" --style=file "$f") > /tmp/fmt_diff.$$; then
+    echo "== format drift: $f"
+    cat /tmp/fmt_diff.$$
+    status=1
+  fi
+done < <(find src tests bench -name '*.cpp' -o -name '*.hpp' | sort)
+rm -f /tmp/fmt_diff.$$
+
+if [ "$status" -ne 0 ]; then
+  echo "format check failed: run $FMT -i over the files above" >&2
+fi
+exit "$status"

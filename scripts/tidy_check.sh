@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over src/ against the compile database the build exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default). Checks come from the
+# compiler defaults plus bugprone-* and performance-*; findings fail the run.
+#
+# Exits 0 with a warning when clang-tidy is not installed, mirroring
+# check_format.sh: advisory on minimal machines, gating where the tool
+# exists.
+#
+# Usage: scripts/tidy_check.sh [build-dir]
+#   build-dir  tree containing compile_commands.json (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+TIDY=${TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "warning: $TIDY not found; skipping tidy check" >&2
+  exit 0
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "error: $BUILD/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $BUILD -S ." >&2
+  exit 1
+fi
+
+find src -name '*.cpp' | sort | xargs "$TIDY" -p "$BUILD" \
+  --checks='bugprone-*,performance-*,-bugprone-easily-swappable-parameters' \
+  --warnings-as-errors='*'
+echo "tidy check passed"

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <numeric>
 
-#include "sim/join.hpp"
+#include "ckpt/protocol.hpp"
 #include "storage/tiers.hpp"
 
 namespace gbc::ckpt {
@@ -16,16 +15,6 @@ int ilog2(int n) {
   return k;
 }
 }  // namespace
-
-const char* protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::kBlockingCoordinated: return "blocking-coordinated";
-    case Protocol::kGroupBased: return "group-based";
-    case Protocol::kChandyLamport: return "chandy-lamport";
-    case Protocol::kUncoordinatedLogging: return "uncoordinated+logging";
-  }
-  return "?";
-}
 
 sim::Time GlobalCheckpoint::max_individual_time() const {
   sim::Time m = 0;
@@ -154,39 +143,8 @@ sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
   gc.snapshots.resize(n);
   for (int r = 0; r < n; ++r) gc.snapshots[r].rank = r;
 
-  switch (protocol) {
-    case Protocol::kBlockingCoordinated:
-    case Protocol::kGroupBased: {
-      gc.plan = protocol == Protocol::kGroupBased ? plan_groups()
-                                                  : static_plan(n, 0);
-      group_of_.assign(n, 0);
-      for (int g = 0; g < gc.plan.size(); ++g) {
-        for (int m : gc.plan.groups[g]) group_of_[m] = g;
-      }
-      done_.assign(n, 0);
-      defer_active_ = protocol == Protocol::kGroupBased && gc.plan.size() > 1;
-      // Initial synchronization: coordinator fans the request out.
-      co_await eng_.delay(cfg_.control_latency * (ilog2(n) + 1));
-      for (const auto& group : gc.plan.groups) {
-        // checkpoint_group flips done_[] at the snapshot instant (the
-        // recovery line) — not at thaw — so no message can slip between a
-        // group's snapshot and its resume.
-        co_await checkpoint_group(group, gc);
-        gate_->notify();  // deferred pairs on the new line may proceed
-      }
-      defer_active_ = false;
-      gate_->notify();
-      break;
-    }
-    case Protocol::kChandyLamport:
-      gc.plan = static_plan(n, 0);
-      co_await run_chandy_lamport(gc);
-      break;
-    case Protocol::kUncoordinatedLogging:
-      gc.plan = static_plan(n, 1);
-      co_await run_uncoordinated(gc);
-      break;
-  }
+  CycleContext ctx(*this, gc);
+  co_await protocol_runner(protocol).run(ctx);
 
   gc.completed_at = eng_.now();
   if (trace_) trace_->add(eng_.now(), -1, "cycle", "complete");
@@ -195,33 +153,6 @@ sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
   cycle_done_.notify_all();
   co_return history_.back();
 }
-
-namespace {
-
-/// Tears down one connection of a checkpointing process. A peer outside the
-/// group participates passively: the request first waits until the peer's
-/// progress engine services it (paper Sec. 4.2/4.4).
-sim::Task<void> teardown_one(mpi::MiniMPI* mpi, const CkptConfig* cfg, int m,
-                             int peer, bool peer_passive) {
-  if (peer_passive) {
-    co_await mpi->rank(peer).exec().await_service_point(cfg->async_progress,
-                                                        cfg->helper_interval);
-  }
-  co_await mpi->engine().delay(cfg->control_latency);  // disconnect RPC
-  co_await mpi->fabric().connections().disconnect(m, peer);
-}
-
-sim::Task<void> rebuild_one(mpi::MiniMPI* mpi, const CkptConfig* cfg, int m,
-                            int peer, bool peer_passive) {
-  if (peer_passive) {
-    co_await mpi->rank(peer).exec().await_service_point(cfg->async_progress,
-                                                        cfg->helper_interval);
-  }
-  co_await mpi->engine().delay(cfg->control_latency);  // reconnect RPC
-  co_await mpi->fabric().connections().ensure_connected(m, peer);
-}
-
-}  // namespace
 
 sim::Task<void> CheckpointService::snapshot_rank(int rank,
                                                  GlobalCheckpoint& gc) {
@@ -253,180 +184,93 @@ sim::Task<void> CheckpointService::snapshot_rank(int rank,
   snap.storage_time = eng_.now() - t0;
 }
 
-sim::Task<void> CheckpointService::checkpoint_group(
-    const std::vector<int>& group, GlobalCheckpoint& gc) {
-  auto in_group = [&group](int r) {
-    return std::find(group.begin(), group.end(), r) != group.end();
-  };
+// ---------------------------------------------------------------------------
+// CycleContext — the service-side half of the ProtocolRunner seam. Defined
+// here (not in a protocol TU) because it is the one class allowed to touch
+// CheckpointService internals.
+// ---------------------------------------------------------------------------
 
-  // Intra-group coordination fan-out.
-  co_await eng_.delay(cfg_.control_latency *
-                      (ilog2(static_cast<int>(group.size())) + 1));
+sim::Engine& CycleContext::engine() noexcept { return svc_.eng_; }
+mpi::MiniMPI& CycleContext::mpi() noexcept { return svc_.mpi_; }
+storage::StorageSystem& CycleContext::shared_fs() noexcept { return svc_.fs_; }
+const CkptConfig& CycleContext::config() const noexcept { return svc_.cfg_; }
+int CycleContext::nranks() const noexcept { return svc_.mpi_.nranks(); }
 
-  // Freeze (the BLCR signal stops each member wherever it is).
-  for (int m : group) {
-    mpi_.rank(m).freeze();
-    gc.snapshots[m].freeze_begin = eng_.now();
-    if (trace_) trace_->add(eng_.now(), m, "freeze", "");
+GroupPlan CycleContext::plan_groups() const { return svc_.plan_groups(); }
+
+void CycleContext::assign_groups(const GroupPlan& plan) {
+  const int n = svc_.mpi_.nranks();
+  svc_.group_of_.assign(n, 0);
+  for (int g = 0; g < plan.size(); ++g) {
+    for (int m : plan.groups[g]) svc_.group_of_[m] = g;
   }
+  svc_.done_.assign(n, 0);
+}
 
-  // Pre-checkpoint coordination: flush in-transit messages and tear down
-  // every connection touching a member, each pair handled exactly once.
-  std::vector<std::pair<int, int>> torn_down;
-  {
-    sim::JoinSet teardown(eng_);
-    for (int m : group) {
-      for (int peer : mpi_.fabric().connections().connected_peers(m)) {
-        if (in_group(peer) && peer < m) continue;  // counted from the other end
-        torn_down.emplace_back(m, peer);
-        teardown.launch(teardown_one(&mpi_, &cfg_, m, peer, !in_group(peer)));
-      }
-    }
-    co_await teardown.join();
-  }
+void CycleContext::set_defer_active(bool on) { svc_.defer_active_ = on; }
 
-  // The members' state is now quiescent and flushed: this instant is their
-  // position on the recovery line. From here on, traffic between them and
-  // any group on the other side of the line must be deferred (paper
-  // Sec. 3.2) — flipping the flag any later would let a not-yet-
-  // checkpointed rank slip a message into a snapshotted one during the
-  // write/rebuild window (a lost-in-transit message on restart).
-  for (int m : group) {
-    done_[m] = 1;
-    if (trace_) trace_->add(eng_.now(), m, "snapshot", "recovery line");
-  }
-  gate_->notify();
-
-  // Local checkpointing: members write their images concurrently; with a
-  // small group each gets a large share of the storage bandwidth.
-  {
-    sim::JoinSet writes(eng_);
-    for (int m : group) writes.launch(snapshot_rank(m, gc));
-    co_await writes.join();
-  }
-
-  // Post-checkpoint coordination: resume members, then (optionally) rebuild
-  // the torn-down connections eagerly.
-  for (int m : group) {
-    mpi_.rank(m).thaw();
-    gc.snapshots[m].resume_at = eng_.now();
-    if (trace_) trace_->add(eng_.now(), m, "resume", "");
-  }
-  if (cfg_.eager_rebuild) {
-    sim::JoinSet rebuild(eng_);
-    for (const auto& [m, peer] : torn_down) {
-      rebuild.launch(rebuild_one(&mpi_, &cfg_, m, peer, !in_group(peer)));
-    }
-    co_await rebuild.join();
+void CycleContext::mark_on_recovery_line(int rank) {
+  svc_.done_[rank] = 1;
+  if (svc_.trace_) {
+    svc_.trace_->add(svc_.eng_.now(), rank, "snapshot", "recovery line");
   }
 }
 
-// ---------------------------------------------------------------------------
-// Baseline: non-blocking Chandy-Lamport with channel logging
-// ---------------------------------------------------------------------------
+void CycleContext::notify_gate() { svc_.gate_->notify(); }
 
-namespace {
-
-/// Counts channel-logging volume during a Chandy-Lamport cycle: messages
-/// arriving at a rank that has already recorded its snapshot belong to the
-/// channel state and must be written down.
-class ChannelLogger : public mpi::MpiHooks {
- public:
-  explicit ChannelLogger(const std::vector<char>& snapshotted)
-      : snapshotted_(snapshotted) {}
-  void on_deliver(int /*src*/, int dst, Bytes b) override {
-    if (snapshotted_[dst]) logged_ += b;
-  }
-  Bytes logged() const noexcept { return logged_; }
-
- private:
-  const std::vector<char>& snapshotted_;
-  Bytes logged_ = 0;
-};
-
-}  // namespace
-
-sim::Task<void> CheckpointService::run_chandy_lamport(GlobalCheckpoint& gc) {
-  const int n = mpi_.nranks();
-  // Marker propagation: every rank learns of the checkpoint within a
-  // marker-latency fan-out; nothing schedules their storage access, so all
-  // of them snapshot at (nearly) the same time — the storage bottleneck.
-  std::vector<char> snapshotted(n, 0);
-  ChannelLogger logger(snapshotted);
-  mpi::MpiHooks* prev_hooks = mpi_.hooks();
-  mpi_.set_hooks(&logger);
-
-  struct ClCtx {
-    CheckpointService* svc;
-    GlobalCheckpoint* gc;
-    std::vector<char>* snapshotted;
-  } ctx{this, &gc, &snapshotted};
-
-  auto cl_rank = [](ClCtx* c, int m) -> sim::Task<void> {
-    auto& svc = *c->svc;
-    co_await svc.eng_.delay(svc.cfg_.control_latency * (ilog2(svc.mpi_.nranks()) + 1));
-    svc.mpi_.rank(m).freeze();
-    c->gc->snapshots[m].freeze_begin = svc.eng_.now();
-    // IB still requires tearing down this process's connections (Sec. 2.2),
-    // with no global schedule to amortize it.
-    {
-      sim::JoinSet teardown(svc.eng_);
-      for (int peer : svc.mpi_.fabric().connections().connected_peers(m)) {
-        teardown.launch(
-            teardown_one(&svc.mpi_, &svc.cfg_, m, peer, /*passive=*/false));
-      }
-      co_await teardown.join();
-    }
-    (*c->snapshotted)[m] = 1;
-    co_await svc.snapshot_rank(m, *c->gc);
-    svc.mpi_.rank(m).thaw();
-    c->gc->snapshots[m].resume_at = svc.eng_.now();
-  };
-
-  sim::JoinSet all(eng_);
-  for (int m = 0; m < n; ++m) all.launch(cl_rank(&ctx, m));
-  co_await all.join();
-
-  gc.logged_bytes = logger.logged();
-  mpi_.set_hooks(prev_hooks);
-  // The channel log is part of the checkpoint and must reach stable storage.
-  if (gc.logged_bytes > 0) co_await fs_.write(gc.logged_bytes);
+void CycleContext::freeze(int rank) {
+  svc_.mpi_.rank(rank).freeze();
+  gc_.snapshots[rank].freeze_begin = svc_.eng_.now();
+  if (svc_.trace_) svc_.trace_->add(svc_.eng_.now(), rank, "freeze", "");
 }
 
-// ---------------------------------------------------------------------------
-// Baseline: uncoordinated checkpointing (independent snapshots)
-// ---------------------------------------------------------------------------
+void CycleContext::thaw(int rank) {
+  svc_.mpi_.rank(rank).thaw();
+  gc_.snapshots[rank].resume_at = svc_.eng_.now();
+  if (svc_.trace_) svc_.trace_->add(svc_.eng_.now(), rank, "resume", "");
+}
 
-sim::Task<void> CheckpointService::run_uncoordinated(GlobalCheckpoint& gc) {
-  const int n = mpi_.nranks();
-  struct UcCtx {
-    CheckpointService* svc;
-    GlobalCheckpoint* gc;
-  } ctx{this, &gc};
+sim::Task<void> CycleContext::snapshot_rank(int rank) {
+  return svc_.snapshot_rank(rank, gc_);
+}
 
-  auto uc_rank = [](UcCtx* c, int m) -> sim::Task<void> {
-    auto& svc = *c->svc;
-    // Each process picks its own time; consistency comes from the always-on
-    // sender-based message log, not from coordination.
-    co_await svc.eng_.delay(m * svc.cfg_.uncoordinated_stagger);
-    svc.mpi_.rank(m).freeze();
-    c->gc->snapshots[m].freeze_begin = svc.eng_.now();
-    {
-      sim::JoinSet teardown(svc.eng_);
-      for (int peer : svc.mpi_.fabric().connections().connected_peers(m)) {
-        teardown.launch(
-            teardown_one(&svc.mpi_, &svc.cfg_, m, peer, /*passive=*/true));
-      }
-      co_await teardown.join();
-    }
-    co_await svc.snapshot_rank(m, *c->gc);
-    svc.mpi_.rank(m).thaw();
-    c->gc->snapshots[m].resume_at = svc.eng_.now();
-  };
+sim::Task<void> CycleContext::teardown_one(int m, int peer,
+                                           bool peer_passive) {
+  // A peer outside the checkpointing set participates passively: the request
+  // first waits until the peer's progress engine services it (Sec. 4.2/4.4).
+  if (peer_passive) {
+    co_await svc_.mpi_.rank(peer).exec().await_service_point(
+        svc_.cfg_.async_progress, svc_.cfg_.helper_interval);
+  }
+  co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // disconnect RPC
+  co_await svc_.mpi_.fabric().connections().disconnect(m, peer);
+}
 
-  sim::JoinSet all(eng_);
-  for (int m = 0; m < n; ++m) all.launch(uc_rank(&ctx, m));
-  co_await all.join();
+sim::Task<void> CycleContext::rebuild_one(int m, int peer, bool peer_passive) {
+  if (peer_passive) {
+    co_await svc_.mpi_.rank(peer).exec().await_service_point(
+        svc_.cfg_.async_progress, svc_.cfg_.helper_interval);
+  }
+  co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // reconnect RPC
+  co_await svc_.mpi_.fabric().connections().ensure_connected(m, peer);
+}
+
+sim::Time CycleContext::fanout_latency(int width) const {
+  return svc_.cfg_.control_latency * (ilog2(width) + 1);
+}
+
+void CycleContext::phase_begin(Phase p, int actor) {
+  if (svc_.trace_) {
+    svc_.trace_->add(svc_.eng_.now(), actor,
+                     std::string("phase/") + phase_name(p), "begin");
+  }
+}
+
+void CycleContext::phase_end(Phase p, int actor) {
+  if (svc_.trace_) {
+    svc_.trace_->add(svc_.eng_.now(), actor,
+                     std::string("phase/") + phase_name(p), "end");
+  }
 }
 
 }  // namespace gbc::ckpt

@@ -127,6 +127,9 @@ struct GlobalCheckpoint {
 
 /// The C/R framework: a global coordinator plus the per-rank control surface
 /// (freeze/thaw, deferral gate, connection churn, BLCR-style image writes).
+/// The protocols themselves live behind the ProtocolRunner registry
+/// (protocol.hpp); checkpoint() looks the requested one up and hands it a
+/// CycleContext scoped to the cycle.
 class CheckpointService {
  public:
   CheckpointService(mpi::MiniMPI& mpi, storage::StorageSystem& fs,
@@ -186,11 +189,10 @@ class CheckpointService {
     sim::Condition cv_;
   };
 
-  sim::Task<void> checkpoint_group(const std::vector<int>& group,
-                                   GlobalCheckpoint& gc);
+  /// The per-cycle façade protocol runners act through (protocol.hpp).
+  friend class CycleContext;
+
   sim::Task<void> snapshot_rank(int rank, GlobalCheckpoint& gc);
-  sim::Task<void> run_chandy_lamport(GlobalCheckpoint& gc);
-  sim::Task<void> run_uncoordinated(GlobalCheckpoint& gc);
   Bytes footprint(int rank) const {
     return footprint_ ? footprint_(rank) : storage::mib(64);
   }

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/group_formation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::sim {
+class Engine;
+}
+namespace gbc::mpi {
+class MiniMPI;
+}
+namespace gbc::storage {
+class StorageSystem;
+}
+
+namespace gbc::ckpt {
+
+class CheckpointService;
+struct CkptConfig;
+struct GlobalCheckpoint;
+enum class Protocol : std::uint8_t;
+
+/// The named coordination phases every checkpoint protocol is built from
+/// (DESIGN.md §11). A protocol runs them per group, per rank, or globally —
+/// but the vocabulary is shared, so traces, docs and tests speak one
+/// language across protocols.
+enum class Phase : std::uint8_t {
+  kQuiesce,   ///< fan-out + freeze: members stop wherever they are
+  kDrain,     ///< flush in-transit messages on the members' connections
+  kTeardown,  ///< release IB connections (QPs cannot survive a restart)
+  kSnapshot,  ///< write the process images
+  kRebuild,   ///< re-establish the torn-down connections
+  kResume,    ///< thaw the members
+};
+
+const char* phase_name(Phase p);
+
+/// Per-cycle façade handed to a ProtocolRunner: everything a protocol may
+/// do during one global checkpoint, and nothing else. Wraps the service's
+/// internals (deferral gate, trace, tier-aware snapshot writes) so protocol
+/// TUs cannot reach into CheckpointService state directly.
+class CycleContext {
+ public:
+  CycleContext(CheckpointService& svc, GlobalCheckpoint& gc)
+      : svc_(svc), gc_(gc) {}
+
+  sim::Engine& engine() noexcept;
+  mpi::MiniMPI& mpi() noexcept;
+  storage::StorageSystem& shared_fs() noexcept;
+  const CkptConfig& config() const noexcept;
+  GlobalCheckpoint& cycle() noexcept { return gc_; }
+  int nranks() const noexcept;
+
+  /// The group plan a group-based cycle would use (static or dynamic).
+  GroupPlan plan_groups() const;
+
+  // --- consistency rule (drives the service's DeferralGate) ---
+  /// Installs the plan's rank→group map and clears the recovery-line state.
+  void assign_groups(const GroupPlan& plan);
+  /// Enables/disables traffic deferral across the recovery line.
+  void set_defer_active(bool on);
+  /// Flips `rank` onto the new side of the recovery line (traced).
+  void mark_on_recovery_line(int rank);
+  /// Wakes senders blocked on the gate after the line moved.
+  void notify_gate();
+
+  // --- per-rank BLCR-style control (all traced) ---
+  void freeze(int rank);
+  void thaw(int rank);
+  /// Writes one rank's image (tier-aware) and stamps its RankSnapshot.
+  sim::Task<void> snapshot_rank(int rank);
+
+  // --- connection churn with passive-peer service points ---
+  sim::Task<void> teardown_one(int m, int peer, bool peer_passive);
+  sim::Task<void> rebuild_one(int m, int peer, bool peer_passive);
+
+  /// Latency of a binomial-tree control fan-out over `width` endpoints.
+  sim::Time fanout_latency(int width) const;
+
+  // --- named-phase trace spans (chrome://tracing 'B'/'E' pairs) ---
+  void phase_begin(Phase p, int actor = -1);
+  void phase_end(Phase p, int actor = -1);
+
+ private:
+  CheckpointService& svc_;
+  GlobalCheckpoint& gc_;
+};
+
+/// One checkpoint protocol: runs a full cycle phase by phase. Implementations
+/// live one-per-TU (protocol_blocking.cpp, protocol_group.cpp,
+/// protocol_chandy_lamport.cpp, protocol_uncoordinated.cpp) and are looked up
+/// through protocol_runner(). Runners are stateless: all per-cycle state
+/// lives in the CycleContext and the GlobalCheckpoint it wraps.
+class ProtocolRunner {
+ public:
+  virtual ~ProtocolRunner() = default;
+  virtual const char* name() const = 0;
+  /// Executes one cycle: must set gc.plan and fill every RankSnapshot's
+  /// freeze/snapshot/resume timestamps before returning.
+  virtual sim::Task<void> run(CycleContext& ctx) const = 0;
+};
+
+/// Registry keyed by Protocol (explicit table, no static-initializer
+/// tricks — safe inside a static library).
+const ProtocolRunner& protocol_runner(Protocol p);
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,33 @@
+// Blocking coordinated checkpointing (Gao et al. ICPP'06; the paper's
+// "regular" baseline): every rank freezes, drains and snapshots in one
+// global group — the degenerate single-group instance of the shared group
+// schedule, with no cross-line deferral to enforce.
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/protocol_internal.hpp"
+
+namespace gbc::ckpt {
+
+namespace {
+
+class BlockingRunner final : public ProtocolRunner {
+ public:
+  const char* name() const override { return "blocking-coordinated"; }
+
+  sim::Task<void> run(CycleContext& ctx) const override {
+    GlobalCheckpoint& gc = ctx.cycle();
+    gc.plan = static_plan(ctx.nranks(), 0);
+    ctx.assign_groups(gc.plan);
+    ctx.set_defer_active(false);  // one group: no line to defer across
+    co_await detail::run_group_schedule(ctx);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<ProtocolRunner> make_blocking_runner() {
+  return std::make_unique<BlockingRunner>();
+}
+}  // namespace detail
+
+}  // namespace gbc::ckpt

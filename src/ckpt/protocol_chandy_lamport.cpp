@@ -1,0 +1,105 @@
+// Non-blocking Chandy-Lamport with channel logging: every rank snapshots on
+// marker receipt and messages arriving at already-snapshotted ranks are
+// logged as channel state. Nothing schedules the ranks' storage access, so
+// they all hit the PFS at (nearly) the same time — the storage bottleneck
+// the group-based protocol exists to avoid (paper Sec. 2.1 / 7).
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/protocol_internal.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/join.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::ckpt {
+
+namespace {
+
+/// Counts channel-logging volume during a Chandy-Lamport cycle: messages
+/// arriving at a rank that has already recorded its snapshot belong to the
+/// channel state and must be written down.
+class ChannelLogger : public mpi::MpiHooks {
+ public:
+  explicit ChannelLogger(const std::vector<char>& snapshotted)
+      : snapshotted_(snapshotted) {}
+  void on_deliver(int /*src*/, int dst, Bytes b) override {
+    if (snapshotted_[dst]) logged_ += b;
+  }
+  Bytes logged() const noexcept { return logged_; }
+
+ private:
+  const std::vector<char>& snapshotted_;
+  Bytes logged_ = 0;
+};
+
+class ChandyLamportRunner final : public ProtocolRunner {
+ public:
+  const char* name() const override { return "chandy-lamport"; }
+
+  sim::Task<void> run(CycleContext& ctx) const override {
+    GlobalCheckpoint& gc = ctx.cycle();
+    const int n = ctx.nranks();
+    gc.plan = static_plan(n, 0);
+    // Marker propagation: every rank learns of the checkpoint within a
+    // marker-latency fan-out, then runs its own phases independently.
+    std::vector<char> snapshotted(n, 0);
+    ChannelLogger logger(snapshotted);
+    mpi::MpiHooks* prev_hooks = ctx.mpi().hooks();
+    ctx.mpi().set_hooks(&logger);
+
+    struct ClCtx {
+      CycleContext* ctx;
+      std::vector<char>* snapshotted;
+    } c{&ctx, &snapshotted};
+
+    auto cl_rank = [](ClCtx* c, int m) -> sim::Task<void> {
+      CycleContext& ctx = *c->ctx;
+      ctx.phase_begin(Phase::kQuiesce, m);
+      co_await ctx.engine().delay(ctx.fanout_latency(ctx.nranks()));
+      ctx.freeze(m);
+      ctx.phase_end(Phase::kQuiesce, m);
+      // IB still requires tearing down this process's connections
+      // (Sec. 2.2), with no global schedule to amortize it.
+      ctx.phase_begin(Phase::kDrain, m);
+      ctx.phase_begin(Phase::kTeardown, m);
+      {
+        sim::JoinSet teardown(ctx.engine());
+        for (int peer : ctx.mpi().fabric().connections().connected_peers(m)) {
+          teardown.launch(ctx.teardown_one(m, peer, /*peer_passive=*/false));
+        }
+        co_await teardown.join();
+      }
+      ctx.phase_end(Phase::kTeardown, m);
+      ctx.phase_end(Phase::kDrain, m);
+      (*c->snapshotted)[m] = 1;
+      ctx.phase_begin(Phase::kSnapshot, m);
+      co_await ctx.snapshot_rank(m);
+      ctx.phase_end(Phase::kSnapshot, m);
+      ctx.phase_begin(Phase::kResume, m);
+      ctx.thaw(m);
+      ctx.phase_end(Phase::kResume, m);
+    };
+
+    sim::JoinSet all(ctx.engine());
+    for (int m = 0; m < n; ++m) all.launch(cl_rank(&c, m));
+    co_await all.join();
+
+    gc.logged_bytes = logger.logged();
+    ctx.mpi().set_hooks(prev_hooks);
+    // The channel log is part of the checkpoint and must reach stable
+    // storage.
+    if (gc.logged_bytes > 0) co_await ctx.shared_fs().write(gc.logged_bytes);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<ProtocolRunner> make_chandy_lamport_runner() {
+  return std::make_unique<ChandyLamportRunner>();
+}
+}  // namespace detail
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,133 @@
+// Group-based coordinated checkpointing (the paper's contribution): the
+// plan's groups snapshot one after another while the other groups keep
+// computing; cross-line traffic is deferred by the service's gate. Also
+// hosts the shared phase-structured group schedule, which the blocking
+// protocol reuses with a single all-ranks group.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/protocol_internal.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/join.hpp"
+
+namespace gbc::ckpt {
+
+namespace {
+
+/// One group's cycle: quiesce → drain/teardown → snapshot → resume →
+/// rebuild. Resume precedes rebuild on purpose — members start computing
+/// again while their connections are re-established lazily or eagerly.
+sim::Task<void> checkpoint_group(CycleContext& ctx,
+                                 const std::vector<int>& group) {
+  auto in_group = [&group](int r) {
+    return std::find(group.begin(), group.end(), r) != group.end();
+  };
+
+  // Intra-group coordination fan-out, then freeze (the BLCR signal stops
+  // each member wherever it is).
+  ctx.phase_begin(Phase::kQuiesce);
+  co_await ctx.engine().delay(
+      ctx.fanout_latency(static_cast<int>(group.size())));
+  for (int m : group) ctx.freeze(m);
+  ctx.phase_end(Phase::kQuiesce);
+
+  // Pre-checkpoint coordination: flush in-transit messages and tear down
+  // every connection touching a member, each pair handled exactly once.
+  // ConnectionManager::disconnect fuses both phases (the QP drains, then
+  // tears down, under one state transition), so the spans share one extent.
+  ctx.phase_begin(Phase::kDrain);
+  ctx.phase_begin(Phase::kTeardown);
+  std::vector<std::pair<int, int>> torn_down;
+  {
+    sim::JoinSet teardown(ctx.engine());
+    for (int m : group) {
+      for (int peer : ctx.mpi().fabric().connections().connected_peers(m)) {
+        if (in_group(peer) && peer < m) continue;  // counted from the other end
+        torn_down.emplace_back(m, peer);
+        teardown.launch(ctx.teardown_one(m, peer, !in_group(peer)));
+      }
+    }
+    co_await teardown.join();
+  }
+  ctx.phase_end(Phase::kTeardown);
+  ctx.phase_end(Phase::kDrain);
+
+  // The members' state is now quiescent and flushed: this instant is their
+  // position on the recovery line. From here on, traffic between them and
+  // any group on the other side of the line must be deferred (paper
+  // Sec. 3.2) — flipping the flag any later would let a not-yet-
+  // checkpointed rank slip a message into a snapshotted one during the
+  // write/rebuild window (a lost-in-transit message on restart).
+  for (int m : group) ctx.mark_on_recovery_line(m);
+  ctx.notify_gate();
+
+  // Local checkpointing: members write their images concurrently; with a
+  // small group each gets a large share of the storage bandwidth.
+  ctx.phase_begin(Phase::kSnapshot);
+  {
+    sim::JoinSet writes(ctx.engine());
+    for (int m : group) writes.launch(ctx.snapshot_rank(m));
+    co_await writes.join();
+  }
+  ctx.phase_end(Phase::kSnapshot);
+
+  // Post-checkpoint coordination: resume members, then (optionally) rebuild
+  // the torn-down connections eagerly.
+  ctx.phase_begin(Phase::kResume);
+  for (int m : group) ctx.thaw(m);
+  ctx.phase_end(Phase::kResume);
+  if (ctx.config().eager_rebuild) {
+    ctx.phase_begin(Phase::kRebuild);
+    sim::JoinSet rebuild(ctx.engine());
+    for (const auto& [m, peer] : torn_down) {
+      rebuild.launch(ctx.rebuild_one(m, peer, !in_group(peer)));
+    }
+    co_await rebuild.join();
+    ctx.phase_end(Phase::kRebuild);
+  }
+}
+
+class GroupRunner final : public ProtocolRunner {
+ public:
+  const char* name() const override { return "group-based"; }
+
+  sim::Task<void> run(CycleContext& ctx) const override {
+    GlobalCheckpoint& gc = ctx.cycle();
+    gc.plan = ctx.plan_groups();
+    ctx.assign_groups(gc.plan);
+    ctx.set_defer_active(gc.plan.size() > 1);
+    co_await detail::run_group_schedule(ctx);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+sim::Task<void> run_group_schedule(CycleContext& ctx) {
+  // Initial synchronization: coordinator fans the request out.
+  ctx.phase_begin(Phase::kQuiesce);
+  co_await ctx.engine().delay(ctx.fanout_latency(ctx.nranks()));
+  ctx.phase_end(Phase::kQuiesce);
+  for (const auto& group : ctx.cycle().plan.groups) {
+    // checkpoint_group flips the recovery line at the snapshot instant —
+    // not at thaw — so no message can slip between a group's snapshot and
+    // its resume.
+    co_await checkpoint_group(ctx, group);
+    ctx.notify_gate();  // deferred pairs on the new line may proceed
+  }
+  ctx.set_defer_active(false);
+  ctx.notify_gate();
+}
+
+std::unique_ptr<ProtocolRunner> make_group_runner() {
+  return std::make_unique<GroupRunner>();
+}
+
+}  // namespace detail
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,25 @@
+#pragma once
+
+// Internal glue between the protocol registry and the per-protocol
+// translation units. Not installed into any public include path on purpose:
+// everything outside src/ckpt goes through protocol_runner().
+
+#include <memory>
+
+#include "ckpt/protocol.hpp"
+
+namespace gbc::ckpt::detail {
+
+std::unique_ptr<ProtocolRunner> make_blocking_runner();
+std::unique_ptr<ProtocolRunner> make_group_runner();
+std::unique_ptr<ProtocolRunner> make_chandy_lamport_runner();
+std::unique_ptr<ProtocolRunner> make_uncoordinated_runner();
+
+/// The phase-structured group schedule shared by the blocking and
+/// group-based protocols (defined in protocol_group.cpp): global fan-out,
+/// then each group of gc.plan runs quiesce → drain/teardown → snapshot →
+/// resume → rebuild in turn, advancing the recovery line group by group.
+/// The blocking protocol is the degenerate single-group instance.
+sim::Task<void> run_group_schedule(CycleContext& ctx);
+
+}  // namespace gbc::ckpt::detail

@@ -1,0 +1,38 @@
+#include <cassert>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/protocol_internal.hpp"
+
+namespace gbc::ckpt {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kQuiesce: return "quiesce";
+    case Phase::kDrain: return "drain";
+    case Phase::kTeardown: return "teardown";
+    case Phase::kSnapshot: return "snapshot";
+    case Phase::kRebuild: return "rebuild";
+    case Phase::kResume: return "resume";
+  }
+  return "?";
+}
+
+const ProtocolRunner& protocol_runner(Protocol p) {
+  // Index-keyed table in Protocol declaration order. Built on first use from
+  // the per-TU factories: an explicit registry, because self-registration
+  // via static initializers is silently dropped when the archive member is
+  // otherwise unreferenced.
+  static const std::unique_ptr<ProtocolRunner> runners[] = {
+      detail::make_blocking_runner(),
+      detail::make_group_runner(),
+      detail::make_chandy_lamport_runner(),
+      detail::make_uncoordinated_runner(),
+  };
+  const auto i = static_cast<std::size_t>(p);
+  assert(i < std::size(runners) && "unknown Protocol");
+  return *runners[i];
+}
+
+const char* protocol_name(Protocol p) { return protocol_runner(p).name(); }
+
+}  // namespace gbc::ckpt

@@ -1,0 +1,65 @@
+// Uncoordinated checkpointing: each rank snapshots independently on its own
+// stagger; consistency would come from the (always-on) sender-based message
+// log, not from coordination — so there is no recovery line to manage.
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/protocol_internal.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/join.hpp"
+
+namespace gbc::ckpt {
+
+namespace {
+
+class UncoordinatedRunner final : public ProtocolRunner {
+ public:
+  const char* name() const override { return "uncoordinated+logging"; }
+
+  sim::Task<void> run(CycleContext& ctx) const override {
+    GlobalCheckpoint& gc = ctx.cycle();
+    const int n = ctx.nranks();
+    gc.plan = static_plan(n, 1);
+
+    auto uc_rank = [](CycleContext* ctxp, int m) -> sim::Task<void> {
+      CycleContext& ctx = *ctxp;
+      // Each process picks its own time; consistency comes from the
+      // always-on sender-based message log, not from coordination.
+      co_await ctx.engine().delay(m * ctx.config().uncoordinated_stagger);
+      ctx.phase_begin(Phase::kQuiesce, m);
+      ctx.freeze(m);
+      ctx.phase_end(Phase::kQuiesce, m);
+      ctx.phase_begin(Phase::kDrain, m);
+      ctx.phase_begin(Phase::kTeardown, m);
+      {
+        sim::JoinSet teardown(ctx.engine());
+        for (int peer : ctx.mpi().fabric().connections().connected_peers(m)) {
+          teardown.launch(ctx.teardown_one(m, peer, /*peer_passive=*/true));
+        }
+        co_await teardown.join();
+      }
+      ctx.phase_end(Phase::kTeardown, m);
+      ctx.phase_end(Phase::kDrain, m);
+      ctx.phase_begin(Phase::kSnapshot, m);
+      co_await ctx.snapshot_rank(m);
+      ctx.phase_end(Phase::kSnapshot, m);
+      ctx.phase_begin(Phase::kResume, m);
+      ctx.thaw(m);
+      ctx.phase_end(Phase::kResume, m);
+    };
+
+    sim::JoinSet all(ctx.engine());
+    for (int m = 0; m < n; ++m) all.launch(uc_rank(&ctx, m));
+    co_await all.join();
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<ProtocolRunner> make_uncoordinated_runner() {
+  return std::make_unique<UncoordinatedRunner>();
+}
+}  // namespace detail
+
+}  // namespace gbc::ckpt

@@ -39,8 +39,17 @@ bool FlagSet::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      positional_.push_back(std::move(arg));
-      continue;
+      if (allow_positional_) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      if (!arg.empty() && arg[0] == '-') {
+        // Single-dash spelling of a flag: near-miss, not a positional.
+        error_ = "unknown flag " + arg + " (flags are spelled --name)";
+      } else {
+        error_ = "unexpected argument '" + arg + "'";
+      }
+      return false;
     }
     std::string name = arg.substr(2);
     std::string value;

@@ -22,6 +22,11 @@ class FlagSet {
   void add_bool(const std::string& name, bool default_value,
                 std::string help);
 
+  /// Opts in to positional arguments. By default any token that is not a
+  /// declared `--flag` is a parse error, so typos like `-tier` or a stray
+  /// value cannot be silently ignored.
+  void allow_positional() { allow_positional_ = true; }
+
   /// Parses argv; returns false (and fills error()) on bad input. A `--help`
   /// request returns false with empty error().
   bool parse(int argc, const char* const* argv);
@@ -31,7 +36,7 @@ class FlagSet {
   int get_int(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
-  /// Positional arguments (everything not starting with --).
+  /// Positional arguments (only populated after allow_positional()).
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& error() const { return error_; }
   bool help_requested() const { return help_requested_; }
@@ -51,6 +56,7 @@ class FlagSet {
   std::vector<std::string> positional_;
   std::string error_;
   bool help_requested_ = false;
+  bool allow_positional_ = false;
 };
 
 }  // namespace gbc::harness

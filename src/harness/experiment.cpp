@@ -1,7 +1,6 @@
 #include "harness/experiment.hpp"
 
-#include <optional>
-
+#include "harness/sim_cluster.hpp"
 #include "harness/sweep.hpp"
 #include "storage/tiers.hpp"
 
@@ -21,57 +20,43 @@ RunResult run_experiment(const ClusterPreset& preset,
                          const ckpt::CkptConfig& ckpt_cfg,
                          const std::vector<CkptRequest>& requests,
                          mpi::MpiHooks* hooks, sim::Trace* trace) {
-  sim::Engine eng;
-  net::Fabric fabric(eng, preset.net, preset.nranks);
-  storage::StorageSystem fs(eng, preset.storage);
-  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
-  std::optional<storage::TieredStore> tier;
-  if (preset.tier.enabled) {
-    tier.emplace(eng, fs, preset.tier, preset.nranks);
-    tier->set_replica_transport(
-        [&fabric](int src, int dst, storage::Bytes b) {
-          return fabric.bulk_transfer(src, dst, b);
-        });
-    tier->set_trace(trace);
-    ckpt.set_tier(&*tier);
-  }
-  if (trace) ckpt.set_trace(trace);
-  if (hooks) mpi.set_hooks(hooks);
+  SimCluster cluster(preset, ckpt_cfg, {.trace = trace, .hooks = hooks});
 
   std::unique_ptr<workloads::Workload> wl = make(preset.nranks);
-  wl->setup(mpi);
-  wl->attach(ckpt);
+  wl->setup(cluster.mpi());
+  wl->attach(cluster.checkpoints());
 
-  for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
+  for (const auto& req : requests) {
+    cluster.checkpoints().request_at(req.at, req.protocol);
+  }
 
   sim::Time completion = 0;
-  for (int r = 0; r < preset.nranks; ++r) {
-    eng.spawn([](workloads::Workload* w, mpi::RankCtx* rk,
-                 sim::Time* done) -> sim::Task<void> {
+  cluster.spawn_ranks([&](mpi::RankCtx& rank) {
+    return [](workloads::Workload* w, mpi::RankCtx* rk,
+              sim::Time* done) -> sim::Task<void> {
       co_await rank_program(w, rk, {});
       if (rk->engine().now() > *done) *done = rk->engine().now();
-    }(wl.get(), &mpi.rank(r), &completion));
-  }
-  eng.run();
+    }(wl.get(), &rank, &completion);
+  });
+  cluster.engine().run();
 
   RunResult res;
   res.completion = completion;
-  res.checkpoints = ckpt.history();
-  res.mpi_stats = mpi.stats();
-  res.storage_peak_concurrency = fs.peak_concurrency();
-  res.connection_setups = fabric.connections().total_setups();
-  res.connection_teardowns = fabric.connections().total_teardowns();
+  res.checkpoints = cluster.checkpoints().history();
+  res.mpi_stats = cluster.mpi().stats();
+  res.storage_peak_concurrency = cluster.shared_fs().peak_concurrency();
+  res.connection_setups = cluster.connections().total_setups();
+  res.connection_teardowns = cluster.connections().total_teardowns();
   for (int r = 0; r < preset.nranks; ++r) {
     res.final_iterations.push_back(wl->state(r).iteration);
     res.final_hashes.push_back(wl->state(r).hash);
   }
-  if (tier) {
+  if (auto* tier = cluster.tier()) {
     res.tier_images_drained = tier->images_drained();
     res.tier_write_throughs = tier->write_throughs();
     res.tier_replicas = tier->replicas_made();
   }
-  res.events_processed = eng.events_processed();
+  res.events_processed = cluster.engine().events_processed();
   return res;
 }
 

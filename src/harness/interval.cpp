@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "harness/sim_cluster.hpp"
 #include "sim/random.hpp"
 
 namespace gbc::harness {
@@ -39,21 +40,22 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
   std::vector<storage::Bytes> images(preset.nranks, 0);
 
   while (true) {
-    sim::Engine eng;
-    net::Fabric fabric(eng, preset.net, preset.nranks);
-    storage::StorageSystem fs(eng, preset.storage);
-    mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-    ckpt::CheckpointService svc(mpi, fs, ckpt_cfg);
+    // The MTBF loop never attaches a tier: each attempt is a fresh job whose
+    // restart images live on the PFS.
+    SimCluster cluster(preset, ckpt_cfg, {.attach_tier = false});
+    sim::Engine& eng = cluster.engine();
+    ckpt::CheckpointService& svc = cluster.checkpoints();
     auto wl = make(preset.nranks);
-    wl->setup(mpi);
+    wl->setup(cluster.mpi());
     wl->attach(svc);
     svc.request_every(ckpt_interval, ckpt_interval, protocol);
 
     int live = preset.nranks;
     sim::Time done_at = -1;
     for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(tracked_rank(wl.get(), &mpi.rank(r), &fs, images[r],
-                             resume[r], &live, &done_at));
+      eng.spawn(tracked_rank(wl.get(), &cluster.mpi().rank(r),
+                             &cluster.shared_fs(), images[r], resume[r],
+                             &live, &done_at));
     }
 
     const sim::Time fail_at = out.failures < max_failures

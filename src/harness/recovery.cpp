@@ -1,11 +1,10 @@
 #include "harness/recovery.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 
 #include "ckpt/store.hpp"
-#include "sim/join.hpp"
+#include "harness/sim_cluster.hpp"
 #include "storage/tiers.hpp"
 
 namespace gbc::harness {
@@ -13,11 +12,12 @@ namespace gbc::harness {
 namespace {
 
 using storage::TieredStore;
+using storage::TierLedger;
 
 /// Where one rank's image is read from during restart.
 struct RestoreSource {
   enum Kind : std::uint8_t {
-    kNone,     ///< nothing to read (job-pause healthy rank rollback)
+    kNone,     ///< nothing to read (fresh start of the original attempt)
     kLocal,    ///< surviving node-local tier copy
     kReplica,  ///< partner's replica: partner disk read + fabric transfer
     kPfs,      ///< shared parallel file system (contended)
@@ -27,84 +27,29 @@ struct RestoreSource {
   int from_node = -1;  ///< replica source node (kReplica only)
 };
 
-/// Everything recovery needs to know about the run up to the failure.
-struct Phase1 {
-  std::vector<ckpt::GlobalCheckpoint> completed;
-  std::deque<TieredStore::ImageInfo> images;  ///< tier ledger at failure time
-};
-
-Phase1 run_phase1(const ClusterPreset& preset, const WorkloadFactory& make,
-                  const ckpt::CkptConfig& ckpt_cfg,
-                  const std::vector<CkptRequest>& requests,
-                  sim::Time failure_at) {
-  Phase1 out;
-  sim::Engine eng;
-  net::Fabric fabric(eng, preset.net, preset.nranks);
-  storage::StorageSystem fs(eng, preset.storage);
-  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);
-  std::optional<TieredStore> tier;
-  if (preset.tier.enabled) {
-    tier.emplace(eng, fs, preset.tier, preset.nranks);
-    tier->set_replica_transport(
-        [&fabric](int src, int dst, storage::Bytes b) {
-          return fabric.bulk_transfer(src, dst, b);
-        });
-    ckpt.set_tier(&*tier);
-  }
-  auto wl = make(preset.nranks);
-  wl->setup(mpi);
-  wl->attach(ckpt);
-  for (const auto& req : requests) ckpt.request_at(req.at, req.protocol);
-  for (int r = 0; r < preset.nranks; ++r) {
-    eng.spawn(wl->run_rank(mpi.rank(r)));
-  }
-  eng.run_until(failure_at);
-  for (const auto& gc : ckpt.history()) {
-    if (gc.completed_at >= 0 && gc.completed_at <= failure_at) {
-      out.completed.push_back(gc);
-    }
-  }
-  if (tier) out.images = tier->images();
-  eng.abort_all();  // the failure: unwind every process
-  return out;
-}
-
-const TieredStore::ImageInfo* find_image(const Phase1& p1, std::uint64_t id) {
-  return id >= 1 && id <= p1.images.size() ? &p1.images[id - 1] : nullptr;
-}
-
-/// Restore source for one rank of checkpoint `gc` after `failed_rank`'s
-/// node (and its local tier) died. Returns nullopt if the image is gone.
-std::optional<RestoreSource> source_for_rank(const Phase1& p1,
+/// Restore source for one rank of checkpoint `gc` given the set of nodes
+/// that have died so far. Returns nullopt if the image is gone.
+std::optional<RestoreSource> source_for_rank(const TierLedger& ledger,
                                              const ckpt::GlobalCheckpoint& gc,
-                                             int rank, int failed_rank) {
+                                             int rank,
+                                             const std::vector<char>& failed) {
   const auto& snap = gc.snapshots[rank];
-  const TieredStore::ImageInfo* img = find_image(p1, snap.image_id);
+  const TieredStore::ImageInfo* img = ledger.find(snap.image_id);
   if (!img) {
     // Direct PFS write (no tier involved): always durable.
     return RestoreSource{RestoreSource::kPfs, snap.image_bytes, -1};
   }
-  const bool node_lost = rank == failed_rank;
+  const bool node_lost = failed[rank];
   if (!node_lost && TieredStore::local_available(*img)) {
     return RestoreSource{RestoreSource::kLocal, img->bytes, -1};
   }
-  if (TieredStore::replica_available(*img, failed_rank)) {
+  if (TieredStore::replica_available(*img, failed)) {
     return RestoreSource{RestoreSource::kReplica, img->bytes, img->partner};
   }
   if (TieredStore::pfs_durable(*img)) {
     return RestoreSource{RestoreSource::kPfs, img->bytes, -1};
   }
   return std::nullopt;
-}
-
-void count_source(const RestoreSource& src, RecoveryResult* out) {
-  switch (src.kind) {
-    case RestoreSource::kLocal: ++out->ranks_restored_local; break;
-    case RestoreSource::kReplica: ++out->ranks_restored_replica; break;
-    case RestoreSource::kPfs: ++out->ranks_restored_pfs; break;
-    case RestoreSource::kNone: break;
-  }
 }
 
 /// Rolls every rank of `gc` back to the common committed iteration.
@@ -123,6 +68,120 @@ std::uint64_t common_rollback(const ClusterPreset& preset,
   return common;
 }
 
+/// One recovery decision: how the next attempt starts.
+struct Selection {
+  std::vector<RestoreSource> plan;
+  std::vector<workloads::WorkloadState> resume;
+  bool used_checkpoint = false;
+  std::uint64_t rollback_iteration = 0;
+  int checkpoints_skipped = 0;
+  int restored_local = 0;
+  int restored_replica = 0;
+  int restored_pfs = 0;
+};
+
+void count_source(const RestoreSource& src, Selection* sel) {
+  switch (src.kind) {
+    case RestoreSource::kLocal: ++sel->restored_local; break;
+    case RestoreSource::kReplica: ++sel->restored_replica; break;
+    case RestoreSource::kPfs: ++sel->restored_pfs; break;
+    case RestoreSource::kNone: break;
+  }
+}
+
+/// Full-restart recovery: every rank reloads. Walks the completed
+/// checkpoints newest-first until one is restorable for every rank; with no
+/// usable checkpoint the job restarts cold (empty images, fresh state).
+Selection select_full_restart(
+    const ClusterPreset& preset, const ckpt::CkptConfig& ckpt_cfg,
+    const std::vector<ckpt::GlobalCheckpoint>& completed,
+    const TierLedger& ledger, const std::vector<char>& failed) {
+  Selection sel;
+  sel.resume.assign(preset.nranks, {});
+  sel.plan.assign(preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
+  if (completed.empty()) return sel;
+
+  // The store models the checkpoint directory on the PFS: under incremental
+  // checkpointing a restore has to read the whole chain back to the last
+  // full image, not just the newest increment.
+  ckpt::CheckpointStore store(/*retention=*/2);
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    store.commit(completed[i], ckpt_cfg.incremental && i > 0);
+  }
+  if (!preset.tier.enabled) {
+    // Single-tier model: every image is on the PFS, the latest completed
+    // checkpoint is always recoverable.
+    const auto* set = store.latest();
+    const ckpt::GlobalCheckpoint& gc = completed.back();
+    sel.used_checkpoint = true;
+    sel.rollback_iteration = common_rollback(preset, gc, &sel.resume);
+    for (int r = 0; r < preset.nranks; ++r) {
+      sel.plan[r].bytes = set ? store.restore_bytes(*set, r)
+                              : gc.snapshots[r].image_bytes;
+      ++sel.restored_pfs;
+    }
+    return sel;
+  }
+  // Tiered model: the dead nodes' local images died with them. Walk
+  // checkpoints newest-first until one is restorable for every rank.
+  for (int i = static_cast<int>(completed.size()) - 1; i >= 0; --i) {
+    const ckpt::GlobalCheckpoint& gc = completed[i];
+    std::vector<RestoreSource> candidate(preset.nranks);
+    bool ok = true;
+    for (int r = 0; r < preset.nranks && ok; ++r) {
+      auto src = source_for_rank(ledger, gc, r, failed);
+      if (!src) {
+        ok = false;
+      } else {
+        candidate[r] = *src;
+      }
+    }
+    if (!ok) {
+      ++sel.checkpoints_skipped;
+      continue;
+    }
+    sel.used_checkpoint = true;
+    sel.rollback_iteration = common_rollback(preset, gc, &sel.resume);
+    sel.plan = std::move(candidate);
+    for (int r = 0; r < preset.nranks; ++r) count_source(sel.plan[r], &sel);
+    break;
+  }
+  return sel;
+}
+
+/// Job-pause recovery: only the failed rank's image is reloaded; healthy
+/// ranks roll back from their resident memory. Picks the newest checkpoint
+/// whose failed-rank image survives. used_checkpoint stays false when none
+/// does — the caller then degrades to the full restart.
+Selection select_job_pause(const ClusterPreset& preset,
+                           const std::vector<ckpt::GlobalCheckpoint>& completed,
+                           const TierLedger& ledger,
+                           const std::vector<char>& failed, int failed_rank) {
+  Selection sel;
+  sel.resume.assign(preset.nranks, {});
+  sel.plan.assign(preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
+  for (int i = static_cast<int>(completed.size()) - 1; i >= 0; --i) {
+    const ckpt::GlobalCheckpoint& gc = completed[i];
+    std::optional<RestoreSource> src;
+    if (!preset.tier.enabled) {
+      src = RestoreSource{RestoreSource::kPfs,
+                          gc.snapshots[failed_rank].image_bytes, -1};
+    } else {
+      src = source_for_rank(ledger, gc, failed_rank, failed);
+    }
+    if (!src) {
+      ++sel.checkpoints_skipped;
+      continue;
+    }
+    sel.used_checkpoint = true;
+    sel.rollback_iteration = common_rollback(preset, gc, &sel.resume);
+    sel.plan[failed_rank] = *src;
+    count_source(*src, &sel);
+    break;
+  }
+  return sel;
+}
+
 struct RestartCtx {
   storage::StorageSystem* fs;
   net::Fabric* fabric;
@@ -138,7 +197,8 @@ sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
   // Restart: reload the process image from wherever it durably lives, then
   // resume the application. PFS reads contend through the shared storage;
   // local-tier reads run at the node's dedicated bandwidth; replica reads
-  // add the partner's disk plus a real fabric transfer.
+  // add the partner's disk plus a real fabric transfer. kNone (a fresh
+  // first attempt) skips the reload entirely.
   const sim::Time t0 = rank->engine().now();
   switch (src.kind) {
     case RestoreSource::kPfs:
@@ -163,107 +223,144 @@ sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
   if (rank->engine().now() > *ctx->done) *ctx->done = rank->engine().now();
 }
 
-/// Phase 2: fresh cluster, reload images per plan, re-execute to completion.
-void run_restart(const ClusterPreset& preset, const WorkloadFactory& make,
-                 const ckpt::CkptConfig& ckpt_cfg,
-                 const std::vector<RestoreSource>& plan,
-                 const std::vector<workloads::WorkloadState>& resume,
-                 RecoveryResult* out) {
-  sim::Engine eng;
-  net::Fabric fabric(eng, preset.net, preset.nranks);
-  storage::StorageSystem fs(eng, preset.storage);
-  mpi::MiniMPI mpi(eng, fabric, preset.mpi);
-  ckpt::CheckpointService ckpt(mpi, fs, ckpt_cfg);  // no new checkpoints
+/// What the replay loop learns from one attempt.
+struct AttemptResult {
+  std::vector<ckpt::GlobalCheckpoint> completed;  ///< up to the cutoff
+  TierLedger ledger;               ///< tier state at the cutoff
+  double read_seconds = 0;         ///< slowest rank's image reload
+  sim::Time done = 0;              ///< completion time (uncut attempts)
+  std::vector<std::uint64_t> final_iterations;
+  std::vector<std::uint64_t> final_hashes;
+};
+
+/// Runs one attempt: wire a fresh cluster, start every rank per the restore
+/// plan, run until `cutoff` (or to completion when cutoff < 0 — no fault
+/// interrupts this attempt). A cut-off attempt is aborted afterwards: the
+/// failure unwinds every process.
+AttemptResult run_attempt(const ClusterPreset& preset,
+                          const WorkloadFactory& make,
+                          const ckpt::CkptConfig& ckpt_cfg,
+                          const std::vector<CkptRequest>& requests,
+                          const std::vector<RestoreSource>& plan,
+                          const std::vector<workloads::WorkloadState>& resume,
+                          bool attach_tier, sim::Time cutoff) {
+  AttemptResult out;
+  SimCluster cluster(preset, ckpt_cfg, {.attach_tier = attach_tier});
   auto wl = make(preset.nranks);
-  wl->setup(mpi);
-  wl->attach(ckpt);
+  wl->setup(cluster.mpi());
+  wl->attach(cluster.checkpoints());
+  for (const auto& req : requests) {
+    cluster.checkpoints().request_at(req.at, req.protocol);
+  }
   sim::Time done = 0;
   double read_seconds = 0;
-  RestartCtx ctx{&fs, &fabric, &preset.tier, wl.get(), &done, &read_seconds};
+  RestartCtx ctx{&cluster.shared_fs(), &cluster.fabric(), &preset.tier,
+                 wl.get(), &done, &read_seconds};
   for (int r = 0; r < preset.nranks; ++r) {
-    eng.spawn(restart_rank(&ctx, &mpi.rank(r), plan[r], resume[r]));
+    cluster.engine().spawn(
+        restart_rank(&ctx, &cluster.mpi().rank(r), plan[r], resume[r]));
   }
-  eng.run();
-  out->restart_read_seconds = read_seconds;
-  out->rerun_seconds = sim::to_seconds(done);
-  out->total_seconds = sim::to_seconds(out->failure_at) + out->rerun_seconds;
-  out->final_iterations.clear();
-  out->final_hashes.clear();
+  if (cutoff >= 0) {
+    cluster.engine().run_until(cutoff);
+  } else {
+    cluster.engine().run();
+  }
+  for (const auto& gc : cluster.checkpoints().history()) {
+    if (gc.completed_at >= 0 && (cutoff < 0 || gc.completed_at <= cutoff)) {
+      out.completed.push_back(gc);
+    }
+  }
+  if (auto* tier = cluster.tier()) out.ledger = tier->ledger();
+  out.read_seconds = read_seconds;
+  out.done = done;
   for (int r = 0; r < preset.nranks; ++r) {
-    out->final_iterations.push_back(wl->state(r).iteration);
-    out->final_hashes.push_back(wl->state(r).hash);
+    out.final_iterations.push_back(wl->state(r).iteration);
+    out.final_hashes.push_back(wl->state(r).hash);
   }
+  if (cutoff >= 0) cluster.engine().abort_all();
+  return out;
 }
 
 }  // namespace
+
+RecoveryResult run_with_faults(const ClusterPreset& preset,
+                               const WorkloadFactory& make,
+                               const ckpt::CkptConfig& ckpt_cfg,
+                               const std::vector<CkptRequest>& requests,
+                               const FaultPlan& plan) {
+  RecoveryResult out;
+  out.failures = static_cast<int>(plan.faults.size());
+  if (!plan.faults.empty()) out.failure_at = plan.faults.front().at;
+
+  std::vector<char> failed(preset.nranks, 0);
+  const std::vector<CkptRequest> no_requests;
+  // Attempt 0 starts fresh: nothing to reload, default workload state, and
+  // it is the only attempt that takes checkpoints.
+  std::vector<RestoreSource> restore(
+      preset.nranks, RestoreSource{RestoreSource::kNone, 0, -1});
+  std::vector<workloads::WorkloadState> resume(preset.nranks);
+  // The original run's recovery inputs, reused by every later fault.
+  std::vector<ckpt::GlobalCheckpoint> completed;
+  TierLedger ledger;
+  double elapsed_seconds = 0;
+
+  for (std::size_t k = 0;; ++k) {
+    const bool first = k == 0;
+    const FaultEvent* fault =
+        k < plan.faults.size() ? &plan.faults[k] : nullptr;
+    AttemptResult attempt =
+        run_attempt(preset, make, ckpt_cfg, first ? requests : no_requests,
+                    restore, resume, /*attach_tier=*/first,
+                    fault ? fault->at : sim::Time{-1});
+
+    if (!fault) {
+      // Final attempt: ran to completion.
+      out.restart_read_seconds = attempt.read_seconds;
+      out.rerun_seconds = sim::to_seconds(attempt.done);
+      out.total_seconds = elapsed_seconds + out.rerun_seconds;
+      out.final_iterations = std::move(attempt.final_iterations);
+      out.final_hashes = std::move(attempt.final_hashes);
+      return out;
+    }
+
+    if (first) {
+      completed = std::move(attempt.completed);
+      ledger = std::move(attempt.ledger);
+    }
+    elapsed_seconds += sim::to_seconds(fault->at);
+    failed[fault->rank] = 1;
+
+    Selection sel;
+    if (plan.style == RecoveryStyle::kJobPause) {
+      sel = select_job_pause(preset, completed, ledger, failed, fault->rank);
+      if (!sel.used_checkpoint) {
+        // Nothing to pause around (no checkpoint whose failed-rank image
+        // survives): degrade to the full restart, dropping the pause
+        // bookkeeping — exactly the classic fallback.
+        sel = select_full_restart(preset, ckpt_cfg, completed, ledger, failed);
+      }
+    } else {
+      sel = select_full_restart(preset, ckpt_cfg, completed, ledger, failed);
+    }
+    restore = std::move(sel.plan);
+    resume = std::move(sel.resume);
+    out.used_checkpoint = out.used_checkpoint || sel.used_checkpoint;
+    out.rollback_iteration = sel.rollback_iteration;
+    out.checkpoints_skipped += sel.checkpoints_skipped;
+    out.ranks_restored_local += sel.restored_local;
+    out.ranks_restored_replica += sel.restored_replica;
+    out.ranks_restored_pfs += sel.restored_pfs;
+  }
+}
 
 RecoveryResult run_with_failure(const ClusterPreset& preset,
                                 const WorkloadFactory& make,
                                 const ckpt::CkptConfig& ckpt_cfg,
                                 const std::vector<CkptRequest>& requests,
                                 sim::Time failure_at, int failed_rank) {
-  RecoveryResult out;
-  out.failure_at = failure_at;
-
-  // ---- Phase 1: run until the failure, remember completed checkpoints
-  // and where the staging tier left every image.
-  Phase1 p1 = run_phase1(preset, make, ckpt_cfg, requests, failure_at);
-
-  // ---- Determine the rollback point. The store models the checkpoint
-  // directory on the PFS: under incremental checkpointing a restore has to
-  // read the whole chain back to the last full image, not just the newest
-  // increment.
-  std::vector<workloads::WorkloadState> resume(preset.nranks);
-  std::vector<RestoreSource> plan(
-      preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
-  if (!p1.completed.empty()) {
-    ckpt::CheckpointStore store(/*retention=*/2);
-    for (std::size_t i = 0; i < p1.completed.size(); ++i) {
-      store.commit(p1.completed[i], ckpt_cfg.incremental && i > 0);
-    }
-    if (!preset.tier.enabled) {
-      // Single-tier model: every image is on the PFS, the latest completed
-      // checkpoint is always recoverable.
-      const auto* set = store.latest();
-      const ckpt::GlobalCheckpoint& gc = p1.completed.back();
-      out.used_checkpoint = true;
-      out.rollback_iteration = common_rollback(preset, gc, &resume);
-      for (int r = 0; r < preset.nranks; ++r) {
-        plan[r].bytes = set ? store.restore_bytes(*set, r)
-                            : gc.snapshots[r].image_bytes;
-        ++out.ranks_restored_pfs;
-      }
-    } else {
-      // Tiered model: the failed node's local images died with it. Walk
-      // checkpoints newest-first until one is restorable for every rank.
-      for (int i = static_cast<int>(p1.completed.size()) - 1; i >= 0; --i) {
-        const ckpt::GlobalCheckpoint& gc = p1.completed[i];
-        std::vector<RestoreSource> candidate(preset.nranks);
-        bool ok = true;
-        for (int r = 0; r < preset.nranks && ok; ++r) {
-          auto src = source_for_rank(p1, gc, r, failed_rank);
-          if (!src) {
-            ok = false;
-          } else {
-            candidate[r] = *src;
-          }
-        }
-        if (!ok) {
-          ++out.checkpoints_skipped;
-          continue;
-        }
-        out.used_checkpoint = true;
-        out.rollback_iteration = common_rollback(preset, gc, &resume);
-        plan = std::move(candidate);
-        for (int r = 0; r < preset.nranks; ++r) count_source(plan[r], &out);
-        break;
-      }
-    }
-  }
-
-  // ---- Phase 2: fresh cluster, reload images, re-execute to completion.
-  run_restart(preset, make, ckpt_cfg, plan, resume, &out);
-  return out;
+  FaultPlan plan;
+  plan.faults.push_back(FaultEvent{failure_at, failed_rank});
+  return run_with_faults(preset, make, ckpt_cfg, requests, plan);
 }
 
 RecoveryResult run_with_single_failure(const ClusterPreset& preset,
@@ -272,52 +369,11 @@ RecoveryResult run_with_single_failure(const ClusterPreset& preset,
                                        const std::vector<CkptRequest>& requests,
                                        sim::Time failure_at, int failed_rank,
                                        bool job_pause) {
-  if (!job_pause) {
-    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
-                            failed_rank);
-  }
-  Phase1 p1 = run_phase1(preset, make, ckpt_cfg, requests, failure_at);
-  // With no completed checkpoint there is nothing to pause around: the job
-  // degrades to the full (cold) restart.
-  if (p1.completed.empty()) {
-    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
-                            failed_rank);
-  }
-
-  RecoveryResult out;
-  out.failure_at = failure_at;
-  // Job pause only reloads the failed rank's image; the healthy ranks roll
-  // back from their resident memory. Pick the newest checkpoint whose
-  // failed-rank image survives (replica or drained PFS copy under the tier
-  // model; the PFS copy always exists without one).
-  std::vector<workloads::WorkloadState> resume(preset.nranks);
-  std::vector<RestoreSource> plan(
-      preset.nranks, RestoreSource{RestoreSource::kPfs, 0, -1});
-  for (int i = static_cast<int>(p1.completed.size()) - 1; i >= 0; --i) {
-    const ckpt::GlobalCheckpoint& gc = p1.completed[i];
-    std::optional<RestoreSource> src;
-    if (!preset.tier.enabled) {
-      src = RestoreSource{RestoreSource::kPfs,
-                          gc.snapshots[failed_rank].image_bytes, -1};
-    } else {
-      src = source_for_rank(p1, gc, failed_rank, failed_rank);
-    }
-    if (!src) {
-      ++out.checkpoints_skipped;
-      continue;
-    }
-    out.used_checkpoint = true;
-    out.rollback_iteration = common_rollback(preset, gc, &resume);
-    plan[failed_rank] = *src;
-    count_source(*src, &out);
-    break;
-  }
-  if (!out.used_checkpoint) {
-    return run_with_failure(preset, make, ckpt_cfg, requests, failure_at,
-                            failed_rank);
-  }
-  run_restart(preset, make, ckpt_cfg, plan, resume, &out);
-  return out;
+  FaultPlan plan;
+  plan.faults.push_back(FaultEvent{failure_at, failed_rank});
+  plan.style =
+      job_pause ? RecoveryStyle::kJobPause : RecoveryStyle::kFullRestart;
+  return run_with_faults(preset, make, ckpt_cfg, requests, plan);
 }
 
 }  // namespace gbc::harness

@@ -4,14 +4,39 @@
 
 namespace gbc::harness {
 
+/// One injected node failure. `at` is measured on the clock of the attempt
+/// it interrupts: the first fault fires at `at` into the original run, the
+/// second fires at `at` into the restarted run, and so on.
+struct FaultEvent {
+  sim::Time at = 0;
+  int rank = 0;  ///< node that dies (its local-tier images die with it)
+};
+
+/// How each failure is recovered from.
+enum class RecoveryStyle : std::uint8_t {
+  /// The whole job dies (the paper's model): every rank reloads its image
+  /// from wherever it durably lives and re-executes.
+  kFullRestart,
+  /// Job pause (Wang et al., IPDPS'07): healthy ranks pause in place and
+  /// roll back from memory; only the failed rank reloads its image.
+  kJobPause,
+};
+
+/// A replayable schedule of failures for one run.
+struct FaultPlan {
+  std::vector<FaultEvent> faults;  ///< in firing order, one per attempt
+  RecoveryStyle style = RecoveryStyle::kFullRestart;
+};
+
 /// Outcome of a failure + restart experiment.
 struct RecoveryResult {
   bool used_checkpoint = false;  ///< false: no completed ckpt, restarted cold
-  sim::Time failure_at = 0;
-  double restart_read_seconds = 0;   ///< reloading images from storage
-  double rerun_seconds = 0;          ///< re-execution after restart
-  double total_seconds = 0;          ///< failure_at + restart + rerun
-  std::uint64_t rollback_iteration = 0;
+  int failures = 0;              ///< faults injected (FaultPlan size)
+  sim::Time failure_at = 0;      ///< first fault's time
+  double restart_read_seconds = 0;   ///< image reloads of the final restart
+  double rerun_seconds = 0;          ///< re-execution after the last restart
+  double total_seconds = 0;          ///< Σ fault times + restart + rerun
+  std::uint64_t rollback_iteration = 0;  ///< of the last recovery
   std::vector<std::uint64_t> final_iterations;
   std::vector<std::uint64_t> final_hashes;
 
@@ -23,6 +48,23 @@ struct RecoveryResult {
   int ranks_restored_replica = 0;  ///< fetched from the partner's replica
   int ranks_restored_pfs = 0;      ///< read from the shared PFS
 };
+
+/// The FaultPlan replay loop: runs the workload with the given checkpoint
+/// requests, fires plan.faults[k] into attempt k (attempt 0 is the original
+/// run; each later attempt is a restart), after each fault restores from
+/// the most recent *recoverable* global checkpoint per plan.style, and
+/// finally re-executes to completion. The set of dead nodes accumulates
+/// across faults: once a node died, its local-tier images stay lost for
+/// every later recovery, and restarted attempts take no new checkpoints —
+/// so a second failure can force recovery onto an older (or no) checkpoint.
+///
+/// With one fault this is exactly the classic single-failure experiment;
+/// run_with_failure / run_with_single_failure are thin wrappers over it.
+RecoveryResult run_with_faults(const ClusterPreset& preset,
+                               const WorkloadFactory& make,
+                               const ckpt::CkptConfig& ckpt_cfg,
+                               const std::vector<CkptRequest>& requests,
+                               const FaultPlan& plan);
 
 /// Runs the workload with the given checkpoint requests, injects a fatal
 /// failure at `failure_at` (the whole job dies — the paper's model, where a

@@ -1,0 +1,26 @@
+#include "harness/sim_cluster.hpp"
+
+namespace gbc::harness {
+
+SimCluster::SimCluster(const ClusterPreset& preset,
+                       const ckpt::CkptConfig& ckpt_cfg,
+                       const SimClusterOptions& opts)
+    : preset_(preset),
+      fabric_(eng_, preset_.net, preset_.nranks),
+      fs_(eng_, preset_.storage),
+      mpi_(eng_, fabric_, preset_.mpi),
+      ckpt_(mpi_, fs_, ckpt_cfg) {
+  if (preset_.tier.enabled && opts.attach_tier) {
+    tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks);
+    tier_->set_replica_transport(
+        [this](int src, int dst, storage::Bytes b) {
+          return fabric_.bulk_transfer(src, dst, b);
+        });
+    tier_->set_trace(opts.trace);
+    ckpt_.set_tier(&*tier_);
+  }
+  if (opts.trace) ckpt_.set_trace(opts.trace);
+  if (opts.hooks) mpi_.set_hooks(opts.hooks);
+}
+
+}  // namespace gbc::harness

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+
+#include "ckpt/checkpoint.hpp"
+#include "harness/preset.hpp"
+#include "mpi/minimpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "storage/storage.hpp"
+#include "storage/tiers.hpp"
+
+namespace gbc::harness {
+
+/// Wiring knobs that are not part of the cluster shape itself.
+struct SimClusterOptions {
+  /// Structured protocol/staging trace (enable it before the run).
+  sim::Trace* trace = nullptr;
+  /// MPI delivery hooks (traffic observers).
+  mpi::MpiHooks* hooks = nullptr;
+  /// Instantiate the staging tier when `preset.tier.enabled`. Recovery's
+  /// restart phase sets this false: a restarted job reloads images but its
+  /// fresh local tiers start empty and play no further role.
+  bool attach_tier = true;
+};
+
+/// The composition root: one simulated cluster, fully wired.
+///
+/// Owns the engine, fabric (with its connection manager), shared PFS,
+/// optional node-local staging tier, MiniMPI and the C/R service, and
+/// performs all the cross-layer plumbing (tier replica transport over the
+/// fabric, trace fan-out, gate installation) in exactly one place. Every
+/// driver — experiments, recovery replays, MTBF loops, tools, tests —
+/// builds its stack through this class, so layer wiring changes happen
+/// here and nowhere else.
+///
+/// Construction schedules no engine events; two clusters built from the
+/// same preset are bit-identical starting states.
+class SimCluster {
+ public:
+  explicit SimCluster(const ClusterPreset& preset,
+                      const ckpt::CkptConfig& ckpt_cfg = {},
+                      const SimClusterOptions& opts = {});
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  const ClusterPreset& preset() const noexcept { return preset_; }
+  int nranks() const noexcept { return preset_.nranks; }
+
+  sim::Engine& engine() noexcept { return eng_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  net::ConnectionManager& connections() noexcept {
+    return fabric_.connections();
+  }
+  storage::StorageSystem& shared_fs() noexcept { return fs_; }
+  mpi::MiniMPI& mpi() noexcept { return mpi_; }
+  ckpt::CheckpointService& checkpoints() noexcept { return ckpt_; }
+  /// Null when the preset has no tier (or attach_tier was false).
+  storage::TieredStore* tier() noexcept { return tier_ ? &*tier_ : nullptr; }
+
+  /// Spawns `per_rank(rank_ctx)` for every rank (the usual launch pattern).
+  template <typename F>
+  void spawn_ranks(F&& per_rank) {
+    for (int r = 0; r < preset_.nranks; ++r) {
+      eng_.spawn(per_rank(mpi_.rank(r)));
+    }
+  }
+
+ private:
+  ClusterPreset preset_;
+  sim::Engine eng_;
+  net::Fabric fabric_;
+  storage::StorageSystem fs_;
+  mpi::MiniMPI mpi_;
+  ckpt::CheckpointService ckpt_;
+  std::optional<storage::TieredStore> tier_;
+};
+
+}  // namespace gbc::harness

@@ -14,6 +14,8 @@
 
 namespace gbc::storage {
 
+class TierLedger;
+
 /// Multi-level checkpoint staging knobs (FTI-style storage hierarchy in
 /// front of the shared PFS). Disabled by default so every existing
 /// experiment is bit-identical to the single-tier model.
@@ -122,15 +124,32 @@ class TieredStore {
 
   // --- ledger / durability queries (recovery) ---
   const std::deque<ImageInfo>& images() const noexcept { return images_; }
-  const ImageInfo* find(std::uint64_t id) const {
-    return id >= 1 && id <= images_.size() ? &images_[id - 1] : nullptr;
+  /// Ledger ids are 1-based; nullptr for 0 / out-of-range.
+  static const ImageInfo* find_in(const std::deque<ImageInfo>& images,
+                                  std::uint64_t id) {
+    return id >= 1 && id <= images.size() ? &images[id - 1] : nullptr;
   }
+  const ImageInfo* find(std::uint64_t id) const {
+    return find_in(images_, id);
+  }
+  /// Detached copy of the ledger that outlives the store (recovery keeps
+  /// one after the failed simulation is torn down).
+  TierLedger ledger() const;
   static bool local_available(const ImageInfo& img) {
     return img.local && !img.evicted;
   }
   static bool pfs_durable(const ImageInfo& img) { return img.drained_at >= 0; }
   static bool replica_available(const ImageInfo& img, int failed_node) {
     return img.replicated_at >= 0 && img.partner != failed_node;
+  }
+  /// Same, against a set of dead nodes (multi-failure recovery): the
+  /// replica survives only if the partner node is not in the set.
+  static bool replica_available(const ImageInfo& img,
+                                const std::vector<char>& failed_nodes) {
+    if (img.replicated_at < 0) return false;
+    return img.partner < 0 ||
+           img.partner >= static_cast<int>(failed_nodes.size()) ||
+           !failed_nodes[img.partner];
   }
 
   // --- stats ---
@@ -184,5 +203,31 @@ class TieredStore {
   std::int64_t images_evicted_ = 0;
   std::int64_t replicas_made_ = 0;
 };
+
+/// Value-type snapshot of a TieredStore's durability ledger. Recovery holds
+/// one across simulations: the failed run's store (and engine) are gone by
+/// the time restore sources are chosen, and under multiple failures the
+/// same ledger is re-queried with a growing set of dead nodes.
+class TierLedger {
+ public:
+  TierLedger() = default;
+  explicit TierLedger(std::deque<TieredStore::ImageInfo> images)
+      : images_(std::move(images)) {}
+
+  bool empty() const noexcept { return images_.empty(); }
+  std::size_t size() const noexcept { return images_.size(); }
+  const std::deque<TieredStore::ImageInfo>& images() const noexcept {
+    return images_;
+  }
+  /// Ledger ids are 1-based; nullptr for 0 / out-of-range.
+  const TieredStore::ImageInfo* find(std::uint64_t id) const {
+    return TieredStore::find_in(images_, id);
+  }
+
+ private:
+  std::deque<TieredStore::ImageInfo> images_;
+};
+
+inline TierLedger TieredStore::ledger() const { return TierLedger(images_); }
 
 }  // namespace gbc::storage

@@ -15,6 +15,7 @@
 #include "harness/cli.hpp"
 #include "sim/trace_chrome.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sim_cluster.hpp"
 #include "harness/gantt.hpp"
 #include "harness/interval.hpp"
 #include "harness/recovery.hpp"
@@ -314,10 +315,12 @@ int cmd_storage(int argc, const char* const* argv) {
   harness::Table t({"clients", "per_client_MBps", "aggregate_MBps"});
   for (int clients = 1; clients <= flags.get_int("max-clients");
        clients *= 2) {
-    sim::Engine eng;
-    storage::StorageConfig cfg;
-    cfg.stripe_count = flags.get_int("stripe");
-    storage::StorageSystem fs(eng, cfg);
+    harness::ClusterPreset preset;
+    preset.nranks = clients;
+    preset.storage.stripe_count = flags.get_int("stripe");
+    harness::SimCluster cluster(preset);
+    sim::Engine& eng = cluster.engine();
+    storage::StorageSystem& fs = cluster.shared_fs();
     const storage::Bytes file = storage::mib(flags.get_double("file-mib"));
     sim::Time slowest = 0;
     for (int c = 0; c < clients; ++c) {
@@ -351,7 +354,19 @@ void print_toplevel_usage() {
       "  mtbf      time-to-solution under Poisson failures\n"
       "  storage   storage-bottleneck curve (per-client bandwidth)\n"
       "\n"
-      "run `gbcsim <command> --help` for flags");
+      "staging-tier flags (delay/sweep/trace/recover/mtbf):\n"
+      "  --tier                  enable the node-local staging tier\n"
+      "  --local-write-mbps N    local tier write bandwidth per node (MB/s)\n"
+      "  --tier-capacity-mib N   local tier capacity per node (0 = unbounded)\n"
+      "  --drain-mbps N          background drain rate to the PFS (0 = never)\n"
+      "  --replicate             copy each image to a partner node\n"
+      "\n"
+      "tracing / recovery flags:\n"
+      "  --trace-out FILE        (trace) chrome://tracing JSON of the schedule\n"
+      "  --failed-rank R         (recover) rank whose node dies\n"
+      "\n"
+      "run `gbcsim <command> --help` for the full flag list of a command;\n"
+      "unknown flags or stray arguments exit with status 2");
 }
 
 }  // namespace

@@ -87,11 +87,25 @@ TEST(FlagSet, HelpShortCircuits) {
   EXPECT_NE(f.usage().find("--ratio"), std::string::npos);
 }
 
-TEST(FlagSet, PositionalArgumentsPassThrough) {
+TEST(FlagSet, PositionalArgumentsNeedOptIn) {
   FlagSet f = make_flags();
+  f.allow_positional();
   EXPECT_TRUE(parse(f, {"alpha", "--count", "3", "beta"}));
   EXPECT_EQ(f.positional(),
             (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(FlagSet, UnexpectedPositionalIsError) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"alpha"}));
+  EXPECT_NE(f.error().find("unexpected argument 'alpha'"), std::string::npos);
+}
+
+TEST(FlagSet, SingleDashFlagIsError) {
+  FlagSet f = make_flags();
+  EXPECT_FALSE(parse(f, {"-count", "3"}));
+  EXPECT_NE(f.error().find("unknown flag -count"), std::string::npos);
+  EXPECT_NE(f.error().find("--name"), std::string::npos);
 }
 
 }  // namespace

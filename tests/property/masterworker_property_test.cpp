@@ -8,6 +8,7 @@
 
 #include "ckpt/consistency.hpp"
 #include "harness/recovery.hpp"
+#include "harness/sim_cluster.hpp"
 #include "sim/random.hpp"
 #include "workloads/masterworker.hpp"
 
@@ -29,15 +30,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MwSweep,
 
 TEST_P(MwSweep, RecoveryLineConsistentUnderCheckpointing) {
   const std::uint64_t seed = GetParam();
-  sim::Engine eng;
-  net::Fabric fabric(eng, {}, 8);
-  storage::StorageSystem fs(eng, {});
-  mpi::MpiConfig mc;
-  mc.record_messages = true;
-  mpi::MiniMPI mpi(eng, fabric, mc);
+  harness::ClusterPreset preset;
+  preset.nranks = 8;
+  preset.mpi.record_messages = true;
   ckpt::CkptConfig cc;
   cc.group_size = static_cast<int>(1 + seed % 4);
-  ckpt::CheckpointService svc(mpi, fs, cc);
+  harness::SimCluster cluster(preset, cc);
+  sim::Engine& eng = cluster.engine();
+  mpi::MiniMPI& mpi = cluster.mpi();
+  ckpt::CheckpointService& svc = cluster.checkpoints();
   workloads::MasterWorkerSim wl(8, mw_cfg(seed));
   wl.attach(svc);
   sim::Rng rng(seed * 65537);

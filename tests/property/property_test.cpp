@@ -17,6 +17,7 @@
 #include "ckpt/consistency.hpp"
 #include "ckpt/group_formation.hpp"
 #include "harness/recovery.hpp"
+#include "harness/sim_cluster.hpp"
 #include "sim/random.hpp"
 #include "workloads/workload.hpp"
 
@@ -153,15 +154,15 @@ TEST_P(ConsistencySweep, RecoveryLinesAreConsistentAndBuffersDrain) {
 // variant drives the world directly instead of via run_experiment.
 TEST_P(ConsistencySweep, MessageTraceNeverCrossesALine) {
   const auto param = GetParam();
-  sim::Engine eng;
-  net::Fabric fabric(eng, {}, 8);
-  storage::StorageSystem fs(eng, {});
-  mpi::MpiConfig mc;
-  mc.record_messages = true;
-  mpi::MiniMPI mpi(eng, fabric, mc);
+  harness::ClusterPreset preset;
+  preset.nranks = 8;
+  preset.mpi.record_messages = true;
   ckpt::CkptConfig cc;
   cc.group_size = param.group_size;
-  ckpt::CheckpointService svc(mpi, fs, cc);
+  harness::SimCluster cluster(preset, cc);
+  sim::Engine& eng = cluster.engine();
+  mpi::MiniMPI& mpi = cluster.mpi();
+  ckpt::CheckpointService& svc = cluster.checkpoints();
   ChaosWorkload wl(8, param.seed, 220);
   wl.attach(svc);
   sim::Rng rng(param.seed * 104729);
