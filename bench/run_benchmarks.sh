@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Runs the simulator microbenchmarks plus two representative figure sweeps
-# (fig3 micro-benchmark sweep, fig6 HPL group-size sweep) and assembles a
-# machine-readable perf snapshot. This is the file committed as BENCH_pr<N>.json
-# to track the events/s trajectory across PRs.
+# Runs the simulator microbenchmarks plus representative sweeps (fig3
+# micro-benchmark sweep, fig6 HPL group-size sweep, the sharded-DES scaling
+# benches) and assembles a machine-readable perf snapshot. This is the file
+# committed as BENCH_pr<N>.json to track the events/s trajectory across PRs.
 #
 # Usage: bench/run_benchmarks.sh [build-dir] [output.json]
 #   build-dir   cmake build tree containing bench/ binaries   (default: build)
-#   output.json snapshot destination                          (default: BENCH_pr2.json)
+#   output.json snapshot destination                          (default: BENCH_pr6.json)
 # Env: GBC_BENCH_MIN_TIME  seconds per microbenchmark case    (default: 2)
 #
 # Run on an otherwise-idle machine: the microbench numbers are the ones the
@@ -14,10 +14,10 @@
 set -euo pipefail
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_pr2.json}
+OUT=${2:-BENCH_pr6.json}
 MIN_TIME=${GBC_BENCH_MIN_TIME:-2}
 
-for bin in simcore_microbench fig3_group_size fig6_hpl_groupsize; do
+for bin in simcore_microbench fig3_group_size fig6_hpl_groupsize shard_scaling scale_groupsize; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "error: $BUILD/bench/$bin missing; build first: cmake --build $BUILD -j" >&2
     exit 1
@@ -44,6 +44,15 @@ GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig6_hpl_groupsize"
 if [[ -x "$BUILD/bench/fig8_staging" ]]; then
   GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig8_staging"
 fi
+
+echo "== sharded-DES scaling =="
+# Throughput at 1/2/4/8 shards on a fixed 1k-rank fat-tree config; one JSONL
+# record per shard count (events/s, window count, balance).
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/shard_scaling"
+# Group-size curve at 1k/4k ranks (the 16k point is left to manual runs so
+# the snapshot stays quick to regenerate).
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/scale_groupsize" --ranks 1024
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/scale_groupsize" --ranks 4096
 
 # Assemble the snapshot: per-benchmark name/time/throughput from the
 # google-benchmark JSON, plus the one-record-per-sweep JSONL the drivers

@@ -5,8 +5,10 @@
 # message/request/suspension lifetimes the pools serve.
 #
 # A second stage rebuilds under TSan and runs the tests that actually cross
-# threads: the sweep pool (label `sweep`) and the staging-tier suites
-# (label `storage`, swept 8-wide by the fig8 determinism check).
+# threads: the sweep pool (label `sweep`), the staging-tier suites
+# (label `storage`, swept 8-wide by the fig8 determinism check), and the
+# sharded DES (label `shard`: SPSC mailbox stress, window-barrier pool,
+# thread budget, scale-model runs).
 #
 # Usage: scripts/sanitize_check.sh [build-dir] [tsan-build-dir]
 #   build-dir       ASan/UBSan build tree (default: build-asan)
@@ -29,6 +31,6 @@ cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-      -L "sweep|storage"
+      -L "sweep|storage|shard"
 
 echo "sanitize check passed"

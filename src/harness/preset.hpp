@@ -10,6 +10,12 @@ namespace gbc::harness {
 /// Everything needed to instantiate one simulated cluster.
 struct ClusterPreset {
   int nranks = 32;
+  /// DES shards for the run (sim::ShardedEngine). Only the LP-disciplined
+  /// scale model (harness/scale_model.hpp) supports > 1: the full protocol
+  /// stack shares its ConnectionManager / StorageSystem / MPI matching
+  /// across all ranks — one logical process — so SimCluster rejects any
+  /// preset asking it to shard. The topology knob lives in net.topology.
+  int shards = 1;
   storage::StorageConfig storage;
   /// Node-local staging tier (disabled by default: single-tier PFS model).
   storage::TierConfig tier;

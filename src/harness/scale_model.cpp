@@ -1,0 +1,587 @@
+#include "harness/scale_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/thread_budget.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/shard_engine.hpp"
+#include "storage/storage.hpp"
+
+namespace gbc::harness {
+
+namespace {
+
+using sim::Time;
+
+enum class MK : std::uint8_t {
+  kApp,        // ring payload, final destination a rank
+  kChunk,      // checkpoint chunk, final destination a server
+  kAck,        // server -> rank chunk ack (control path)
+  kFreeze,     // controller -> member (control path)
+  kMemberDone, // member -> controller, a = freeze span
+  kRankDone,   // rank -> controller, a = finish time
+};
+
+/// One hop's worth of message. `origin`/`oseq` identify the immediate
+/// sender LP and its send sequence — the canonical key same-time deliveries
+/// are sorted by, which is what makes processing order independent of how
+/// arrival events interleave across shards. `src`/`dst` are the end-to-end
+/// endpoints (LP ids) the switches route by.
+struct Msg {
+  MK kind = MK::kApp;
+  int origin = -1;
+  std::uint64_t oseq = 0;
+  int src = -1;
+  int dst = -1;
+  std::int64_t bytes = 0;
+  std::int64_t a = 0;
+};
+
+struct RankLp {
+  sim::Rng rng{0};
+  int iter = 0;  // next iteration to compute
+  int recvd = 0; // ring messages received so far
+  bool computing = false;
+  bool frozen = false;
+  bool freeze_pending = false;
+  bool done = false;
+  int deferred_tag = -1;  // ring send held back by a freeze
+  int chunks_left = 0;
+  Time nic_busy = 0;
+  Time freeze_start = 0;
+  Time freeze_span = 0;
+  Time finish_t = 0;
+};
+
+struct SwitchLp {
+  std::vector<Time> port_busy;
+};
+
+struct ServerLp {
+  Time busy = 0;
+};
+
+struct ControllerLp {
+  int group_lo = 0;
+  int group_hi = 0;
+  int pending = 0;
+  Time last_done = 0;
+  Time max_span = 0;
+  Time max_finish = 0;
+  int ranks_done = 0;
+};
+
+struct Inbox {
+  std::vector<Msg> buf;
+  Time drain_at = -1;
+};
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+class ScaleModel {
+ public:
+  ScaleModel(const ScaleConfig& cfg, int threads)
+      : cfg_(cfg),
+        flat_(cfg.net.topology.flat()),
+        tree_(cfg.net.topology, cfg.nranks),
+        N_(cfg.nranks),
+        L_(flat_ ? 0 : tree_.nleaf()),
+        P_(flat_ ? 0 : tree_.nspine()),
+        V_(std::max(1, cfg.pfs_servers)),
+        S_(cfg.shards) {
+    if (N_ < 1) throw std::invalid_argument("scale model: nranks must be >= 1");
+    if (S_ < 1) throw std::invalid_argument("scale model: shards must be >= 1");
+    if (S_ > N_) S_ = N_;
+
+    sim::ShardedEngine::Options eopts;
+    eopts.shards = S_;
+    eopts.lookahead = cfg_.net.wire_latency;  // = fabric min_latency per hop
+    eopts.threads = threads;
+    eopts.trace = cfg_.trace;
+    eng_ = std::make_unique<sim::ShardedEngine>(eopts);
+
+    build_lps();
+  }
+
+  ScaleResult run();
+
+ private:
+  // --- LP id layout: ranks, then leaves, spines, servers, controller ---
+  int lp_rank(int r) const { return r; }
+  int lp_leaf(int l) const { return N_ + l; }
+  int lp_spine(int j) const { return N_ + L_ + j; }
+  int lp_server(int v) const { return N_ + L_ + P_ + v; }
+  int lp_controller() const { return N_ + L_ + P_ + V_; }
+  int nlp() const { return N_ + L_ + P_ + V_ + 1; }
+  bool is_rank(int lp) const { return lp < N_; }
+  bool is_server(int lp) const {
+    return lp >= N_ + L_ + P_ && lp < N_ + L_ + P_ + V_;
+  }
+
+  void build_lps() {
+    // Ranks are split into contiguous blocks; every non-rank LP piggybacks
+    // on a deterministic shard so the mapping never depends on runtime
+    // conditions (a requirement for resumable identical runs).
+    shard_of_.resize(nlp());
+    for (int r = 0; r < N_; ++r) {
+      shard_of_[lp_rank(r)] = static_cast<int>(
+          (static_cast<std::int64_t>(r) * S_) / N_);
+    }
+    for (int l = 0; l < L_; ++l) {
+      shard_of_[lp_leaf(l)] = shard_of_[lp_rank(std::min(
+          N_ - 1, l * tree_.radix()))];  // shard of its first rank
+    }
+    for (int j = 0; j < P_; ++j) shard_of_[lp_spine(j)] = j % S_;
+    for (int v = 0; v < V_; ++v) shard_of_[lp_server(v)] = v % S_;
+    shard_of_[lp_controller()] = 0;
+
+    seq_.assign(nlp(), 0);
+    inbox_.resize(nlp());
+    ranks_.resize(N_);
+    for (int r = 0; r < N_; ++r) {
+      ranks_[r].rng = sim::Rng(cfg_.seed).fork(static_cast<std::uint64_t>(r));
+    }
+    leaves_.resize(L_);
+    for (auto& l : leaves_) l.port_busy.assign(tree_.radix() + P_, 0);
+    spines_.resize(P_);
+    for (auto& s : spines_) s.port_busy.assign(L_ + V_, 0);
+    servers_.resize(V_);
+
+    const double fp_bytes = cfg_.footprint_mib * storage::kMiB;
+    const double ch_bytes = std::max(1.0, cfg_.chunk_mib * storage::kMiB);
+    nchunks_ = std::max(1, static_cast<int>(std::ceil(fp_bytes / ch_bytes)));
+    chunk_bytes_ = static_cast<std::int64_t>(ch_bytes);
+  }
+
+  sim::Engine& eng_of(int lp) { return eng_->shard(shard_of_[lp]); }
+
+  Time ctrl_latency() const {
+    return 2 * cfg_.net.wire_latency + cfg_.net.per_message_overhead;
+  }
+
+  static Time xfer_time(std::int64_t bytes, double mbps) {
+    return static_cast<Time>(static_cast<double>(bytes) /
+                             (mbps * static_cast<double>(storage::kMiB)) *
+                             static_cast<double>(sim::kSecond));
+  }
+
+  // --- messaging spine: send -> deliver -> (sorted) drain -> handle ---
+
+  /// Schedules delivery of `m` to `dst_lp` at absolute time `t`. Must be
+  /// called from an event of `src_lp`'s shard (or before the run starts),
+  /// with t at least one lookahead ahead when the shards differ — which
+  /// every path here guarantees, since each hop and the control channel
+  /// both cost >= wire_latency.
+  void send(int src_lp, int dst_lp, Time t, Msg m) {
+    m.origin = src_lp;
+    m.oseq = seq_[src_lp]++;
+    const int ss = shard_of_[src_lp];
+    const int ds = shard_of_[dst_lp];
+    auto fn = [this, dst_lp, m] { deliver(dst_lp, m); };
+    if (ss == ds) {
+      eng_->shard(ss).schedule_at(t, std::move(fn));
+    } else {
+      eng_->post(ss, ds, t, std::move(fn));
+    }
+  }
+
+  /// Arrival event: buffer, and let the first arrival at this (lp, t)
+  /// schedule the drain. Latency is strictly positive, so every arrival at
+  /// t is already queued when the first one executes; the drain (scheduled
+  /// now, hence sequenced after them all) therefore sees the complete set.
+  void deliver(int lp, Msg m) {
+    Inbox& ib = inbox_[lp];
+    ib.buf.push_back(m);
+    sim::Engine& e = eng_of(lp);
+    if (ib.drain_at != e.now()) {
+      ib.drain_at = e.now();
+      e.schedule_now([this, lp] { drain(lp); });
+    }
+  }
+
+  void drain(int lp) {
+    Inbox& ib = inbox_[lp];
+    std::vector<Msg> msgs = std::move(ib.buf);
+    ib.buf.clear();
+    ib.drain_at = -1;
+    // Canonical processing order: by immediate sender, then its send
+    // sequence. (origin, oseq) pairs are unique, so this is a total order
+    // and the arrival interleaving (which varies with shard count) is
+    // irrelevant.
+    std::sort(msgs.begin(), msgs.end(), [](const Msg& a, const Msg& b) {
+      return a.origin != b.origin ? a.origin < b.origin : a.oseq < b.oseq;
+    });
+    for (Msg& m : msgs) handle(lp, m);
+  }
+
+  void handle(int lp, const Msg& m) {
+    if (is_rank(lp)) {
+      switch (m.kind) {
+        case MK::kApp:
+          on_ring_recv(lp);
+          return;
+        case MK::kAck:
+          on_ack(lp);
+          return;
+        case MK::kFreeze:
+          on_freeze(lp);
+          return;
+        default:
+          assert(false && "unexpected message at a rank");
+          return;
+      }
+    }
+    if (lp == lp_controller()) {
+      on_controller(m);
+      return;
+    }
+    if (is_server(lp)) {
+      on_server(lp - (N_ + L_ + P_), m);
+      return;
+    }
+    if (lp >= N_ + L_) {
+      forward_spine(lp - (N_ + L_), m);
+    } else {
+      forward_leaf(lp - N_, m);
+    }
+  }
+
+  // --- data path ---
+
+  /// Injects a data message at the source rank's NIC (LogGP-style serial
+  /// injection), handing it to the first hop: the destination itself on a
+  /// crossbar, the source's leaf switch on a fat-tree.
+  void send_data(int src_rank, int dst_lp, std::int64_t bytes, MK kind,
+                 std::int64_t a) {
+    RankLp& rk = ranks_[src_rank];
+    sim::Engine& e = eng_of(lp_rank(src_rank));
+    const Time start = std::max(rk.nic_busy, e.now());
+    const Time done = start + cfg_.net.per_message_overhead +
+                      xfer_time(bytes, cfg_.net.link_bandwidth_mbps);
+    rk.nic_busy = done;
+    Msg m;
+    m.kind = kind;
+    m.src = lp_rank(src_rank);
+    m.dst = dst_lp;
+    m.bytes = bytes;
+    m.a = a;
+    const int next =
+        flat_ ? dst_lp : lp_leaf(tree_.leaf_of(src_rank));
+    send(lp_rank(src_rank), next, done + cfg_.net.wire_latency, m);
+  }
+
+  /// Per-port store-and-forward: depart = max(port free, now) + serialize.
+  /// Monotonic per port, so a port never reorders — the FIFO property the
+  /// ring workload's in-order delivery relies on.
+  Time occupy_port(std::vector<Time>& busy, int port, Time t,
+                   std::int64_t bytes) {
+    Time& b = busy[static_cast<std::size_t>(port)];
+    const Time depart =
+        std::max(b, t) + xfer_time(bytes, cfg_.net.link_bandwidth_mbps);
+    b = depart;
+    return depart;
+  }
+
+  void forward_leaf(int l, Msg m) {
+    sim::Engine& e = eng_of(lp_leaf(l));
+    SwitchLp& sw = leaves_[l];
+    int port;
+    int next;
+    if (is_rank(m.dst) && tree_.leaf_of(m.dst) == l) {
+      port = m.dst % tree_.radix();  // down to the destination rank
+      next = m.dst;
+    } else {
+      // Up: ECMP spine for rank-to-rank flows, the attach spine for chunks.
+      const int spine = is_server(m.dst)
+                            ? (m.dst - (N_ + L_ + P_)) % P_
+                            : tree_.spine_for(m.src, m.dst);
+      port = tree_.radix() + spine;
+      next = lp_spine(spine);
+    }
+    const Time depart = occupy_port(sw.port_busy, port, e.now(), m.bytes);
+    send(lp_leaf(l), next, depart + cfg_.net.wire_latency, m);
+  }
+
+  void forward_spine(int j, Msg m) {
+    sim::Engine& e = eng_of(lp_spine(j));
+    SwitchLp& sw = spines_[j];
+    int port;
+    int next;
+    if (is_server(m.dst)) {
+      port = L_ + (m.dst - (N_ + L_ + P_));
+      next = m.dst;
+    } else {
+      const int dl = tree_.leaf_of(m.dst);
+      port = dl;
+      next = lp_leaf(dl);
+    }
+    const Time depart = occupy_port(sw.port_busy, port, e.now(), m.bytes);
+    send(lp_spine(j), next, depart + cfg_.net.wire_latency, m);
+  }
+
+  void on_server(int v, const Msg& m) {
+    assert(m.kind == MK::kChunk);
+    ServerLp& sv = servers_[v];
+    sim::Engine& e = eng_of(lp_server(v));
+    const Time depart =
+        std::max(sv.busy, e.now()) + xfer_time(m.bytes, cfg_.pfs_server_mbps);
+    sv.busy = depart;
+    Msg ack;
+    ack.kind = MK::kAck;
+    ack.src = lp_server(v);
+    ack.dst = m.src;
+    send(lp_server(v), m.src, depart + ctrl_latency(), ack);
+  }
+
+  // --- application: ring exchange in comm groups ---
+
+  int group_lo(int r) const { return (r / cfg_.comm_group) * cfg_.comm_group; }
+  int group_size(int r) const {
+    return std::min(group_lo(r) + cfg_.comm_group, N_) - group_lo(r);
+  }
+  int ring_next(int r) const {
+    const int lo = group_lo(r);
+    return lo + (r - lo + 1) % group_size(r);
+  }
+
+  void try_start(int r) {
+    RankLp& rk = ranks_[r];
+    if (rk.frozen || rk.computing || rk.done) return;
+    if (rk.iter >= cfg_.iterations) {
+      rk.done = true;
+      rk.finish_t = eng_of(lp_rank(r)).now();
+      Msg m;
+      m.kind = MK::kRankDone;
+      m.src = lp_rank(r);
+      m.dst = lp_controller();
+      m.a = rk.finish_t;
+      send(lp_rank(r), lp_controller(),
+           rk.finish_t + ctrl_latency(), m);
+      return;
+    }
+    // Iteration k needs the k'th ring message from the predecessor (loose
+    // BSP coupling); a singleton group has no ring and never waits.
+    if (group_size(r) > 1 && rk.recvd < rk.iter) return;
+    begin_compute(r, rk.iter);
+  }
+
+  void begin_compute(int r, int k) {
+    RankLp& rk = ranks_[r];
+    rk.computing = true;
+    const double jit = cfg_.compute_jitter_cv > 0
+                           ? rk.rng.lognormal_mean_cv(1.0, cfg_.compute_jitter_cv)
+                           : 1.0;
+    const Time dur = std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(cfg_.compute_per_iter) * jit));
+    sim::Engine& e = eng_of(lp_rank(r));
+    e.schedule_at(e.now() + dur, [this, r, k] { on_compute_done(r, k); });
+  }
+
+  void on_compute_done(int r, int k) {
+    RankLp& rk = ranks_[r];
+    rk.computing = false;
+    if (rk.freeze_pending) {
+      // Freeze takes effect at the iteration boundary; the ring send for
+      // this iteration is deferred until the rank thaws (the paper's frozen
+      // ranks suspend communication, not computation results).
+      rk.deferred_tag = k;
+      start_freeze(r);
+      return;
+    }
+    if (group_size(r) > 1) send_data(r, lp_rank(ring_next(r)), cfg_.msg_bytes,
+                                     MK::kApp, k);
+    rk.iter = k + 1;
+    try_start(r);
+  }
+
+  void on_ring_recv(int r) {
+    ++ranks_[r].recvd;
+    try_start(r);
+  }
+
+  // --- checkpoint: freeze -> teardown -> chunked write -> rebuild ---
+
+  int npeers(int r) const {
+    const int g = group_size(r);
+    return g >= 3 ? 2 : g - 1;
+  }
+
+  void on_freeze(int r) {
+    RankLp& rk = ranks_[r];
+    assert(!rk.frozen && "double freeze");
+    if (rk.computing) {
+      rk.freeze_pending = true;
+    } else {
+      start_freeze(r);  // idle or finished: effective immediately
+    }
+  }
+
+  void start_freeze(int r) {
+    RankLp& rk = ranks_[r];
+    sim::Engine& e = eng_of(lp_rank(r));
+    rk.frozen = true;
+    rk.freeze_start = e.now();
+    rk.chunks_left = nchunks_;
+    const Time teardown = cfg_.net.teardown_cost * npeers(r);
+    e.schedule_at(e.now() + std::max<Time>(1, teardown),
+                  [this, r] { send_next_chunk(r); });
+  }
+
+  void send_next_chunk(int r) {
+    send_data(r, lp_server(r % V_), chunk_bytes_, MK::kChunk, 0);
+  }
+
+  void on_ack(int r) {
+    RankLp& rk = ranks_[r];
+    if (--rk.chunks_left > 0) {
+      send_next_chunk(r);
+      return;
+    }
+    sim::Engine& e = eng_of(lp_rank(r));
+    const Time rebuild =
+        (cfg_.net.oob_exchange + cfg_.net.qp_transition) * npeers(r);
+    e.schedule_at(e.now() + std::max<Time>(1, rebuild),
+                  [this, r] { on_rebuilt(r); });
+  }
+
+  void on_rebuilt(int r) {
+    RankLp& rk = ranks_[r];
+    sim::Engine& e = eng_of(lp_rank(r));
+    rk.frozen = false;
+    rk.freeze_pending = false;
+    rk.freeze_span = e.now() - rk.freeze_start;
+    Msg m;
+    m.kind = MK::kMemberDone;
+    m.src = lp_rank(r);
+    m.dst = lp_controller();
+    m.a = rk.freeze_span;
+    send(lp_rank(r), lp_controller(), e.now() + ctrl_latency(), m);
+    if (rk.deferred_tag >= 0) {
+      const int k = rk.deferred_tag;
+      rk.deferred_tag = -1;
+      if (group_size(r) > 1) {
+        send_data(r, lp_rank(ring_next(r)), cfg_.msg_bytes, MK::kApp, k);
+      }
+      rk.iter = k + 1;
+    }
+    try_start(r);
+  }
+
+  // --- controller ---
+
+  void start_group(int lo) {
+    const int gsz = cfg_.ckpt_group <= 0 ? N_ : cfg_.ckpt_group;
+    ctrl_.group_lo = lo;
+    ctrl_.group_hi = std::min(lo + gsz, N_);
+    ctrl_.pending = ctrl_.group_hi - lo;
+    sim::Engine& e = eng_of(lp_controller());
+    for (int r = lo; r < ctrl_.group_hi; ++r) {
+      Msg m;
+      m.kind = MK::kFreeze;
+      m.src = lp_controller();
+      m.dst = lp_rank(r);
+      send(lp_controller(), lp_rank(r), e.now() + ctrl_latency(), m);
+    }
+  }
+
+  void on_controller(const Msg& m) {
+    if (m.kind == MK::kRankDone) {
+      ++ctrl_.ranks_done;
+      ctrl_.max_finish = std::max(ctrl_.max_finish, static_cast<Time>(m.a));
+      return;
+    }
+    assert(m.kind == MK::kMemberDone);
+    ctrl_.max_span = std::max(ctrl_.max_span, static_cast<Time>(m.a));
+    if (--ctrl_.pending == 0) {
+      ctrl_.last_done = eng_of(lp_controller()).now();
+      if (ctrl_.group_hi < N_) start_group(ctrl_.group_hi);
+    }
+  }
+
+  std::uint64_t state_hash() const {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (const RankLp& rk : ranks_) {
+      h = mix64(h, static_cast<std::uint64_t>(rk.finish_t));
+      h = mix64(h, static_cast<std::uint64_t>(rk.freeze_span));
+      h = mix64(h, static_cast<std::uint64_t>(rk.recvd));
+    }
+    return h;
+  }
+
+  ScaleConfig cfg_;
+  bool flat_;
+  net::FatTree tree_;
+  int N_, L_, P_, V_, S_;
+  int nchunks_ = 1;
+  std::int64_t chunk_bytes_ = 1;
+
+  std::unique_ptr<sim::ShardedEngine> eng_;
+  std::vector<int> shard_of_;
+  std::vector<std::uint64_t> seq_;
+  std::vector<Inbox> inbox_;
+  std::vector<RankLp> ranks_;
+  std::vector<SwitchLp> leaves_;
+  std::vector<SwitchLp> spines_;
+  std::vector<ServerLp> servers_;
+  ControllerLp ctrl_;
+};
+
+ScaleResult ScaleModel::run() {
+  for (int r = 0; r < N_; ++r) {
+    eng_of(lp_rank(r)).schedule_at(0, [this, r] { try_start(r); });
+  }
+  if (cfg_.issuance >= 0) {
+    eng_of(lp_controller())
+        .schedule_at(cfg_.issuance, [this] { start_group(0); });
+  }
+
+  eng_->run();
+
+  assert(ctrl_.ranks_done == N_ && "a rank never finished (model deadlock)");
+  ScaleResult res;
+  res.completion_seconds = sim::to_seconds(ctrl_.max_finish);
+  res.individual_max_seconds = sim::to_seconds(ctrl_.max_span);
+  if (cfg_.issuance >= 0) {
+    res.total_ckpt_seconds = sim::to_seconds(ctrl_.last_done - cfg_.issuance);
+  }
+  res.events = eng_->total_events();
+  res.windows = eng_->windows();
+  res.window_balance = eng_->window_balance();
+  res.shards = eng_->shards();
+  res.threads_used = eng_->threads();
+  res.state_hash = state_hash();
+  return res;
+}
+
+}  // namespace
+
+ScaleResult run_scale_model(const ScaleConfig& cfg) {
+  int threads = cfg.threads;
+  int granted = 0;
+  if (threads <= 0) {
+    granted = ThreadBudget::shared().acquire(std::max(1, cfg.shards));
+    threads = granted;
+  }
+  try {
+    ScaleModel model(cfg, threads);
+    ScaleResult res = model.run();
+    if (granted > 0) ThreadBudget::shared().release(granted);
+    return res;
+  } catch (...) {
+    if (granted > 0) ThreadBudget::shared().release(granted);
+    throw;
+  }
+}
+
+}  // namespace gbc::harness

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace gbc::harness {
+
+/// Configuration of one scale-model run (see run_scale_model below).
+/// Defaults sketch a 1k-rank BT/SP-like iterative code on a DDR fabric
+/// writing to a small PVFS2 array — the paper's workload shape, two orders
+/// of magnitude past its node count.
+struct ScaleConfig {
+  int nranks = 1024;
+  /// DES shards (sim::ShardedEngine). Any value >= 1 produces byte-identical
+  /// results; > 1 partitions ranks into contiguous blocks.
+  int shards = 1;
+  /// Worker threads for the sharded engine; 0 leases from ThreadBudget.
+  int threads = 0;
+  /// Fabric timing + topology. net.topology selects flat vs fat-tree; on a
+  /// fat-tree, switch ports contend individually and latency is per-hop.
+  net::NetConfig net;
+
+  int pfs_servers = 4;
+  double pfs_server_mbps = 35.0;  ///< per-server ingest (paper: ~140/4 MB/s)
+
+  /// Application: ring exchange inside groups of `comm_group` consecutive
+  /// ranks, `iterations` compute+communicate steps per rank.
+  int comm_group = 16;
+  int iterations = 40;
+  sim::Time compute_per_iter = sim::from_milliseconds(100);
+  double compute_jitter_cv = 0.05;  ///< lognormal, mean-preserving
+  std::int64_t msg_bytes = 64 * 1024;
+
+  /// Checkpoint: per-rank image size, written in chunks with a window of 1
+  /// outstanding chunk per rank (server acks pace the stream).
+  double footprint_mib = 180.0;
+  double chunk_mib = 8.0;
+  /// Ranks per checkpoint group, frozen group-after-group (the paper's
+  /// group-based coordination); 0 = every rank in one group.
+  int ckpt_group = 0;
+  /// Checkpoint issuance time; < 0 runs the base (checkpoint-free) job.
+  sim::Time issuance = -1;
+
+  std::uint64_t seed = 42;
+  sim::Trace* trace = nullptr;  ///< receives shard/<id>/window spans
+};
+
+struct ScaleResult {
+  double completion_seconds = 0;      ///< slowest rank's finish time
+  double individual_max_seconds = 0;  ///< largest per-member freeze span
+  double total_ckpt_seconds = 0;      ///< issuance -> last group done (0 base)
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  double window_balance = 1.0;  ///< max/mean per-shard events (1.0 = even)
+  int shards = 1;
+  int threads_used = 1;
+  /// Digest of per-rank end state (finish time, freeze span, messages
+  /// received), folded in rank order. Identical across shard and thread
+  /// counts — the determinism tests' primary witness.
+  std::uint64_t state_hash = 0;
+};
+
+/// Runs the LP-disciplined scale model: every rank, switch, PFS server and
+/// the checkpoint controller is a logical process owning its state
+/// privately, all interaction flows through timestamped messages with
+/// latency >= the fabric's minimum, and same-time deliveries are re-sorted
+/// into a canonical (sender, sequence) order before processing. Those three
+/// properties make the run independent of shard count and thread count —
+/// `shards` only changes how the event set is partitioned, never the
+/// results — which is what lets one simulation scale past the full
+/// protocol stack's single-engine ceiling (see DESIGN.md section 12).
+ScaleResult run_scale_model(const ScaleConfig& cfg);
+
+}  // namespace gbc::harness

@@ -1,5 +1,7 @@
 #include "harness/sim_cluster.hpp"
 
+#include <stdexcept>
+
 namespace gbc::harness {
 
 SimCluster::SimCluster(const ClusterPreset& preset,
@@ -10,6 +12,14 @@ SimCluster::SimCluster(const ClusterPreset& preset,
       fs_(eng_, preset_.storage),
       mpi_(eng_, fabric_, preset_.mpi),
       ckpt_(mpi_, fs_, ckpt_cfg) {
+  if (preset_.shards > 1) {
+    // The full stack is one logical process (shared connection manager,
+    // PFS queues and MPI matching); sharding it would not be deterministic.
+    // Scale runs that want shards go through harness/scale_model.hpp.
+    throw std::invalid_argument(
+        "SimCluster: the full protocol stack cannot be sharded "
+        "(preset.shards > 1); use the scale model for sharded runs");
+  }
   if (preset_.tier.enabled && opts.attach_tier) {
     tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks);
     tier_->set_replica_transport(

@@ -1,6 +1,9 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "harness/thread_budget.hpp"
 
 namespace gbc::harness {
 
@@ -67,6 +70,10 @@ void SweepRunner::worker_loop() {
     });
     if (shutdown_) return;
     seen = generation_;
+    // The thread-budget grant caps how many workers may pile onto this
+    // batch (the submitter is one of batch_width_); surplus workers go
+    // straight back to sleep until the next batch.
+    if (workers_in_batch_ >= batch_width_ - 1) continue;
     const auto* fn = batch_fn_;
     const std::size_t n = batch_n_;
     // Joining the batch under the lock pins its state: run_indexed cannot
@@ -105,15 +112,22 @@ void SweepRunner::run_indexed(std::size_t n,
   }
   // One batch in flight at a time; concurrent submitters queue up here.
   std::lock_guard<std::mutex> submit_lk(submit_m_);
+  // Lease the batch width from the shared budget so a sweep running next to
+  // sharded engines (or another pool) cannot oversubscribe the host. A
+  // grant of 1 still drains correctly: no worker joins and the submitter
+  // claims every index itself.
+  const int grant = ThreadBudget::shared().acquire(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n)));
   {
     std::lock_guard<std::mutex> lk(m_);
     batch_fn_ = &fn;
     batch_n_ = n;
     batch_next_.store(0);
     batch_done_ = 0;
+    batch_width_ = grant;
     ++generation_;
   }
-  work_cv_.notify_all();
+  if (grant > 1) work_cv_.notify_all();
   // The submitter works the batch alongside the pool.
   {
     InSweepJobScope scope;
@@ -133,6 +147,8 @@ void SweepRunner::run_indexed(std::size_t n,
     return batch_done_ == batch_n_ && workers_in_batch_ == 0;
   });
   batch_fn_ = nullptr;
+  lk.unlock();
+  ThreadBudget::shared().release(grant);
 }
 
 std::vector<RunResult> run_experiments(SweepRunner& runner,

@@ -144,6 +144,10 @@ class SweepRunner {
   std::size_t batch_done_ = 0;
   /// Workers currently between picking up the batch and parking again.
   int workers_in_batch_ = 0;
+  /// Width granted to the current batch by harness::ThreadBudget (submitter
+  /// included): at most batch_width_ - 1 workers may join it. A batch whose
+  /// grant degraded to 1 drains entirely on the submitting thread.
+  int batch_width_ = 0;
 };
 
 /// One fully-specified run_experiment() invocation, for sweeping. `hooks`

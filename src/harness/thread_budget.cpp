@@ -1,0 +1,68 @@
+#include "harness/thread_budget.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <thread>
+
+namespace gbc::harness {
+
+namespace {
+
+int env_capacity() {
+  if (const char* env = std::getenv("GBC_THREAD_BUDGET")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadBudget::ThreadBudget() : capacity_(env_capacity()) {}
+
+ThreadBudget& ThreadBudget::shared() {
+  static ThreadBudget budget;
+  return budget;
+}
+
+int ThreadBudget::acquire(int want) {
+  if (want < 1) want = 1;
+  std::lock_guard<std::mutex> lk(m_);
+  const int free = std::max(0, capacity_ - 1 - leased_);
+  const int extra = std::min(want - 1, free);
+  leased_ += extra;
+  peak_ = std::max(peak_, leased_);
+  return 1 + extra;
+}
+
+void ThreadBudget::release(int granted) {
+  if (granted <= 1) return;
+  std::lock_guard<std::mutex> lk(m_);
+  leased_ -= granted - 1;
+  assert(leased_ >= 0 && "release() without a matching acquire()");
+}
+
+int ThreadBudget::capacity() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return capacity_;
+}
+
+int ThreadBudget::leased() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return leased_;
+}
+
+int ThreadBudget::peak_leased() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return peak_;
+}
+
+void ThreadBudget::set_capacity_for_test(int cap) {
+  std::lock_guard<std::mutex> lk(m_);
+  capacity_ = cap >= 1 ? cap : env_capacity();
+  peak_ = leased_;
+}
+
+}  // namespace gbc::harness

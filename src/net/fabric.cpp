@@ -132,7 +132,13 @@ Fabric::Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints)
       nic_busy_until_(n_endpoints, 0),
       traffic_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0),
       msgcount_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0) {
+  if (!cfg_.topology.flat()) tree_.emplace(cfg_.topology, n_endpoints);
   conn_mgr_ = std::make_unique<ConnectionManager>(eng, *this, n_endpoints, cfg);
+}
+
+sim::Time Fabric::latency(int src, int dst) const {
+  if (!tree_ || src == dst) return cfg_.wire_latency;
+  return cfg_.wire_latency * tree_->hops(src, dst);
 }
 
 void Fabric::transmit(Packet p) {
@@ -157,7 +163,7 @@ sim::Task<void> Fabric::bulk_transfer(int src, int dst, Bytes bytes) {
   const sim::Time start = std::max(eng_.now(), nic_busy_until_[src]);
   const sim::Time done = start + cfg_.per_message_overhead + xfer;
   nic_busy_until_[src] = done;
-  co_await eng_.delay_until(done + cfg_.wire_latency);
+  co_await eng_.delay_until(done + latency(src, dst));
 }
 
 void Fabric::enqueue(Packet p, bool data_plane) {
@@ -179,7 +185,7 @@ void Fabric::enqueue(Packet p, bool data_plane) {
   const sim::Time start = std::max(eng_.now(), nic_busy_until_[p.src]);
   const sim::Time done = start + cfg_.per_message_overhead + xfer;
   nic_busy_until_[p.src] = done;
-  const sim::Time arrival = done + cfg_.wire_latency;
+  const sim::Time arrival = done + latency(p.src, p.dst);
   eng_.schedule_at(arrival, [this, p = std::move(p), data_plane]() mutable {
     deliver(std::move(p), data_plane);
   });

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -8,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
+#include "net/topology.hpp"
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
 #include "sim/pool.hpp"
@@ -32,6 +36,11 @@ struct NetConfig {
   sim::Time oob_exchange = sim::from_microseconds(800);
   sim::Time qp_transition = sim::from_microseconds(200);  ///< RESET→RTS etc.
   sim::Time teardown_cost = sim::from_microseconds(300);
+  /// Interconnect shape. The flat default reproduces the paper-scale
+  /// crossbar exactly; `fat-tree:<radix>:<oversub>` makes end-to-end
+  /// latency hop-counted (wire_latency per switch hop) and is what the
+  /// sharded scale model contends per switch port on.
+  TopologySpec topology;
 };
 
 /// Classification of a transfer; the meaning of ids is owned by the MPI
@@ -148,6 +157,18 @@ class Fabric {
   sim::Engine& engine() noexcept { return eng_; }
   ConnectionManager& connections() noexcept { return *conn_mgr_; }
 
+  /// End-to-end propagation delay src -> dst: wire_latency on a crossbar,
+  /// wire_latency per switch hop on a fat-tree.
+  sim::Time latency(int src, int dst) const;
+
+  /// Lower bound of latency() over all distinct pairs — the conservative
+  /// lookahead a sharded run of this fabric may use (sim::ShardedEngine):
+  /// no cross-endpoint interaction can take effect sooner than this.
+  sim::Time min_latency() const {
+    return cfg_.wire_latency *
+           std::max(1, cfg_.topology.min_hops());
+  }
+
   void set_receiver(int ep, Deliver d) { receivers_[ep] = std::move(d); }
 
   /// Queues a packet on src's NIC. Caller (MPI layer) is responsible for the
@@ -182,6 +203,7 @@ class Fabric {
   sim::Engine& eng_;
   NetConfig cfg_;
   int n_;
+  std::optional<FatTree> tree_;  // engaged when topology is fat-tree
   std::vector<Deliver> receivers_;
   std::vector<sim::Time> nic_busy_until_;
   std::unique_ptr<ConnectionManager> conn_mgr_;

@@ -55,6 +55,15 @@ class Engine {
   /// drains the queue. Used for mid-run teardown (failure injection).
   void abort_all();
 
+  /// Absolute time of the earliest queued event, or kMaxSimTime when the
+  /// queue is empty. The shard coordinator uses this to place the next
+  /// conservative window; a serial run never needs it.
+  Time next_event_time() const {
+    Time t;
+    return queue_.peek_time(t) ? t : kMaxSimTime;
+  }
+  bool queue_empty() const noexcept { return queue_.empty(); }
+
   int live_processes() const noexcept { return live_; }
   /// Total events dispatched by run()/run_until() so far; the basis for
   /// simulated-events-per-second throughput reporting.

@@ -1,0 +1,286 @@
+#include "sim/shard_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace gbc::sim {
+
+/// Shard-private state. Padded so two worker threads never share a line
+/// through the hot seq counter / mailbox tails.
+struct alignas(64) ShardedEngine::Shard {
+  Engine eng;
+  /// One SPSC mailbox per destination shard; this shard's worker is the
+  /// only producer, the coordinator (at a barrier) the only consumer.
+  std::vector<std::unique_ptr<SpscQueue<CrossEvent>>> out;
+  std::uint64_t next_seq = 0;
+  ShardStats stats;
+  std::uint64_t events_before_window = 0;
+  std::exception_ptr error;
+};
+
+namespace {
+
+// Merge key: earliest (t, src, seq) first. Used with std::push_heap /
+// std::pop_heap, which build a max-heap, hence the inverted comparison.
+struct StagedLater {
+  template <typename S>
+  bool operator()(const S& a, const S& b) const noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.src != b.src) return a.src > b.src;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+/// Generation-counted window barrier: the coordinator publishes a window
+/// end, workers run their statically-assigned shards (shard s belongs to
+/// worker s % threads), and the coordinator waits for all of them before
+/// merging mailboxes. Static assignment keeps each Engine thread-affine for
+/// the whole run, which also fixes the SPSC producer role per mailbox.
+struct ShardedEngine::Pool {
+  std::mutex m;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  Time window_end = 0;
+  int done = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+};
+
+ShardedEngine::ShardedEngine(const Options& opts)
+    : lookahead_(opts.lookahead), trace_(opts.trace) {
+  if (opts.shards < 1) {
+    throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  }
+  if (opts.shards > 1 && opts.lookahead <= 0) {
+    throw std::invalid_argument(
+        "ShardedEngine: a positive lookahead is required for > 1 shard");
+  }
+  threads_ = std::clamp(opts.threads, 1, opts.shards);
+  shards_.reserve(opts.shards);
+  for (int s = 0; s < opts.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->out.reserve(opts.shards);
+    for (int d = 0; d < opts.shards; ++d) {
+      sh->out.push_back(std::make_unique<SpscQueue<CrossEvent>>());
+    }
+    shards_.push_back(std::move(sh));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+Engine& ShardedEngine::shard(int s) { return shards_[s]->eng; }
+
+const ShardStats& ShardedEngine::stats(int s) const {
+  return shards_[s]->stats;
+}
+
+void ShardedEngine::post(int src, int dst, Time t, InlineFn fn) {
+  assert(src >= 0 && src < shards() && dst >= 0 && dst < shards());
+  if (src == dst) {
+    shards_[src]->eng.schedule_at(t, std::move(fn));
+    return;
+  }
+  Shard& from = *shards_[src];
+  assert(t >= from.eng.now() + lookahead_ &&
+         "cross-shard post inside the conservative horizon");
+  ++from.stats.cross_sent;
+  from.out[dst]->push(CrossEvent{t, from.next_seq++, std::move(fn)});
+}
+
+Time ShardedEngine::earliest_pending() {
+  Time t = kMaxSimTime;
+  for (auto& sh : shards_) t = std::min(t, sh->eng.next_event_time());
+  if (!staged_.empty()) t = std::min(t, staged_.front().t);
+  return t;
+}
+
+void ShardedEngine::inject_staged(Time before) {
+  while (!staged_.empty() && staged_.front().t < before) {
+    std::pop_heap(staged_.begin(), staged_.end(), StagedLater{});
+    Staged ev = std::move(staged_.back());
+    staged_.pop_back();
+    shards_[ev.dst]->eng.schedule_at(ev.t, std::move(ev.fn));
+  }
+}
+
+void ShardedEngine::drain_mailboxes() {
+  const int n = shards();
+  CrossEvent ev;
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      auto& mb = *shards_[src]->out[dst];
+      while (mb.pop(ev)) {
+        staged_.push_back(Staged{ev.t, static_cast<std::uint32_t>(src),
+                                 ev.seq, static_cast<std::uint32_t>(dst),
+                                 std::move(ev.fn)});
+        std::push_heap(staged_.begin(), staged_.end(), StagedLater{});
+      }
+    }
+  }
+}
+
+void ShardedEngine::run_shard_window(int s, Time end) {
+  Shard& sh = *shards_[s];
+  sh.events_before_window = sh.eng.events_processed();
+  try {
+    // Window [T, end): Time is integral, so "strictly below end" is
+    // run_until(end - 1). The engine parks with now() == end - 1, safely
+    // behind any merge-injected arrival (all of which are >= end).
+    sh.eng.run_until(end == kMaxSimTime ? kMaxSimTime : end - 1);
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+  const std::uint64_t n = sh.eng.events_processed() - sh.events_before_window;
+  if (n > 0) {
+    sh.stats.events += n;
+    ++sh.stats.busy_windows;
+    sh.stats.max_window_events = std::max(sh.stats.max_window_events, n);
+  }
+}
+
+void ShardedEngine::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time end;
+    {
+      std::unique_lock<std::mutex> lk(pool_->m);
+      pool_->start_cv.wait(
+          lk, [&] { return pool_->stop || pool_->generation != seen; });
+      if (pool_->stop) return;
+      seen = pool_->generation;
+      end = pool_->window_end;
+    }
+    for (int s = worker; s < shards(); s += threads_) {
+      run_shard_window(s, end);
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_->m);
+      if (++pool_->done == threads_ - 1) pool_->done_cv.notify_one();
+    }
+  }
+}
+
+void ShardedEngine::run_windows_parallel(Time end) {
+  {
+    std::lock_guard<std::mutex> lk(pool_->m);
+    pool_->window_end = end;
+    pool_->done = 0;
+    ++pool_->generation;
+  }
+  pool_->start_cv.notify_all();
+  // The coordinator doubles as worker 0.
+  for (int s = 0; s < shards(); s += threads_) run_shard_window(s, end);
+  std::unique_lock<std::mutex> lk(pool_->m);
+  pool_->done_cv.wait(lk, [&] { return pool_->done == threads_ - 1; });
+}
+
+void ShardedEngine::run() {
+  if (shards() == 1) {
+    ++windows_;
+    Shard& sh = *shards_[0];
+    sh.events_before_window = sh.eng.events_processed();
+    sh.eng.run();
+    const std::uint64_t n =
+        sh.eng.events_processed() - sh.events_before_window;
+    sh.stats.events += n;
+    if (n > 0) {
+      sh.stats.busy_windows = 1;
+      sh.stats.max_window_events = n;
+    }
+    return;
+  }
+
+  if (threads_ > 1 && !pool_) {
+    pool_ = std::make_unique<Pool>();
+    pool_->workers.reserve(threads_ - 1);
+    for (int w = 1; w < threads_; ++w) {
+      pool_->workers.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  for (;;) {
+    const Time t0 = earliest_pending();
+    if (t0 == kMaxSimTime) break;
+    const Time end =
+        t0 >= kMaxSimTime - lookahead_ ? kMaxSimTime : t0 + lookahead_;
+    // All merge-time arrivals inside this window are scheduled before any
+    // shard runs, so they participate in the window with deterministic
+    // destination sequence numbers.
+    inject_staged(end);
+
+    if (threads_ > 1) {
+      run_windows_parallel(end);
+    } else {
+      for (int s = 0; s < shards(); ++s) run_shard_window(s, end);
+    }
+    ++windows_;
+
+    if (trace_ != nullptr && trace_->enabled()) {
+      for (int s = 0; s < shards(); ++s) {
+        const Shard& sh = *shards_[s];
+        const std::uint64_t n =
+            sh.eng.events_processed() - sh.events_before_window;
+        if (n == 0) continue;
+        const std::string cat = "shard/" + std::to_string(s) + "/window";
+        trace_->add(t0, -2 - s, cat, "begin");
+        trace_->add(end == kMaxSimTime ? t0 : end, -2 - s, cat,
+                    "end events=" + std::to_string(n));
+      }
+    }
+
+    for (auto& sh : shards_) {
+      if (sh->error) {
+        if (pool_) {
+          {
+            std::lock_guard<std::mutex> lk(pool_->m);
+            pool_->stop = true;
+          }
+          pool_->start_cv.notify_all();
+          for (auto& w : pool_->workers) w.join();
+          pool_.reset();
+        }
+        std::rethrow_exception(sh->error);
+      }
+    }
+
+    drain_mailboxes();
+  }
+
+  if (pool_) {
+    {
+      std::lock_guard<std::mutex> lk(pool_->m);
+      pool_->stop = true;
+    }
+    pool_->start_cv.notify_all();
+    for (auto& w : pool_->workers) w.join();
+    pool_.reset();
+  }
+}
+
+std::uint64_t ShardedEngine::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->stats.events;
+  return n;
+}
+
+double ShardedEngine::window_balance() const {
+  const std::uint64_t total = total_events();
+  if (total == 0 || shards_.empty()) return 1.0;
+  std::uint64_t mx = 0;
+  for (const auto& sh : shards_) mx = std::max(mx, sh->stats.events);
+  const double mean = static_cast<double>(total) / shards_.size();
+  return static_cast<double>(mx) / mean;
+}
+
+}  // namespace gbc::sim

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/trace.hpp"
+
+namespace gbc::sim {
+
+/// Per-shard execution counters, the basis for the events-per-window load
+/// balance statistics the scale benchmarks report.
+struct ShardStats {
+  std::uint64_t events = 0;            ///< events this shard dispatched
+  std::uint64_t busy_windows = 0;      ///< windows in which it dispatched any
+  std::uint64_t max_window_events = 0; ///< largest single-window burst
+  std::uint64_t cross_sent = 0;        ///< cross-shard messages it produced
+};
+
+/// Conservative-lookahead parallel discrete-event engine.
+///
+/// One simulation is partitioned into S shards, each owning a full serial
+/// Engine — its own timing wheel, slot arena and memory pools — and the
+/// model's state is partitioned with them (every logical process belongs to
+/// exactly one shard). Shards advance in lockstep windows [T, T + L) where
+/// T is the globally earliest pending event and L is the lookahead: the
+/// minimum simulated latency of any cross-shard interaction (for a fabric,
+/// its minimum wire latency; see net::Fabric::min_latency()). Inside a
+/// window each shard runs free on its own thread; an event that targets
+/// another shard goes through a lock-free SPSC mailbox instead of the
+/// destination wheel, because its delivery time t >= send + L necessarily
+/// falls beyond the window.
+///
+/// At the window barrier the coordinator drains every mailbox and merges
+/// the messages in (t, src_shard, seq) order — a total order independent of
+/// thread scheduling — assigning destination-engine sequence numbers in
+/// that merged order. Within a shard the serial engine's strict (t, seq)
+/// FIFO already holds, so the whole run is reproducible event-for-event:
+/// the same model run on 1 thread, S inline shards or S threads produces
+/// identical results, provided the model keeps per-LP state private to its
+/// shard and ties at equal timestamps commutative or explicitly ordered
+/// (see harness/scale_model.cpp for the inbox discipline that delivers the
+/// latter).
+///
+/// Determinism does NOT depend on the thread count or the shard->thread
+/// assignment; it does depend on the shard *count* only through the model's
+/// LP discipline (a disciplined model is shard-count-invariant too).
+class ShardedEngine {
+ public:
+  struct Options {
+    int shards = 1;
+    /// Conservative horizon; must be > 0 when shards > 1. Every post() must
+    /// deliver at least this far after the sending shard's current time.
+    Time lookahead = 0;
+    /// Worker threads to run windows on, clamped to [1, shards]. 1 runs all
+    /// shards inline on the calling thread (identical results, no threads).
+    /// Callers should size this via harness::ThreadBudget so sweeps and
+    /// sharded runs never oversubscribe the machine together.
+    int threads = 1;
+    /// When set (and enabled), the coordinator emits one
+    /// `shard/<id>/window` span per busy shard per window.
+    Trace* trace = nullptr;
+  };
+
+  explicit ShardedEngine(const Options& opts);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+  int threads() const noexcept { return threads_; }
+  Time lookahead() const noexcept { return lookahead_; }
+  Engine& shard(int s);
+
+  /// Cross-shard schedule: from model code running on shard `src`, schedule
+  /// fn on shard `dst` at absolute simulated time t. Requires
+  /// t >= shard(src).now() + lookahead (the conservative contract; asserted)
+  /// — use a same-shard schedule_at for anything closer, which post()
+  /// degrades to when src == dst.
+  void post(int src, int dst, Time t, InlineFn fn);
+
+  /// Runs windows until every shard's queue and every mailbox drain.
+  /// Rethrows the first simulated-process error (lowest shard index).
+  void run();
+
+  const ShardStats& stats(int s) const;
+  std::uint64_t total_events() const;
+  std::uint64_t windows() const noexcept { return windows_; }
+  /// Load balance across shards: max per-shard events / mean per-shard
+  /// events. 1.0 = perfectly balanced.
+  double window_balance() const;
+
+ private:
+  struct Shard;
+
+  void run_shard_window(int s, Time end);
+  void worker_loop(int worker);
+  Time earliest_pending();
+  void inject_staged(Time before);
+  void drain_mailboxes();
+  void run_windows_parallel(Time end);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Time lookahead_ = 0;
+  int threads_ = 1;
+  Trace* trace_ = nullptr;
+  std::uint64_t windows_ = 0;
+
+  // Cross-shard messages drained from mailboxes but not yet due: a binary
+  // min-heap ordered by the deterministic merge key (t, src, seq).
+  struct Staged {
+    Time t;
+    std::uint32_t src;
+    std::uint64_t seq;
+    std::uint32_t dst;
+    InlineFn fn;
+  };
+  std::vector<Staged> staged_;
+
+  // Window barrier state for the per-run worker pool (see shard_engine.cpp).
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace gbc::sim

@@ -113,6 +113,43 @@ class TimingWheel {
     return true;
   }
 
+  /// Timestamp of the earliest pending event without removing it — and
+  /// without advancing the wheel clock, which matters: the caller (a shard
+  /// coordinator placing the next conservative window) will still schedule
+  /// events earlier than this timestamp, so cur_ must stay put. Slots within
+  /// a level cover disjoint ascending time ranges, so the level's minimum
+  /// lives in its first occupied slot; leaf slots pin the timestamp exactly,
+  /// coarse buckets are scanned for their true minimum. Returns false when
+  /// the wheel is empty.
+  bool peek_time(Time& t) const {
+    if (has_reg_) {
+      t = reg_.t;
+      return true;
+    }
+    if (size_ == 0) return false;
+    Time best = kMaxTime;
+    std::uint32_t m = levels_;
+    while (m != 0) {
+      const int k = std::countr_zero(m);
+      m &= m - 1;
+      const int from = index_at(k, cur_);
+      const std::uint64_t ge = from != 0 ? occupied_[k] >> from : occupied_[k];
+      assert(ge != 0 && "pending slot behind the wheel clock");
+      const int slot = from + std::countr_zero(ge);
+      if (k == 0) {
+        best = std::min(best, slot_start(0, slot));
+      } else {
+        const Bucket& b = buckets_[k][slot];
+        for (std::uint32_t i = 0; i < b.size(); ++i) {
+          best = std::min(best, b[i].t);
+        }
+      }
+    }
+    if (!overflow_.empty()) best = std::min(best, overflow_.top().t);
+    t = best;
+    return true;
+  }
+
   /// Drops every pending event (abort_all). The clock is left where it is.
   void clear() noexcept {
     for (int k = 0; k < kLevels; ++k) {

@@ -48,6 +48,15 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
 
+// Row layout: -1 -> 0 ("global"), rank r -> r + 1, and shard coordinator
+// actors (-2 - shard, emitted by sim::ShardedEngine) -> a high band so
+// shard rows sort below the rank rows instead of colliding with "global".
+int chrome_tid(int actor) {
+  if (actor >= 0) return actor + 1;
+  if (actor == -1) return 0;
+  return 1000000 + (-actor - 2);
+}
+
 void append_event(std::string& out, bool& first, const Trace::Event& ev,
                   char ph, std::string_view name) {
   if (!first) out += ",\n";
@@ -61,7 +70,7 @@ void append_event(std::string& out, bool& first, const Trace::Event& ev,
   out += R"(","ts":)";
   append_ts(out, ev.t);
   out += R"(,"pid":0,"tid":)";
-  out += std::to_string(ev.actor < 0 ? 0 : ev.actor + 1);
+  out += std::to_string(chrome_tid(ev.actor));
   if (ph == 'i') out += R"(,"s":"t")";
   if (!ev.detail.empty()) {
     out += R"(,"args":{"detail":")";
@@ -96,9 +105,15 @@ std::string trace_to_chrome_json(const Trace& trace) {
     if (!first) out += ",\n";
     first = false;
     out += R"({"name":"thread_name","ph":"M","pid":0,"tid":)";
-    out += std::to_string(actor < 0 ? 0 : actor + 1);
+    out += std::to_string(chrome_tid(actor));
     out += R"(,"args":{"name":")";
-    out += actor < 0 ? std::string("global") : "rank " + std::to_string(actor);
+    if (actor >= 0) {
+      out += "rank " + std::to_string(actor);
+    } else if (actor == -1) {
+      out += "global";
+    } else {
+      out += "shard " + std::to_string(-actor - 2);
+    }
     out += R"("}})";
   }
   out += "\n]}\n";

@@ -4,7 +4,13 @@
 # change that perturbs event order shows up here as a CSV diff.
 #
 # Usage: cmake -DBIN=<figure binary> -DCSV=<csv basename, no extension>
-#              -DWORK=<scratch dir> -P determinism_check.cmake
+#              -DWORK=<scratch dir> [-DMODE=shards] [-DEXTRA=<args;list>]
+#              -P determinism_check.cmake
+#
+# Default mode varies GBC_SWEEP_THREADS (1 vs 8). MODE=shards instead varies
+# the DES shard count (--shards 1 vs --shards 4 on the binary's command
+# line, with EXTRA prepended) — the sharded-engine equivalent of the same
+# contract: partitioning the event set must not change the simulation.
 if(NOT BIN OR NOT CSV OR NOT WORK)
   message(FATAL_ERROR
           "pass -DBIN=<binary>, -DCSV=<csv basename> and -DWORK=<scratch dir>")
@@ -13,27 +19,44 @@ endif()
 file(REMOVE_RECURSE "${WORK}")
 file(MAKE_DIRECTORY "${WORK}")
 
-foreach(threads IN ITEMS 1 8)
+if(MODE STREQUAL "shards")
+  set(variants 1 4)
+else()
+  set(variants 1 8)
+endif()
+
+foreach(v IN LISTS variants)
+  if(MODE STREQUAL "shards")
+    set(cmd "${BIN}" ${EXTRA} --shards ${v})
+    set(env_args "GBC_BENCH_OUT=${WORK}/variant${v}")
+    set(what "--shards ${v}")
+  else()
+    set(cmd "${BIN}")
+    set(env_args "GBC_SWEEP_THREADS=${v}" "GBC_BENCH_OUT=${WORK}/variant${v}")
+    set(what "GBC_SWEEP_THREADS=${v}")
+  endif()
   execute_process(
-    COMMAND "${CMAKE_COMMAND}" -E env
-            "GBC_SWEEP_THREADS=${threads}"
-            "GBC_BENCH_OUT=${WORK}/threads${threads}"
-            "${BIN}"
+    COMMAND "${CMAKE_COMMAND}" -E env ${env_args} ${cmd}
     RESULT_VARIABLE rc
     OUTPUT_QUIET)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${CSV} sweep with GBC_SWEEP_THREADS=${threads} "
-                        "failed (exit ${rc})")
+    message(FATAL_ERROR "${CSV} run with ${what} failed (exit ${rc})")
   endif()
 endforeach()
 
+list(GET variants 0 v0)
+list(GET variants 1 v1)
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${WORK}/threads1/${CSV}.csv"
-          "${WORK}/threads8/${CSV}.csv"
+          "${WORK}/variant${v0}/${CSV}.csv"
+          "${WORK}/variant${v1}/${CSV}.csv"
   RESULT_VARIABLE diff)
 if(NOT diff EQUAL 0)
+  if(MODE STREQUAL "shards")
+    message(FATAL_ERROR "${CSV}.csv differs between 1-shard and 4-shard "
+                        "runs: sharded-DES determinism broken")
+  endif()
   message(FATAL_ERROR "${CSV}.csv differs between serial and "
                       "8-thread sweeps: determinism broken")
 endif()
-message(STATUS "${CSV} CSVs byte-identical across thread counts")
+message(STATUS "${CSV} CSVs byte-identical across variants ${variants}")

@@ -1,0 +1,130 @@
+#include "harness/scale_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+#include "harness/thread_budget.hpp"
+#include "net/topology.hpp"
+
+namespace gbc::harness {
+namespace {
+
+ScaleConfig small_config() {
+  ScaleConfig cfg;
+  cfg.nranks = 64;
+  cfg.iterations = 4;
+  cfg.comm_group = 8;
+  cfg.net.topology = *net::parse_topology("fat-tree:8:2");
+  cfg.footprint_mib = 4.0;
+  cfg.chunk_mib = 2.0;
+  cfg.pfs_servers = 4;
+  cfg.ckpt_group = 16;
+  cfg.issuance = sim::from_milliseconds(200);
+  return cfg;
+}
+
+// The tentpole's determinism contract: shard count only partitions the
+// event set, it never changes the simulation. 7 shards makes the rank
+// blocks uneven on purpose.
+TEST(ScaleModel, StateInvariantAcrossShardCounts) {
+  auto cfg = small_config();
+  cfg.shards = 1;
+  cfg.threads = 1;
+  const auto serial = run_scale_model(cfg);
+  ASSERT_GT(serial.events, 0u);
+  ASSERT_NE(serial.state_hash, 0u);
+  for (int shards : {4, 7}) {
+    cfg.shards = shards;
+    const auto r = run_scale_model(cfg);
+    EXPECT_EQ(r.state_hash, serial.state_hash) << shards << " shards";
+    EXPECT_EQ(r.events, serial.events) << shards << " shards";
+    EXPECT_DOUBLE_EQ(r.completion_seconds, serial.completion_seconds);
+    EXPECT_DOUBLE_EQ(r.total_ckpt_seconds, serial.total_ckpt_seconds);
+    EXPECT_EQ(r.shards, shards);
+  }
+}
+
+TEST(ScaleModel, StateInvariantAcrossThreadCounts) {
+  ThreadBudget::shared().set_capacity_for_test(4);
+  auto cfg = small_config();
+  cfg.shards = 4;
+  cfg.threads = 1;
+  const auto inline_run = run_scale_model(cfg);
+  cfg.threads = 4;
+  const auto threaded = run_scale_model(cfg);
+  ThreadBudget::shared().set_capacity_for_test(0);
+
+  EXPECT_EQ(threaded.threads_used, 4);
+  EXPECT_EQ(inline_run.threads_used, 1);
+  EXPECT_EQ(threaded.state_hash, inline_run.state_hash);
+  EXPECT_EQ(threaded.events, inline_run.events);
+  EXPECT_EQ(threaded.windows, inline_run.windows);
+}
+
+TEST(ScaleModel, BaseRunHasNoCheckpointCost) {
+  auto cfg = small_config();
+  cfg.issuance = -1;
+  const auto r = run_scale_model(cfg);
+  EXPECT_GT(r.completion_seconds, 0.0);
+  EXPECT_EQ(r.total_ckpt_seconds, 0.0);
+  EXPECT_EQ(r.individual_max_seconds, 0.0);
+}
+
+TEST(ScaleModel, CheckpointExtendsCompletion) {
+  auto cfg = small_config();
+  cfg.issuance = -1;
+  const auto base = run_scale_model(cfg);
+  cfg.issuance = sim::from_milliseconds(200);
+  const auto ck = run_scale_model(cfg);
+  EXPECT_GT(ck.completion_seconds, base.completion_seconds);
+  EXPECT_GT(ck.total_ckpt_seconds, 0.0);
+  EXPECT_GT(ck.individual_max_seconds, 0.0);
+}
+
+// The acceptance bar: a >= 4k-rank run completes (shards > 1, fat-tree) in
+// CI time. Sized small in sim-time, full size in rank count.
+TEST(ScaleModel, FourThousandRankSmoke) {
+  ScaleConfig cfg;
+  cfg.nranks = 4096;
+  cfg.shards = 4;
+  cfg.iterations = 2;
+  cfg.comm_group = 16;
+  cfg.net.topology = *net::parse_topology("fat-tree:32:2");
+  cfg.footprint_mib = 1.0;
+  cfg.chunk_mib = 1.0;
+  cfg.pfs_servers = 64;
+  cfg.ckpt_group = 1024;
+  cfg.issuance = sim::from_milliseconds(50);
+  const auto r = run_scale_model(cfg);
+  EXPECT_GT(r.events, 40000u);
+  EXPECT_GT(r.windows, 0u);
+  EXPECT_GT(r.completion_seconds, 0.0);
+  EXPECT_GT(r.total_ckpt_seconds, 0.0);
+  EXPECT_GE(r.window_balance, 1.0);
+}
+
+// Sweep x shards composition: sharded runs inside a sweep must share one
+// thread budget, so the process never holds more helper threads than the
+// capacity allows (here: pinned to 4 -> at most 3 leased at any instant).
+TEST(ScaleModel, SweepTimesShardsRespectsThreadBudget) {
+  auto& budget = ThreadBudget::shared();
+  budget.set_capacity_for_test(4);  // also resets the peak
+  SweepRunner runner(4);
+  auto cfg = small_config();
+  cfg.shards = 4;
+  cfg.threads = 0;  // lease from the budget
+  const auto hashes = runner.map<std::uint64_t>(
+      3, [&cfg](std::size_t) { return run_scale_model(cfg).state_hash; });
+  const int peak = budget.peak_leased();
+  const int leaked = budget.leased();
+  budget.set_capacity_for_test(0);
+
+  EXPECT_EQ(leaked, 0);
+  EXPECT_LE(peak, 3);  // capacity - 1: the submitter's thread is free
+  ASSERT_EQ(hashes.size(), 3u);
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+}  // namespace
+}  // namespace gbc::harness

@@ -1,0 +1,75 @@
+#include "harness/thread_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbc::harness {
+namespace {
+
+// The budget is process-global; every test pins the capacity and restores
+// environment-derived sizing (cap = 0) on the way out.
+class ThreadBudgetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadBudget::shared().set_capacity_for_test(0); }
+};
+
+TEST_F(ThreadBudgetTest, GrantNeverExceedsWantOrCapacity) {
+  auto& b = ThreadBudget::shared();
+  b.set_capacity_for_test(4);
+  EXPECT_EQ(b.capacity(), 4);
+
+  const int g = b.acquire(8);
+  EXPECT_EQ(g, 4);  // own thread + 3 helpers
+  EXPECT_EQ(b.leased(), 3);
+  b.release(g);
+  EXPECT_EQ(b.leased(), 0);
+}
+
+TEST_F(ThreadBudgetTest, CallersOwnThreadIsFree) {
+  auto& b = ThreadBudget::shared();
+  b.set_capacity_for_test(1);
+  // Even a saturated machine grants width 1: run inline, lease nothing.
+  const int g = b.acquire(16);
+  EXPECT_EQ(g, 1);
+  EXPECT_EQ(b.leased(), 0);
+  b.release(g);
+}
+
+TEST_F(ThreadBudgetTest, ConcurrentAcquirersDegradeTowardInline) {
+  auto& b = ThreadBudget::shared();
+  b.set_capacity_for_test(4);
+  const int sweep = b.acquire(3);   // e.g. a sweep batch
+  EXPECT_EQ(sweep, 3);              // leases 2 helpers
+  const int shards = b.acquire(4);  // a sharded run inside it
+  EXPECT_EQ(shards, 2);             // only 1 helper slot left
+  const int late = b.acquire(4);
+  EXPECT_EQ(late, 1);               // budget exhausted: inline
+  EXPECT_EQ(b.leased(), 3);
+  EXPECT_EQ(b.peak_leased(), 3);    // never above capacity - 1
+  b.release(late);
+  b.release(shards);
+  b.release(sweep);
+  EXPECT_EQ(b.leased(), 0);
+}
+
+TEST_F(ThreadBudgetTest, AcquireOfOneLeasesNothing) {
+  auto& b = ThreadBudget::shared();
+  b.set_capacity_for_test(4);
+  const int g = b.acquire(1);
+  EXPECT_EQ(g, 1);
+  EXPECT_EQ(b.leased(), 0);
+  b.release(g);
+}
+
+TEST_F(ThreadBudgetTest, SetCapacityResetsPeak) {
+  auto& b = ThreadBudget::shared();
+  b.set_capacity_for_test(4);
+  const int g = b.acquire(4);
+  b.release(g);
+  EXPECT_GT(b.peak_leased(), 0);
+  b.set_capacity_for_test(2);
+  EXPECT_EQ(b.peak_leased(), 0);
+  EXPECT_EQ(b.capacity(), 2);
+}
+
+}  // namespace
+}  // namespace gbc::harness

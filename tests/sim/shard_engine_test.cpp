@@ -1,0 +1,155 @@
+#include "sim/shard_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+namespace {
+
+// A single-shard ShardedEngine is exactly the serial engine: same events,
+// same order.
+TEST(ShardedEngine, SingleShardMatchesSerialEngine) {
+  auto script = [](Engine& eng, std::vector<int>& log) {
+    eng.schedule_at(5, [&] { log.push_back(1); });
+    eng.schedule_at(5, [&] { log.push_back(2); });  // FIFO at equal t
+    eng.schedule_at(2, [&eng, &log] {
+      log.push_back(0);
+      eng.schedule_at(7, [&log] { log.push_back(3); });
+    });
+  };
+
+  Engine serial;
+  std::vector<int> serial_log;
+  script(serial, serial_log);
+  serial.run();
+
+  ShardedEngine::Options opts;
+  opts.shards = 1;
+  ShardedEngine se(opts);
+  std::vector<int> sharded_log;
+  script(se.shard(0), sharded_log);
+  se.run();
+
+  EXPECT_EQ(serial_log, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sharded_log, serial_log);
+}
+
+// Messages from one source shard must arrive at the destination in send
+// (sequence) order even when they carry the same timestamp, and same-time
+// messages from different sources must merge in src-shard order — the
+// (t, src, seq) contract.
+TEST(ShardedEngine, SameTimeCrossPostsMergeBySrcThenSeq) {
+  ShardedEngine::Options opts;
+  opts.shards = 3;
+  opts.lookahead = 10;
+  opts.threads = 1;
+  ShardedEngine se(opts);
+  std::vector<std::string> dst_log;  // only shard 2 appends
+
+  // Both posts from shard 1 are issued before shard 0's (shard 1's seed
+  // event fires first), yet shard 0's message must still deliver first.
+  se.shard(1).schedule_at(0, [&] {
+    se.post(1, 2, 10, [&dst_log] { dst_log.push_back("s1:a"); });
+    se.post(1, 2, 10, [&dst_log] { dst_log.push_back("s1:b"); });
+  });
+  se.shard(0).schedule_at(1, [&] {
+    se.post(0, 2, 10, [&dst_log] { dst_log.push_back("s0:a"); });
+  });
+  se.run();
+
+  EXPECT_EQ(dst_log, (std::vector<std::string>{"s0:a", "s1:a", "s1:b"}));
+}
+
+// post() with src == dst degrades to a plain schedule_at, so model code can
+// route every send through post() without special-casing locality (and
+// without the lookahead restriction for same-shard traffic).
+TEST(ShardedEngine, SameShardPostIgnoresLookahead) {
+  ShardedEngine::Options opts;
+  opts.shards = 2;
+  opts.lookahead = 100;
+  ShardedEngine se(opts);
+  std::vector<Time> fired;
+  se.shard(0).schedule_at(0, [&] {
+    se.post(0, 0, 3, [&] { fired.push_back(se.shard(0).now()); });
+  });
+  se.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3);
+}
+
+// Ring of cross-shard hops. The per-shard delivery logs — and the window
+// count — must be identical whether the shards run inline on one thread or
+// on one thread each. (Each log is appended only by its own shard, so the
+// logs are race-free even in the threaded run.)
+struct ChainCtx {
+  ShardedEngine* se = nullptr;
+  std::vector<std::vector<int>> logs;
+  Time lookahead = 0;
+};
+
+void hop(ChainCtx* c, int s, int n) {
+  c->logs[static_cast<std::size_t>(s)].push_back(n);
+  if (n == 0) return;
+  const int dst = (s + 1) % c->se->shards();
+  const Time t = c->se->shard(s).now() + c->lookahead;
+  c->se->post(s, dst, t, [c, dst, n] { hop(c, dst, n - 1); });
+}
+
+ChainCtx run_ring(int threads) {
+  ShardedEngine::Options opts;
+  opts.shards = 4;
+  opts.lookahead = 7;
+  opts.threads = threads;
+  ShardedEngine se(opts);
+  ChainCtx ctx;
+  ctx.se = &se;
+  ctx.logs.resize(4);
+  ctx.lookahead = opts.lookahead;
+  for (int s = 0; s < 4; ++s) {
+    se.shard(s).schedule_at(s, [&ctx, s] { hop(&ctx, s, 40); });
+  }
+  se.run();
+  ctx.se = nullptr;
+  return ctx;
+}
+
+TEST(ShardedEngine, RingDeliveryIndependentOfThreadCount) {
+  const ChainCtx serial = run_ring(1);
+  const ChainCtx threaded = run_ring(4);
+  EXPECT_EQ(serial.logs, threaded.logs);
+  // 4 chains x 41 hops, distributed round-robin over the ring.
+  std::size_t total = 0;
+  for (const auto& l : serial.logs) total += l.size();
+  EXPECT_EQ(total, 4u * 41u);
+}
+
+TEST(ShardedEngine, WindowsAdvanceAndStatsAccount) {
+  ShardedEngine::Options opts;
+  opts.shards = 2;
+  opts.lookahead = 5;
+  ShardedEngine se(opts);
+  int delivered = 0;
+  se.shard(0).schedule_at(0, [&] {
+    se.post(0, 1, 5, [&] {
+      ++delivered;
+      se.post(1, 0, 10, [&] { ++delivered; });
+    });
+  });
+  se.run();
+  EXPECT_EQ(delivered, 2);
+  // Three events at t = 0, 5, 10 with a lookahead of 5: at least 3 windows.
+  EXPECT_GE(se.windows(), 3u);
+  EXPECT_EQ(se.total_events(),
+            se.stats(0).events + se.stats(1).events);
+  EXPECT_EQ(se.stats(0).cross_sent, 1u);
+  EXPECT_EQ(se.stats(1).cross_sent, 1u);
+  EXPECT_GE(se.window_balance(), 1.0);
+}
+
+}  // namespace
+}  // namespace gbc::sim
