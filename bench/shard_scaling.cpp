@@ -20,23 +20,30 @@ namespace {
 using namespace gbc;
 
 void append_record(const std::string& name, int ranks, int shards,
-                   int threads, double wall, std::uint64_t events,
-                   std::uint64_t windows, double balance) {
+                   int threads, double wall,
+                   const gbc::harness::ScaleResult& r) {
   const char* json = std::getenv("GBC_BENCH_JSON");
   if (!json || !*json) return;
   std::FILE* f = std::fopen(json, "a");
   if (!f) return;
   const char* sha = std::getenv("GBC_GIT_SHA");
+  const double ev = static_cast<double>(r.events);
   std::fprintf(f,
                "{\"sweep\":\"%s\",\"git_sha\":\"%s\",\"ranks\":%d,"
                "\"shards\":%d,\"threads\":%d,\"points\":1,"
                "\"wall_seconds\":%.6f,\"events\":%lld,"
                "\"events_per_second\":%.0f,\"windows\":%lld,"
+               "\"rounds\":%lld,\"windows_per_event\":%.6f,"
+               "\"cross_events\":%lld,\"cross_ratio\":%.6f,"
                "\"window_balance\":%.4f}\n",
                name.c_str(), sha && *sha ? sha : "unknown", ranks, shards,
-               threads, wall, static_cast<long long>(events),
-               wall > 0 ? static_cast<double>(events) / wall : 0.0,
-               static_cast<long long>(windows), balance);
+               threads, wall, static_cast<long long>(r.events),
+               wall > 0 ? ev / wall : 0.0, static_cast<long long>(r.windows),
+               static_cast<long long>(r.rounds),
+               ev > 0 ? static_cast<double>(r.windows) / ev : 0.0,
+               static_cast<long long>(r.cross_events),
+               ev > 0 ? static_cast<double>(r.cross_events) / ev : 0.0,
+               r.window_balance);
   std::fclose(f);
 }
 
@@ -78,12 +85,12 @@ int main(int argc, char** argv) {
   cfg.issuance = sim::from_milliseconds(300);
 
   harness::Table t({"shards", "threads", "wall_s", "events", "Mev_per_s",
-                    "windows", "balance", "state_hash"});
+                    "windows", "rounds", "cross", "balance", "state_hash"});
   std::FILE* csv = std::fopen(bench::csv_path("shard_scaling").c_str(), "w");
   if (csv) {
     std::fprintf(csv,
                  "shards,threads,wall_seconds,events,events_per_second,"
-                 "windows,window_balance,state_hash\n");
+                 "windows,rounds,cross_events,window_balance,state_hash\n");
   }
   std::uint64_t first_hash = 0;
   bool hashes_agree = true;
@@ -103,20 +110,22 @@ int main(int argc, char** argv) {
     t.add_row({std::to_string(shards), std::to_string(r.threads_used),
                harness::Table::num(wall), std::to_string(r.events),
                harness::Table::num(static_cast<double>(r.events) / wall / 1e6),
-               std::to_string(r.windows), harness::Table::num(r.window_balance),
-               hash});
+               std::to_string(r.windows), std::to_string(r.rounds),
+               std::to_string(r.cross_events),
+               harness::Table::num(r.window_balance), hash});
     if (csv) {
-      std::fprintf(csv, "%d,%d,%.6f,%llu,%.0f,%llu,%.4f,%016llx\n", shards,
-                   r.threads_used, wall,
+      std::fprintf(csv, "%d,%d,%.6f,%llu,%.0f,%llu,%llu,%llu,%.4f,%016llx\n",
+                   shards, r.threads_used, wall,
                    static_cast<unsigned long long>(r.events),
                    wall > 0 ? static_cast<double>(r.events) / wall : 0.0,
                    static_cast<unsigned long long>(r.windows),
+                   static_cast<unsigned long long>(r.rounds),
+                   static_cast<unsigned long long>(r.cross_events),
                    r.window_balance,
                    static_cast<unsigned long long>(r.state_hash));
     }
     append_record("shard_scaling/" + std::to_string(shards), cfg.nranks,
-                  shards, r.threads_used, wall, r.events, r.windows,
-                  r.window_balance);
+                  shards, r.threads_used, wall, r);
   }
   if (csv) std::fclose(csv);
   t.print();

@@ -6,9 +6,11 @@
 #
 # A second stage rebuilds under TSan and runs the tests that actually cross
 # threads: the sweep pool (label `sweep`), the staging-tier suites
-# (label `storage`, swept 8-wide by the fig8 determinism check), and the
+# (label `storage`, swept 8-wide by the fig8 determinism check), the
 # sharded DES (label `shard`: SPSC mailbox stress, window-barrier pool,
-# thread budget, scale-model runs).
+# thread budget, scale-model runs), and the full protocol stack under relay
+# sharding (label `fullshard`: `gbcsim run --shards 4` byte-identity plus
+# the multi-threaded SimCluster integration suite).
 #
 # Usage: scripts/sanitize_check.sh [build-dir] [tsan-build-dir]
 #   build-dir       ASan/UBSan build tree (default: build-asan)
@@ -31,6 +33,6 @@ cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-      -L "sweep|storage|shard"
+      -L "sweep|storage|shard|fullshard"
 
 echo "sanitize check passed"

@@ -38,7 +38,7 @@ RunResult run_experiment(const ClusterPreset& preset,
       if (rk->engine().now() > *done) *done = rk->engine().now();
     }(wl.get(), &rank, &completion);
   });
-  cluster.engine().run();
+  cluster.run();
 
   RunResult res;
   res.completion = completion;

@@ -62,7 +62,7 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
                                   ? sim::from_seconds(
                                         rng.exponential(failures.mtbf_seconds))
                                   : sim::Time{1} << 60;
-    eng.run_until(fail_at);
+    cluster.run_until(fail_at);
 
     out.events_processed += eng.events_processed();
 
@@ -117,7 +117,7 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
     if (reached != UINT64_MAX && reached > common) {
       out.lost_work_iterations += reached - common;
     }
-    eng.abort_all();
+    cluster.abort();
   }
 }
 

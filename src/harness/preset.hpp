@@ -10,12 +10,18 @@ namespace gbc::harness {
 /// Everything needed to instantiate one simulated cluster.
 struct ClusterPreset {
   int nranks = 32;
-  /// DES shards for the run (sim::ShardedEngine). Only the LP-disciplined
-  /// scale model (harness/scale_model.hpp) supports > 1: the full protocol
-  /// stack shares its ConnectionManager / StorageSystem / MPI matching
-  /// across all ranks — one logical process — so SimCluster rejects any
-  /// preset asking it to shard. The topology knob lives in net.topology.
+  /// DES shards for the run (sim::ShardedEngine). The full protocol stack
+  /// stays one logical process pinned to shard 0; shards 1..S-1 host
+  /// per-rank wire-flight relay LPs (contiguous rank blocks), so sharded
+  /// SimCluster runs are event-for-event identical to serial ones (see
+  /// net::ShardRouter and DESIGN.md sec. 12). Must be in [1, nranks]. The
+  /// LP-disciplined scale model (harness/scale_model.hpp) additionally
+  /// partitions rank compute across shards. The topology knob lives in
+  /// net.topology.
   int shards = 1;
+  /// Worker threads driving the shards, clamped to [1, shards]; 1 runs all
+  /// shards inline (identical results at any thread count).
+  int threads = 1;
   storage::StorageConfig storage;
   /// Node-local staging tier (disabled by default: single-tier PFS model).
   storage::TierConfig tier;

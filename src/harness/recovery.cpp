@@ -261,9 +261,9 @@ AttemptResult run_attempt(const ClusterPreset& preset,
         restart_rank(&ctx, &cluster.mpi().rank(r), plan[r], resume[r]));
   }
   if (cutoff >= 0) {
-    cluster.engine().run_until(cutoff);
+    cluster.run_until(cutoff);
   } else {
-    cluster.engine().run();
+    cluster.run();
   }
   for (const auto& gc : cluster.checkpoints().history()) {
     if (gc.completed_at >= 0 && (cutoff < 0 || gc.completed_at <= cutoff)) {
@@ -277,7 +277,7 @@ AttemptResult run_attempt(const ClusterPreset& preset,
     out.final_iterations.push_back(wl->state(r).iteration);
     out.final_hashes.push_back(wl->state(r).hash);
   }
-  if (cutoff >= 0) cluster.engine().abort_all();
+  if (cutoff >= 0) cluster.abort();
   return out;
 }
 

@@ -104,14 +104,15 @@ class ScaleModel {
     if (S_ < 1) throw std::invalid_argument("scale model: shards must be >= 1");
     if (S_ > N_) S_ = N_;
 
+    build_lps();
+
     sim::ShardedEngine::Options eopts;
     eopts.shards = S_;
-    eopts.lookahead = cfg_.net.wire_latency;  // = fabric min_latency per hop
+    eopts.lookahead = cfg_.net.wire_latency;  // fallback: fabric min per hop
+    if (S_ > 1) eopts.lookahead_matrix = build_lookahead_matrix();
     eopts.threads = threads;
     eopts.trace = cfg_.trace;
     eng_ = std::make_unique<sim::ShardedEngine>(eopts);
-
-    build_lps();
   }
 
   ScaleResult run();
@@ -130,9 +131,14 @@ class ScaleModel {
   }
 
   void build_lps() {
-    // Ranks are split into contiguous blocks; every non-rank LP piggybacks
-    // on a deterministic shard so the mapping never depends on runtime
-    // conditions (a requirement for resumable identical runs).
+    // Ranks are split into contiguous blocks and leaves follow their first
+    // rank; all shared infrastructure — spines, PFS servers, the controller
+    // — sits on shard 0. That placement keeps the lookahead matrix a sparse
+    // star (rank shards only ever exchange with shard 0 unless a comm group
+    // or leaf straddles a block boundary), so compute/ring phases run with
+    // zero cross-shard traffic and fuse into merge-free rounds. The mapping
+    // is a pure function of the config — never of runtime conditions — a
+    // requirement for resumable identical runs.
     shard_of_.resize(nlp());
     for (int r = 0; r < N_; ++r) {
       shard_of_[lp_rank(r)] = static_cast<int>(
@@ -142,8 +148,8 @@ class ScaleModel {
       shard_of_[lp_leaf(l)] = shard_of_[lp_rank(std::min(
           N_ - 1, l * tree_.radix()))];  // shard of its first rank
     }
-    for (int j = 0; j < P_; ++j) shard_of_[lp_spine(j)] = j % S_;
-    for (int v = 0; v < V_; ++v) shard_of_[lp_server(v)] = v % S_;
+    for (int j = 0; j < P_; ++j) shard_of_[lp_spine(j)] = 0;
+    for (int v = 0; v < V_; ++v) shard_of_[lp_server(v)] = 0;
     shard_of_[lp_controller()] = 0;
 
     seq_.assign(nlp(), 0);
@@ -164,6 +170,77 @@ class ScaleModel {
     chunk_bytes_ = static_cast<std::int64_t>(ch_bytes);
   }
 
+  /// Per-shard-pair minimum latency, derived by enumerating the model's
+  /// actual flows rather than assuming any message may hop between any two
+  /// shards. The flow set is closed: ring payloads travel r -> ring_next(r)
+  /// through that flow's fixed switch path, chunks travel r -> server r % V_
+  /// through the server's attach spine, acks retrace server -> rank at
+  /// control latency, and the controller exchanges control messages with
+  /// every rank. For each hop (a, b) of each flow the edge
+  /// L[shard(a)][shard(b)] is min-folded with that hop's floor latency;
+  /// pairs no flow touches stay kNoLink. With infrastructure on shard 0 and
+  /// comm groups that fit inside a rank block, the result is a sparse star:
+  /// compute/ring phases post nothing cross-shard and their rounds fuse,
+  /// while checkpoint traffic bounds windows by the (much larger)
+  /// injection-cost entries instead of a single wire_latency.
+  std::vector<Time> build_lookahead_matrix() const {
+    std::vector<Time> L(static_cast<std::size_t>(S_) * S_,
+                        sim::ShardedEngine::kNoLink);
+    auto edge = [&](int a_lp, int b_lp, Time floor) {
+      const int sa = shard_of_[a_lp];
+      const int sb = shard_of_[b_lp];
+      if (sa == sb) return;
+      Time& e = L[static_cast<std::size_t>(sa) * S_ + sb];
+      e = std::min(e, floor);
+    };
+    const Time wire = cfg_.net.wire_latency;
+    const Time ctrl = ctrl_latency();
+    auto inject = [&](std::int64_t bytes) {  // NIC: overhead + serialize
+      return cfg_.net.per_message_overhead +
+             xfer_time(bytes, cfg_.net.link_bandwidth_mbps) + wire;
+    };
+    auto hop = [&](std::int64_t bytes) {  // switch port: serialize only
+      return xfer_time(bytes, cfg_.net.link_bandwidth_mbps) + wire;
+    };
+    for (int r = 0; r < N_; ++r) {
+      // Control channel and chunk acks (depart >= now, so ctrl is a floor).
+      edge(lp_controller(), lp_rank(r), ctrl);
+      edge(lp_rank(r), lp_controller(), ctrl);
+      edge(lp_server(r % V_), lp_rank(r), ctrl);
+      // Checkpoint chunks: r -> server r % V_ via the server's attach spine.
+      const int v = r % V_;
+      if (flat_) {
+        edge(lp_rank(r), lp_server(v), inject(chunk_bytes_));
+      } else {
+        const int l = tree_.leaf_of(r);
+        const int j = v % P_;
+        edge(lp_rank(r), lp_leaf(l), inject(chunk_bytes_));
+        edge(lp_leaf(l), lp_spine(j), hop(chunk_bytes_));
+        edge(lp_spine(j), lp_server(v), hop(chunk_bytes_));
+      }
+      // Ring payload: r -> ring_next(r) (singleton groups have no ring).
+      if (group_size(r) > 1) {
+        const int d = ring_next(r);
+        if (flat_) {
+          edge(lp_rank(r), lp_rank(d), inject(cfg_.msg_bytes));
+        } else {
+          const int sl = tree_.leaf_of(r);
+          const int dl = tree_.leaf_of(d);
+          edge(lp_rank(r), lp_leaf(sl), inject(cfg_.msg_bytes));
+          if (sl == dl) {
+            edge(lp_leaf(sl), lp_rank(d), hop(cfg_.msg_bytes));
+          } else {
+            const int j = tree_.spine_for(lp_rank(r), lp_rank(d));
+            edge(lp_leaf(sl), lp_spine(j), hop(cfg_.msg_bytes));
+            edge(lp_spine(j), lp_leaf(dl), hop(cfg_.msg_bytes));
+            edge(lp_leaf(dl), lp_rank(d), hop(cfg_.msg_bytes));
+          }
+        }
+      }
+    }
+    return L;
+  }
+
   sim::Engine& eng_of(int lp) { return eng_->shard(shard_of_[lp]); }
 
   Time ctrl_latency() const {
@@ -180,9 +257,10 @@ class ScaleModel {
 
   /// Schedules delivery of `m` to `dst_lp` at absolute time `t`. Must be
   /// called from an event of `src_lp`'s shard (or before the run starts),
-  /// with t at least one lookahead ahead when the shards differ — which
-  /// every path here guarantees, since each hop and the control channel
-  /// both cost >= wire_latency.
+  /// with t at least the shard pair's lookahead ahead when the shards
+  /// differ — which every path here guarantees, because the matrix entries
+  /// are min-folds of exactly these hops' floor latencies (see
+  /// build_lookahead_matrix).
   void send(int src_lp, int dst_lp, Time t, Msg m) {
     m.origin = src_lp;
     m.oseq = seq_[src_lp]++;
@@ -557,6 +635,8 @@ ScaleResult ScaleModel::run() {
   }
   res.events = eng_->total_events();
   res.windows = eng_->windows();
+  res.rounds = eng_->rounds();
+  res.cross_events = eng_->cross_events();
   res.window_balance = eng_->window_balance();
   res.shards = eng_->shards();
   res.threads_used = eng_->threads();

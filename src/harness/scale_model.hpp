@@ -53,7 +53,9 @@ struct ScaleResult {
   double individual_max_seconds = 0;  ///< largest per-member freeze span
   double total_ckpt_seconds = 0;      ///< issuance -> last group done (0 base)
   std::uint64_t events = 0;
-  std::uint64_t windows = 0;
+  std::uint64_t windows = 0;      ///< rounds that actually merged cross traffic
+  std::uint64_t rounds = 0;       ///< horizon computations (>= windows)
+  std::uint64_t cross_events = 0; ///< messages that crossed a shard boundary
   double window_balance = 1.0;  ///< max/mean per-shard events (1.0 = even)
   int shards = 1;
   int threads_used = 1;

@@ -1,24 +1,94 @@
 #include "harness/sim_cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace gbc::harness {
+
+namespace {
+
+/// Wire-flight relay for the full stack: packets to rank r are carried by a
+/// relay LP on the shard owning r's contiguous block, touching down halfway
+/// through the propagation delay and re-entering shard 0 at arrival under
+/// the sequence number the fabric reserved at send time.
+class BlockRelayRouter final : public net::ShardRouter {
+ public:
+  BlockRelayRouter(sim::ShardedEngine& se, int nranks)
+      : se_(se), nranks_(nranks) {}
+
+  void relay(int src, int dst, sim::Time depart, sim::Time arrival,
+             std::uint64_t seq, sim::InlineFn fn) override {
+    (void)src;
+    const int s = static_cast<int>(static_cast<std::int64_t>(dst) *
+                                   se_.shards() / nranks_);
+    if (s == 0) {
+      // The destination's relay block is the stack shard itself; a direct
+      // reserved schedule is the same event the serial path produces.
+      se_.shard(0).schedule_at_reserved(arrival, seq, std::move(fn));
+      return;
+    }
+    const sim::Time mid = depart + (arrival - depart) / 2;
+    se_.post(0, s, mid,
+             [this, s, arrival, seq, fn = std::move(fn)]() mutable {
+               se_.post_reserved(s, 0, arrival, seq, std::move(fn));
+             });
+  }
+
+ private:
+  sim::ShardedEngine& se_;
+  int nranks_;
+};
+
+}  // namespace
+
+sim::ShardedEngine::Options SimCluster::engine_options(
+    const ClusterPreset& p) {
+  if (p.shards < 1 || p.shards > p.nranks) {
+    throw std::invalid_argument(
+        "SimCluster: preset.shards must be in [1, nranks]");
+  }
+  sim::ShardedEngine::Options o;
+  o.shards = p.shards;
+  o.threads = p.threads;
+  if (p.shards == 1) return o;
+  // Star-shaped lookahead matrix around the stack shard. A relay hop out of
+  // shard 0 lands no sooner than the NIC overhead plus half the minimum
+  // propagation delay after it was posted; the return leg covers the other
+  // (rounded-up) half. Relay shards never talk to each other.
+  const sim::Time min_lat =
+      p.net.wire_latency * std::max(1, p.net.topology.min_hops());
+  const sim::Time out = p.net.per_message_overhead + min_lat / 2;
+  const sim::Time back = min_lat - min_lat / 2;
+  if (out <= 0 || back <= 0) {
+    throw std::invalid_argument(
+        "SimCluster: sharded runs need per_message_overhead + wire_latency "
+        "large enough for a positive relay lookahead");
+  }
+  const int S = p.shards;
+  o.lookahead_matrix.assign(static_cast<std::size_t>(S) * S,
+                            sim::ShardedEngine::kNoLink);
+  for (int s = 1; s < S; ++s) {
+    o.lookahead_matrix[static_cast<std::size_t>(0) * S + s] = out;
+    o.lookahead_matrix[static_cast<std::size_t>(s) * S + 0] = back;
+  }
+  return o;
+}
 
 SimCluster::SimCluster(const ClusterPreset& preset,
                        const ckpt::CkptConfig& ckpt_cfg,
                        const SimClusterOptions& opts)
     : preset_(preset),
+      sharded_(engine_options(preset)),
+      eng_(sharded_.shard(0)),
       fabric_(eng_, preset_.net, preset_.nranks),
       fs_(eng_, preset_.storage),
       mpi_(eng_, fabric_, preset_.mpi),
       ckpt_(mpi_, fs_, ckpt_cfg) {
   if (preset_.shards > 1) {
-    // The full stack is one logical process (shared connection manager,
-    // PFS queues and MPI matching); sharding it would not be deterministic.
-    // Scale runs that want shards go through harness/scale_model.hpp.
-    throw std::invalid_argument(
-        "SimCluster: the full protocol stack cannot be sharded "
-        "(preset.shards > 1); use the scale model for sharded runs");
+    router_ =
+        std::make_unique<BlockRelayRouter>(sharded_, preset_.nranks);
+    fabric_.set_shard_router(router_.get());
   }
   if (preset_.tier.enabled && opts.attach_tier) {
     tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks);

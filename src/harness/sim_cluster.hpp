@@ -2,11 +2,14 @@
 
 #include <optional>
 
+#include <memory>
+
 #include "ckpt/checkpoint.hpp"
 #include "harness/preset.hpp"
 #include "mpi/minimpi.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard_engine.hpp"
 #include "sim/trace.hpp"
 #include "storage/storage.hpp"
 #include "storage/tiers.hpp"
@@ -35,6 +38,15 @@ struct SimClusterOptions {
 /// builds its stack through this class, so layer wiring changes happen
 /// here and nowhere else.
 ///
+/// The stack runs on shard 0 of a sim::ShardedEngine. With `preset.shards
+/// == 1` that is exactly the serial engine. With more shards, the fabric's
+/// wire flights are relayed through per-rank LPs on the shard owning the
+/// destination rank (contiguous blocks, net::ShardRouter), re-entering
+/// shard 0 under sequence numbers reserved at send time — so sharded runs
+/// are event-for-event identical to serial ones at any shard and thread
+/// count. Drive a cluster with run()/run_until()/abort(); running shard 0's
+/// engine directly is only correct in the single-shard case.
+///
 /// Construction schedules no engine events; two clusters built from the
 /// same preset are bit-identical starting states.
 class SimCluster {
@@ -48,7 +60,16 @@ class SimCluster {
   const ClusterPreset& preset() const noexcept { return preset_; }
   int nranks() const noexcept { return preset_.nranks; }
 
+  /// Shard 0: the engine the whole protocol stack lives on.
   sim::Engine& engine() noexcept { return eng_; }
+  sim::ShardedEngine& sharded() noexcept { return sharded_; }
+
+  /// Runs the cluster to completion (all shards and mailboxes drained).
+  void run() { sharded_.run(); }
+  /// Runs everything at or before t, then advances every shard clock to t.
+  void run_until(sim::Time t) { sharded_.run_until(t); }
+  /// Aborts every shard (failure injection teardown).
+  void abort() { sharded_.abort_all(); }
   net::Fabric& fabric() noexcept { return fabric_; }
   net::ConnectionManager& connections() noexcept {
     return fabric_.connections();
@@ -68,13 +89,17 @@ class SimCluster {
   }
 
  private:
+  static sim::ShardedEngine::Options engine_options(const ClusterPreset& p);
+
   ClusterPreset preset_;
-  sim::Engine eng_;
+  sim::ShardedEngine sharded_;
+  sim::Engine& eng_;  // = sharded_.shard(0)
   net::Fabric fabric_;
   storage::StorageSystem fs_;
   mpi::MiniMPI mpi_;
   ckpt::CheckpointService ckpt_;
   std::optional<storage::TieredStore> tier_;
+  std::unique_ptr<net::ShardRouter> router_;
 };
 
 }  // namespace gbc::harness

@@ -186,9 +186,20 @@ void Fabric::enqueue(Packet p, bool data_plane) {
   const sim::Time done = start + cfg_.per_message_overhead + xfer;
   nic_busy_until_[p.src] = done;
   const sim::Time arrival = done + latency(p.src, p.dst);
-  eng_.schedule_at(arrival, [this, p = std::move(p), data_plane]() mutable {
+  const int src = p.src;
+  const int dst = p.dst;
+  sim::InlineFn fn = [this, p = std::move(p), data_plane]() mutable {
     deliver(std::move(p), data_plane);
-  });
+  };
+  if (router_ != nullptr) {
+    // Reserving here (not at injection) pins the delivery's place in the
+    // home engine's FIFO order at the exact point a serial schedule_at
+    // would have consumed it.
+    router_->relay(src, dst, done, arrival, eng_.reserve_seq(),
+                   std::move(fn));
+  } else {
+    eng_.schedule_at(arrival, std::move(fn));
+  }
 }
 
 void Fabric::deliver(Packet p, bool data_plane) {

@@ -74,6 +74,31 @@ enum class ConnState : std::uint8_t {
 
 class Fabric;
 
+/// Relay hook for sharded full-stack runs (sim::ShardedEngine).
+///
+/// The protocol stack — connection manager, MPI matching, storage queues,
+/// checkpoint service — is one logical process pinned to one shard. What CAN
+/// leave that shard is the wire flight of a packet: the interval between the
+/// moment it clears the sender NIC (`depart`) and the moment its delivery
+/// callback must run (`arrival`). When a router is installed, the fabric
+/// reserves the delivery's sequence number on its home engine at send time
+/// and hands the flight to the router, which carries it through a relay LP
+/// on the shard owning the destination rank and re-injects it under the
+/// reserved number. The home shard therefore executes the exact (t, seq)
+/// event stream a serial run would — sharded full-stack runs are
+/// byte-identical to serial ones by construction. Without a router every
+/// delivery schedules directly on the home engine (the serial path,
+/// unchanged).
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  /// Carry the delivery of a packet src -> dst departing the sender NIC at
+  /// `depart` so that `fn` runs on the fabric's home shard at `arrival`
+  /// under home-engine sequence number `seq`.
+  virtual void relay(int src, int dst, sim::Time depart, sim::Time arrival,
+                     std::uint64_t seq, sim::InlineFn fn) = 0;
+};
+
 /// Per-connection management (paper Sec. 4.2): the checkpoint protocols need
 /// to tear down and rebuild *specific* connections rather than all of them,
 /// and either endpoint may initiate (client/server, active/passive). A rank
@@ -171,6 +196,11 @@ class Fabric {
 
   void set_receiver(int ep, Deliver d) { receivers_[ep] = std::move(d); }
 
+  /// Installs the cross-shard wire-flight relay (sharded runs only; see
+  /// ShardRouter). Pass nullptr to restore the serial delivery path. The
+  /// router must outlive the fabric.
+  void set_shard_router(ShardRouter* r) noexcept { router_ = r; }
+
   /// Queues a packet on src's NIC. Caller (MPI layer) is responsible for the
   /// connection being established; asserted here.
   void transmit(Packet p);
@@ -204,6 +234,7 @@ class Fabric {
   NetConfig cfg_;
   int n_;
   std::optional<FatTree> tree_;  // engaged when topology is fat-tree
+  ShardRouter* router_ = nullptr;
   std::vector<Deliver> receivers_;
   std::vector<sim::Time> nic_busy_until_;
   std::unique_ptr<ConnectionManager> conn_mgr_;

@@ -75,10 +75,13 @@ class TimingWheel {
 
   void push(const WheelEvent& ev) {
     ++size_;
+    if (min_valid_ && ev.t < min_cache_) min_cache_ = ev.t;
     if (has_reg_) {
-      // The register stays the (t, seq) minimum: a strictly earlier event
-      // displaces it (equal t keeps the register — its seq is lower).
-      if (ev.t < reg_.t) {
+      // The register stays the (t, seq) minimum. The full key comparison
+      // matters for reserved-seq injections (ShardedEngine::post_reserved):
+      // unlike ordinary schedules, those can arrive with a *lower* seq than
+      // an equal-t event already parked here.
+      if (ev.t < reg_.t || (ev.t == reg_.t && ev.seq < reg_.seq)) {
         wheel_push(reg_);
         reg_ = ev;
       } else {
@@ -110,23 +113,34 @@ class TimingWheel {
     out = reg_;
     has_reg_ = false;
     --size_;
+    // The popped event *was* the minimum; the runner-up is unknown until the
+    // next peek rescans.
+    min_valid_ = false;
     return true;
   }
 
   /// Timestamp of the earliest pending event without removing it — and
   /// without advancing the wheel clock, which matters: the caller (a shard
   /// coordinator placing the next conservative window) will still schedule
-  /// events earlier than this timestamp, so cur_ must stay put. Slots within
-  /// a level cover disjoint ascending time ranges, so the level's minimum
-  /// lives in its first occupied slot; leaf slots pin the timestamp exactly,
-  /// coarse buckets are scanned for their true minimum. Returns false when
-  /// the wheel is empty.
+  /// events earlier than this timestamp, so cur_ must stay put.
+  ///
+  /// O(1) in the steady state: the result is memoized, pushes fold into the
+  /// cached minimum, and only the first peek after a pop pays the slot scan.
+  /// A shard that sits idle across many barriers answers every
+  /// `next_event_time()` from the cache (or the register).
   bool peek_time(Time& t) const {
     if (has_reg_) {
       t = reg_.t;
       return true;
     }
     if (size_ == 0) return false;
+    if (min_valid_) {
+      t = min_cache_;
+      return true;
+    }
+    // Slots within a level cover disjoint ascending time ranges, so the
+    // level's minimum lives in its first occupied slot; leaf slots pin the
+    // timestamp exactly, coarse buckets are scanned for their true minimum.
     Time best = kMaxTime;
     std::uint32_t m = levels_;
     while (m != 0) {
@@ -139,13 +153,12 @@ class TimingWheel {
       if (k == 0) {
         best = std::min(best, slot_start(0, slot));
       } else {
-        const Bucket& b = buckets_[k][slot];
-        for (std::uint32_t i = 0; i < b.size(); ++i) {
-          best = std::min(best, b[i].t);
-        }
+        best = std::min(best, buckets_[k][slot].min_time());
       }
     }
     if (!overflow_.empty()) best = std::min(best, overflow_.top().t);
+    min_cache_ = best;
+    min_valid_ = true;
     t = best;
     return true;
   }
@@ -166,6 +179,7 @@ class TimingWheel {
     drain_pos_ = 0;
     has_reg_ = false;
     size_ = 0;
+    min_valid_ = false;
   }
 
  private:
@@ -182,15 +196,22 @@ class TimingWheel {
     ~Bucket() { delete[] heap_; }
 
     std::uint32_t size() const noexcept { return n_; }
+    /// Smallest timestamp in the bucket (kMaxTime when empty) — folded in on
+    /// push so peek_time never scans a coarse bucket's contents.
+    Time min_time() const noexcept { return min_t_; }
     WheelEvent* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
     const WheelEvent& operator[](std::uint32_t i) const noexcept {
       return (heap_ != nullptr ? heap_ : inline_)[i];
     }
     void push_back(const WheelEvent& ev) {
       if (n_ == cap_) grow();
+      if (ev.t < min_t_) min_t_ = ev.t;
       data()[n_++] = ev;
     }
-    void clear() noexcept { n_ = 0; }
+    void clear() noexcept {
+      n_ = 0;
+      min_t_ = kMaxTime;
+    }
 
    private:
     void grow() {
@@ -204,6 +225,7 @@ class TimingWheel {
 
     std::uint32_t n_ = 0;
     std::uint32_t cap_ = 2;
+    Time min_t_ = kMaxTime;
     WheelEvent* heap_ = nullptr;
     WheelEvent inline_[2];
   };
@@ -375,6 +397,10 @@ class TimingWheel {
       overflow_;
   WheelEvent reg_{};  // the pending (t, seq) minimum, when has_reg_
   bool has_reg_ = false;
+  // Memoized earliest pending timestamp (peek_time): pushes fold in via
+  // min(), pops invalidate. Mutable because peek_time is logically const.
+  mutable Time min_cache_ = 0;
+  mutable bool min_valid_ = false;
   Time cur_ = 0;
   std::size_t size_ = 0;
   int drain_slot_ = -1;

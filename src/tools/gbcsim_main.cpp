@@ -1,5 +1,6 @@
 // gbcsim — command-line driver for the group-based checkpointing simulator.
 //
+//   gbcsim run      one full-stack run, CSV row out (shardable, --shards)
 //   gbcsim delay    measure the Effective Checkpoint Delay of one checkpoint
 //   gbcsim sweep    delay vs. checkpoint group size (Fig. 3/5/7 style row)
 //   gbcsim trace    ASCII Gantt of a checkpoint schedule (Fig. 2 style)
@@ -12,11 +13,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 
 #include "harness/cli.hpp"
 #include "harness/scale_model.hpp"
+#include "harness/thread_budget.hpp"
 #include "net/topology.hpp"
 #include "sim/trace_chrome.hpp"
 #include "harness/experiment.hpp"
@@ -55,6 +59,40 @@ void add_common_flags(harness::FlagSet& flags) {
   flags.add_double("drain-mbps", 50.0,
                    "background drain rate to the PFS (MB/s, 0 = never drain)");
   flags.add_bool("replicate", false, "copy each image to a partner node");
+}
+
+// Shared --shards/--threads flag group (run, scale). The two commands must
+// accept and validate the pair identically.
+void add_shard_flags(harness::FlagSet& flags) {
+  flags.add_int("shards", 1,
+                "DES shards advancing in conservative-lookahead windows");
+  flags.add_int("threads", 0,
+                "worker threads for the shards (0 = lease from the shared "
+                "thread budget)");
+}
+
+// Validates the --shards/--threads combination against the rank count.
+// Returns false after printing a usage message; callers exit 2.
+bool validate_shard_flags(const harness::FlagSet& flags, int ranks) {
+  const int shards = flags.get_int("shards");
+  const int threads = flags.get_int("threads");
+  if (ranks < 1) {
+    std::fprintf(stderr, "--ranks must be >= 1\n%s", flags.usage().c_str());
+    return false;
+  }
+  if (shards < 1 || shards > ranks) {
+    std::fprintf(stderr, "--shards must be in [1, --ranks]\n%s",
+                 flags.usage().c_str());
+    return false;
+  }
+  if (threads < 0 || threads > shards) {
+    std::fprintf(stderr,
+                 "--threads must be in [0, --shards] (0 = lease from the "
+                 "shared thread budget)\n%s",
+                 flags.usage().c_str());
+    return false;
+  }
+  return true;
 }
 
 ckpt::Protocol parse_protocol(const std::string& s) {
@@ -128,6 +166,116 @@ harness::WorkloadFactory make_workload(const harness::FlagSet& flags,
   return [cfg](int n) {
     return std::make_unique<workloads::CommGroupBench>(n, cfg);
   };
+}
+
+// One full-stack run (base + checkpointed), printed and appended as a CSV
+// row. The command accepts --shards/--threads: the protocol stack runs on
+// shard 0 with wire flights relayed through the other shards, and every
+// reported column is byte-identical to the serial run at any shard/thread
+// count — which tests/determinism_check.cmake MODE=shards asserts.
+int cmd_run(int argc, const char* const* argv) {
+  harness::FlagSet flags("gbcsim run");
+  add_common_flags(flags);
+  add_shard_flags(flags);
+  flags.add_double("issuance", 30.0, "checkpoint request time (seconds)");
+  flags.add_int("iterations", 0,
+                "iteration override (microbench/barrier, 0 = default)");
+  flags.add_string("csv", "run",
+                   "CSV basename, written under $GBC_BENCH_OUT (or "
+                   "bench_results/)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  if (!validate_shard_flags(flags, flags.get_int("ranks"))) return 2;
+
+  harness::ClusterPreset preset = make_cluster(flags);
+  preset.shards = flags.get_int("shards");
+  const int want = flags.get_int("threads");
+  const int leased =
+      want == 0 ? harness::ThreadBudget::shared().acquire(preset.shards) : 0;
+  preset.threads = want == 0 ? leased : want;
+
+  harness::WorkloadFactory factory;
+  const int iters = flags.get_int("iterations");
+  const std::string wname = flags.get_string("workload");
+  if (iters > 0 && wname == "barrier") {
+    workloads::BarrierBenchConfig cfg;
+    cfg.comm_group_size = flags.get_int("comm-group");
+    cfg.footprint_mib = flags.get_double("footprint-mib");
+    cfg.iterations = static_cast<std::uint64_t>(iters);
+    factory = [cfg](int n) {
+      return std::make_unique<workloads::BarrierBench>(n, cfg);
+    };
+  } else if (iters > 0 && wname == "microbench") {
+    workloads::CommGroupBenchConfig cfg;
+    cfg.comm_group_size = flags.get_int("comm-group");
+    cfg.footprint_mib = flags.get_double("footprint-mib");
+    cfg.iterations = static_cast<std::uint64_t>(iters);
+    factory = [cfg](int n) {
+      return std::make_unique<workloads::CommGroupBench>(n, cfg);
+    };
+  } else {
+    factory = make_workload(flags, preset.nranks);
+  }
+
+  const auto cc = make_ckpt_config(flags);
+  const auto protocol = parse_protocol(flags.get_string("protocol"));
+  auto base = harness::run_experiment(preset, factory, cc);
+  std::vector<harness::CkptRequest> reqs;
+  reqs.push_back(harness::CkptRequest{
+      sim::from_seconds(flags.get_double("issuance")), protocol});
+  auto ck = harness::run_experiment(preset, factory, cc, reqs);
+  if (leased > 0) harness::ThreadBudget::shared().release(leased);
+
+  // Order-sensitive digest of the final per-rank states: any event-order
+  // divergence between serial and sharded runs lands here.
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a
+  for (std::uint64_t h : ck.final_hashes) {
+    digest ^= h;
+    digest *= 1099511628211ull;
+  }
+
+  const double delay = ck.completion_seconds() - base.completion_seconds();
+  double individual = 0.0;
+  double total = 0.0;
+  if (!ck.checkpoints.empty()) {
+    const auto& gc = ck.checkpoints.front();
+    individual = sim::to_seconds(gc.max_individual_time());
+    total = sim::to_seconds(gc.total_checkpoint_time());
+  }
+
+  std::printf("base run                   : %9.3f s\n",
+              base.completion_seconds());
+  std::printf("with checkpoint            : %9.3f s\n",
+              ck.completion_seconds());
+  std::printf("Effective Checkpoint Delay : %9.3f s\n", delay);
+  std::printf("Individual Checkpoint Time : %9.3f s\n", individual);
+  std::printf("Total Checkpoint Time      : %9.3f s\n", total);
+  std::printf("state digest               : %016llx\n",
+              static_cast<unsigned long long>(digest));
+
+  const char* env = std::getenv("GBC_BENCH_OUT");
+  const std::string dir = env && *env ? env : "bench_results";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + flags.get_string("csv") + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "workload,ranks,comm_group,ckpt_group,protocol,base_s,"
+               "with_ckpt_s,effective_delay_s,individual_s,total_s,"
+               "state_digest\n");
+  std::fprintf(f, "%s,%d,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%016llx\n",
+               wname.c_str(), preset.nranks, flags.get_int("comm-group"),
+               cc.group_size, flags.get_string("protocol").c_str(),
+               base.completion_seconds(), ck.completion_seconds(), delay,
+               individual, total, static_cast<unsigned long long>(digest));
+  std::fclose(f);
+  return 0;
 }
 
 int cmd_delay(int argc, const char* const* argv) {
@@ -350,11 +498,7 @@ int cmd_storage(int argc, const char* const* argv) {
 int cmd_scale(int argc, const char* const* argv) {
   harness::FlagSet flags("gbcsim scale");
   flags.add_int("ranks", 1024, "number of simulated MPI processes");
-  flags.add_int("shards", 1,
-                "DES shards advancing in conservative-lookahead windows");
-  flags.add_int("threads", 0,
-                "worker threads for the shards (0 = lease from the shared "
-                "thread budget)");
+  add_shard_flags(flags);
   flags.add_string("topology", "fat-tree:32:2",
                    "flat | fat-tree:<radix>:<oversub>");
   flags.add_int("comm-group", 16, "ring communication group size");
@@ -380,11 +524,7 @@ int cmd_scale(int argc, const char* const* argv) {
                  flags.get_string("topology").c_str(), flags.usage().c_str());
     return 2;
   }
-  if (flags.get_int("shards") < 1 || flags.get_int("ranks") < 1) {
-    std::fprintf(stderr, "--shards and --ranks must be >= 1\n%s",
-                 flags.usage().c_str());
-    return 2;
-  }
+  if (!validate_shard_flags(flags, flags.get_int("ranks"))) return 2;
 
   harness::ScaleConfig cfg;
   cfg.nranks = flags.get_int("ranks");
@@ -458,6 +598,7 @@ void print_toplevel_usage() {
       "gbcsim — group-based coordinated checkpointing simulator\n"
       "\n"
       "commands:\n"
+      "  run       one full-stack run, CSV row out (shardable: --shards)\n"
       "  delay     measure the Effective Checkpoint Delay of one checkpoint\n"
       "  sweep     delay vs. checkpoint group size\n"
       "  trace     ASCII Gantt chart of a checkpoint schedule\n"
@@ -466,10 +607,10 @@ void print_toplevel_usage() {
       "  storage   storage-bottleneck curve (per-client bandwidth)\n"
       "  scale     sharded scale model (1k-16k ranks, --shards/--topology)\n"
       "\n"
-      "scaling flags (scale):\n"
+      "scaling flags (run, scale):\n"
       "  --shards N              partition the DES into N conservative shards\n"
       "  --threads N             worker threads (0 = lease from the budget)\n"
-      "  --topology SPEC         flat | fat-tree:<radix>:<oversub>\n"
+      "  --topology SPEC         (scale) flat | fat-tree:<radix>:<oversub>\n"
       "\n"
       "staging-tier flags (delay/sweep/trace/recover/mtbf):\n"
       "  --tier                  enable the node-local staging tier\n"
@@ -496,6 +637,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const int rest_argc = argc - 2;
   const char* const* rest_argv = argv + 2;
+  if (cmd == "run") return cmd_run(rest_argc, rest_argv);
   if (cmd == "delay") return cmd_delay(rest_argc, rest_argv);
   if (cmd == "sweep") return cmd_sweep(rest_argc, rest_argv);
   if (cmd == "trace") return cmd_trace(rest_argc, rest_argv);

@@ -1,5 +1,7 @@
 #include "workloads/microbench.hpp"
 
+#include <algorithm>
+
 namespace gbc::workloads {
 
 // ---------------------------------------------------------------------------
@@ -19,13 +21,16 @@ sim::Task<void> CommGroupBench::run_rank(mpi::RankCtx& r, WorkloadState from) {
   const int me = r.world_rank();
   const int s = cfg_.comm_group_size;
   const int group_base = (me / s) * s;
+  // The tail group is smaller when nranks % s != 0; its ring wraps within
+  // the ranks that actually exist.
+  const int gs = std::min(s, wc.size() - group_base);
   const int idx = me - group_base;
-  const int right = group_base + (idx + 1) % s;
-  const int left = group_base + (idx - 1 + s) % s;
+  const int right = group_base + (idx + 1) % gs;
+  const int left = group_base + (idx - 1 + gs) % gs;
 
   for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
     co_await r.compute(cfg_.compute_per_iter);
-    if (s > 1) {
+    if (gs > 1) {
       // Blocking ring exchange inside the communication group: the group
       // stays tightly synchronized, other groups are independent.
       mpi::Request rq = r.irecv(wc, left, static_cast<mpi::Tag>(it));
@@ -57,13 +62,14 @@ sim::Task<void> BarrierBench::run_rank(mpi::RankCtx& r, WorkloadState from) {
   const int me = r.world_rank();
   const int s = cfg_.comm_group_size;
   const int group_base = (me / s) * s;
+  const int gs = std::min(s, wc.size() - group_base);
   const int idx = me - group_base;
-  const int right = group_base + (idx + 1) % s;
-  const int left = group_base + (idx - 1 + s) % s;
+  const int right = group_base + (idx + 1) % gs;
+  const int left = group_base + (idx - 1 + gs) % gs;
 
   for (std::uint64_t it = from.iteration; it < cfg_.iterations; ++it) {
     co_await r.compute(cfg_.compute_per_iter);
-    if (s > 1) {
+    if (gs > 1) {
       mpi::Request rq = r.irecv(wc, left, static_cast<mpi::Tag>(it));
       co_await r.send(wc, right, static_cast<mpi::Tag>(it),
                       cfg_.message_bytes);

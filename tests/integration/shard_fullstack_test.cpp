@@ -1,0 +1,138 @@
+// Full-stack runs under DES sharding: the MiniMPI / Fabric / checkpoint
+// stack executes on shard 0 while wire flights detour through per-rank-block
+// relay shards (net::ShardRouter). Every observable — completion time,
+// per-rank state hashes, checkpoint history — must match the serial run
+// exactly, including when checkpoint groups span relay-shard boundaries,
+// when rank counts don't divide evenly, and when FaultPlan replays several
+// failures mid-run.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/recovery.hpp"
+#include "workloads/microbench.hpp"
+
+namespace gbc::harness {
+namespace {
+
+ClusterPreset sharded_cluster(int n, int shards, int threads) {
+  ClusterPreset p = icpp07_cluster();
+  p.nranks = n;
+  p.shards = shards;
+  p.threads = threads;
+  return p;
+}
+
+WorkloadFactory microbench_factory(int comm_group, std::uint64_t iters) {
+  workloads::CommGroupBenchConfig cfg;
+  cfg.comm_group_size = comm_group;
+  cfg.compute_per_iter = 100 * sim::kMillisecond;
+  cfg.iterations = iters;
+  cfg.footprint_mib = 64.0;
+  return [cfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, cfg);
+  };
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.final_hashes, b.final_hashes);
+  EXPECT_EQ(a.final_iterations, b.final_iterations);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].requested_at, b.checkpoints[i].requested_at);
+    EXPECT_EQ(a.checkpoints[i].completed_at, b.checkpoints[i].completed_at);
+  }
+}
+
+TEST(ShardFullStack, GroupsSpanningShardBoundariesMatchSerial) {
+  // 16 ranks over 4 shards = blocks of 4; comm groups of 8 and one global
+  // checkpoint group both straddle every block boundary.
+  auto factory = microbench_factory(8, 80);
+  ckpt::CkptConfig cc;
+  cc.group_size = 0;  // all ranks in one group
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(CkptRequest{sim::from_seconds(3), ckpt::Protocol::kGroupBased});
+
+  RunResult serial =
+      run_experiment(sharded_cluster(16, 1, 1), factory, cc, reqs);
+  RunResult sharded =
+      run_experiment(sharded_cluster(16, 4, 2), factory, cc, reqs);
+  expect_identical(serial, sharded);
+  ASSERT_EQ(sharded.checkpoints.size(), 1u);
+  EXPECT_GE(sharded.checkpoints[0].completed_at, 0);
+}
+
+TEST(ShardFullStack, NonPowerOfTwoRanksAndShardsMatchSerial) {
+  // 13 ranks over 3 shards: uneven relay blocks (5/4/4 by the block map),
+  // a comm group that wraps the remainder ranks, grouped checkpoints.
+  auto factory = microbench_factory(5, 60);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(CkptRequest{sim::from_seconds(2), ckpt::Protocol::kGroupBased});
+
+  RunResult serial =
+      run_experiment(sharded_cluster(13, 1, 1), factory, cc, reqs);
+  RunResult sharded =
+      run_experiment(sharded_cluster(13, 3, 3), factory, cc, reqs);
+  expect_identical(serial, sharded);
+}
+
+TEST(ShardFullStack, AllProtocolsMatchSerialUnderSharding) {
+  auto factory = microbench_factory(4, 50);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  for (auto proto :
+       {ckpt::Protocol::kGroupBased, ckpt::Protocol::kBlockingCoordinated,
+        ckpt::Protocol::kChandyLamport}) {
+    std::vector<CkptRequest> reqs;
+    reqs.push_back(CkptRequest{sim::from_seconds(2), proto});
+    RunResult serial =
+        run_experiment(sharded_cluster(8, 1, 1), factory, cc, reqs);
+    RunResult sharded =
+        run_experiment(sharded_cluster(8, 8, 2), factory, cc, reqs);
+    expect_identical(serial, sharded);
+  }
+}
+
+TEST(ShardFullStack, FaultPlanMultiFailureReplayMatchesSerial) {
+  // Two failures, recovery re-executions and all, under shards=4: the
+  // replayed attempts run through the relay router too, so the recovered
+  // run must land on the same final state as both the serial fault run and
+  // the clean run.
+  auto factory = microbench_factory(4, 150);
+  ckpt::CkptConfig cc;
+  cc.group_size = 4;
+  std::vector<CkptRequest> reqs;
+  reqs.push_back(CkptRequest{sim::from_seconds(5), ckpt::Protocol::kGroupBased});
+
+  FaultPlan plan;
+  plan.faults.push_back(FaultEvent{sim::from_seconds(12), 1});
+  plan.faults.push_back(FaultEvent{sim::from_seconds(4), 5});
+
+  auto serial = run_with_faults(sharded_cluster(8, 1, 1), factory, cc, reqs,
+                                plan);
+  auto sharded = run_with_faults(sharded_cluster(8, 4, 2), factory, cc, reqs,
+                                 plan);
+  EXPECT_EQ(sharded.failures, 2);
+  EXPECT_EQ(sharded.failures, serial.failures);
+  EXPECT_EQ(sharded.used_checkpoint, serial.used_checkpoint);
+  EXPECT_EQ(sharded.rollback_iteration, serial.rollback_iteration);
+  EXPECT_DOUBLE_EQ(sharded.total_seconds, serial.total_seconds);
+  EXPECT_EQ(sharded.final_hashes, serial.final_hashes);
+
+  RunResult clean = run_experiment(sharded_cluster(8, 1, 1), factory, cc);
+  EXPECT_EQ(sharded.final_hashes, clean.final_hashes);
+}
+
+TEST(ShardFullStack, ShardCountOutsideRankRangeIsRejected) {
+  auto factory = microbench_factory(2, 10);
+  ckpt::CkptConfig cc;
+  EXPECT_THROW(run_experiment(sharded_cluster(4, 5, 1), factory, cc),
+               std::invalid_argument);
+  EXPECT_THROW(run_experiment(sharded_cluster(4, 0, 1), factory, cc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbc::harness

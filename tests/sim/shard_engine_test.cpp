@@ -128,7 +128,7 @@ TEST(ShardedEngine, RingDeliveryIndependentOfThreadCount) {
   EXPECT_EQ(total, 4u * 41u);
 }
 
-TEST(ShardedEngine, WindowsAdvanceAndStatsAccount) {
+TEST(ShardedEngine, WindowsCountMergesOnlyAndStatsAccount) {
   ShardedEngine::Options opts;
   opts.shards = 2;
   opts.lookahead = 5;
@@ -142,13 +142,156 @@ TEST(ShardedEngine, WindowsAdvanceAndStatsAccount) {
   });
   se.run();
   EXPECT_EQ(delivered, 2);
-  // Three events at t = 0, 5, 10 with a lookahead of 5: at least 3 windows.
-  EXPECT_GE(se.windows(), 3u);
+  // Exactly two cross-shard messages were merged, so exactly two windows —
+  // rounds without traffic fuse and are never counted as windows.
+  EXPECT_EQ(se.windows(), 2u);
+  EXPECT_GE(se.rounds(), se.windows());
+  EXPECT_EQ(se.cross_events(), 2u);
   EXPECT_EQ(se.total_events(),
             se.stats(0).events + se.stats(1).events);
   EXPECT_EQ(se.stats(0).cross_sent, 1u);
   EXPECT_EQ(se.stats(1).cross_sent, 1u);
   EXPECT_GE(se.window_balance(), 1.0);
+}
+
+// Shard-local workloads never merge: a run with zero cross-shard posts is
+// zero windows no matter how many events or how far apart they sit.
+TEST(ShardedEngine, LocalOnlyWorkloadFusesToZeroWindows) {
+  ShardedEngine::Options opts;
+  opts.shards = 3;
+  opts.lookahead = 2;
+  ShardedEngine se(opts);
+  int fired = 0;
+  for (int s = 0; s < 3; ++s) {
+    for (Time t : {Time{0}, Time{1000}, Time{50000}}) {
+      se.shard(s).schedule_at(t, [&] { ++fired; });
+    }
+  }
+  se.run();
+  EXPECT_EQ(fired, 9);
+  EXPECT_EQ(se.windows(), 0u);
+  EXPECT_EQ(se.cross_events(), 0u);
+  EXPECT_GE(se.rounds(), 1u);
+}
+
+// The per-pair matrix widens horizons beyond the uniform minimum: a pair
+// declared kNoLink never constrains, and an asymmetric pair constrains only
+// in its stated direction. Deliveries still land exactly where posted.
+TEST(ShardedEngine, LookaheadMatrixRoutesAsymmetricPairs) {
+  ShardedEngine::Options opts;
+  opts.shards = 3;
+  // 0 -> 1 tight (3), 1 -> 0 loose (50), 2 exchanges with nobody.
+  opts.lookahead_matrix = {
+      ShardedEngine::kNoLink, 3,  ShardedEngine::kNoLink,
+      50, ShardedEngine::kNoLink, ShardedEngine::kNoLink,
+      ShardedEngine::kNoLink, ShardedEngine::kNoLink, ShardedEngine::kNoLink,
+  };
+  ShardedEngine se(opts);
+  std::vector<std::pair<int, Time>> log;
+  int local2 = 0;
+  se.shard(2).schedule_at(1, [&] { ++local2; });  // isolated shard just runs
+  se.shard(0).schedule_at(0, [&] {
+    se.post(0, 1, 3, [&] {
+      log.emplace_back(1, se.shard(1).now());
+      se.post(1, 0, 53, [&] { log.emplace_back(0, se.shard(0).now()); });
+    });
+  });
+  se.run();
+  EXPECT_EQ(local2, 1);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<int, Time>{1, 3}));
+  EXPECT_EQ(log[1], (std::pair<int, Time>{0, 53}));
+  EXPECT_EQ(se.lookahead(), 3);
+}
+
+// Reserved sequence numbers replay the destination's serial FIFO order: the
+// relay reserves its slot on shard 0 *before* shard 0 issues later local
+// events, so the delivery fires ahead of a same-time local event that was
+// scheduled after the reservation — exactly as a serial run would order them.
+TEST(ShardedEngine, ReservedSeqReplaysSerialOrderAtEqualTime) {
+  ShardedEngine::Options opts;
+  opts.shards = 2;
+  opts.lookahead = 5;
+  ShardedEngine se(opts);
+  std::vector<std::string> log;  // appended only by shard 0
+  se.shard(0).schedule_at(0, [&] {
+    // Serial intent: "delivery" was scheduled first, "local-later" second.
+    const std::uint64_t seq = se.shard(0).reserve_seq();
+    se.post_reserved(1, 0, 10, seq, [&] { log.push_back("delivery"); });
+    se.shard(0).schedule_at(10, [&] { log.push_back("local-later"); });
+  });
+  se.run();
+  EXPECT_EQ(log,
+            (std::vector<std::string>{"delivery", "local-later"}));
+}
+
+// run_until stops at the cap, leaves later work pending, advances every
+// shard clock to the cap, and a follow-up run() finishes the job. abort_all
+// after run_until discards in-flight cross traffic without delivering it.
+TEST(ShardedEngine, RunUntilCapsAndResumesAcrossShards) {
+  ShardedEngine::Options opts;
+  opts.shards = 2;
+  opts.lookahead = 4;
+  ShardedEngine se(opts);
+  std::vector<Time> fired;
+  se.shard(0).schedule_at(2, [&] {
+    fired.push_back(se.shard(0).now());
+    se.post(0, 1, 100, [&] { fired.push_back(se.shard(1).now()); });
+  });
+  se.run_until(50);
+  EXPECT_EQ(fired, (std::vector<Time>{2}));
+  EXPECT_EQ(se.shard(0).now(), 50);
+  EXPECT_EQ(se.shard(1).now(), 50);
+  se.run();
+  EXPECT_EQ(fired, (std::vector<Time>{2, 100}));
+}
+
+TEST(ShardedEngine, AbortAllDiscardsInFlightCrossTraffic) {
+  ShardedEngine::Options opts;
+  opts.shards = 2;
+  opts.lookahead = 4;
+  ShardedEngine se(opts);
+  int delivered = 0;
+  se.shard(0).schedule_at(0, [&] {
+    se.post(0, 1, 500, [&] { ++delivered; });
+  });
+  se.run_until(10);
+  se.abort_all();
+  se.run();  // nothing left anywhere
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(se.shard(1).queue_empty());
+}
+
+// Non-power-of-two shard and thread counts partition and merge correctly,
+// and results are independent of the thread count.
+TEST(ShardedEngine, NonPowerOfTwoShardAndThreadCounts) {
+  auto run_all_pairs = [](int shards, int threads) {
+    ShardedEngine::Options opts;
+    opts.shards = shards;
+    opts.lookahead = 3;
+    opts.threads = threads;
+    ShardedEngine se(opts);
+    std::vector<std::vector<int>> logs(
+        static_cast<std::size_t>(shards));  // each shard appends only its own
+    for (int s = 0; s < shards; ++s) {
+      se.shard(s).schedule_at(s, [&se, &logs, s, shards] {
+        for (int d = 0; d < shards; ++d) {
+          if (d == s) continue;
+          se.post(s, d, se.shard(s).now() + 3,
+                  [&logs, d, s] { logs[static_cast<std::size_t>(d)]
+                                      .push_back(s); });
+        }
+      });
+    }
+    se.run();
+    return logs;
+  };
+  const auto serial = run_all_pairs(5, 1);
+  const auto threaded = run_all_pairs(5, 3);
+  EXPECT_EQ(serial, threaded);
+  for (const auto& l : serial) {
+    EXPECT_EQ(l.size(), 4u);
+  }
 }
 
 }  // namespace
