@@ -38,7 +38,7 @@ int main() {
   // Failure-free runtimes: plain vs always-on sender-based logging.
   const double plain =
       harness::run_experiment(preset, factory, cc).completion_seconds();
-  ckpt::SenderLogger logger(1200.0);
+  ckpt::SenderLogger logger(preset.nranks, 1200.0);
   const double logged_rt =
       harness::run_experiment(preset, factory, cc, {}, &logger)
           .completion_seconds();

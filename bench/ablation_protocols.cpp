@@ -62,7 +62,7 @@ int main() {
   add_row("group-based (this paper), groups of 4", runs[2], base, 0);
   add_row("Chandy-Lamport (channel logging)", runs[3], base, 0);
   {
-    ckpt::SenderLogger logger(1200.0);
+    ckpt::SenderLogger logger(preset.nranks, 1200.0);
     // As in the original driver, the extra-logged column snapshot is taken
     // before the logger has seen any traffic.
     const storage::Bytes extra_logged = logger.logged_bytes();

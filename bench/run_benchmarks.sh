@@ -49,6 +49,9 @@ echo "== sharded-DES scaling =="
 # Throughput at 1/2/4/8 shards on a fixed 1k-rank fat-tree config; one JSONL
 # record per shard count (events/s, window count, balance).
 GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/shard_scaling"
+# Full protocol stack under per-rank LP sharding: per-shard event split and
+# shard-0 share at 1/2/4 shards (DESIGN.md §13).
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/shard_scaling" --fullstack
 # Group-size curve at 1k/4k ranks (the 16k point is left to manual runs so
 # the snapshot stays quick to regenerate).
 GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/scale_groupsize" --ranks 1024
@@ -96,3 +99,19 @@ awk -v sweeps="$tmp/sweeps.jsonl" -v sha="$GBC_GIT_SHA" '
 ' "$tmp/micro.json" >"$OUT"
 
 echo "wrote $OUT"
+
+# Regression gate: when a baseline snapshot exists (GBC_BENCH_BASELINE, or
+# the newest committed BENCH_pr*.json other than $OUT), any matched entry
+# more than 10% slower fails the run.
+BASELINE=${GBC_BENCH_BASELINE:-}
+if [[ -z "$BASELINE" ]]; then
+  for f in $(ls -t BENCH_pr*.json 2>/dev/null); do
+    if [[ "$f" != "$OUT" ]]; then BASELINE=$f; break; fi
+  done
+fi
+if [[ -n "$BASELINE" && -f "$BASELINE" ]]; then
+  echo "== regression check vs $BASELINE =="
+  python3 "$(dirname "$0")/../scripts/bench_compare.py" "$BASELINE" "$OUT"
+else
+  echo "no baseline snapshot found; skipping regression check"
+fi

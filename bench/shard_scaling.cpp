@@ -5,15 +5,26 @@
 // run to one worker) the balance statistics still validate that the
 // partition would parallelize. State hashes are printed so a scaling run
 // doubles as a determinism check: every row must agree.
+//
+// --fullstack switches to the real protocol stack (the `gbcsim run`
+// configuration: MiniMPI + Fabric + a group-based checkpoint): each row
+// additionally reports the per-shard processed-event split and shard 0's
+// share — the number the per-rank LP partition (DESIGN.md §13) is supposed
+// to drive from ~100% down to the service traffic.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "harness/cli.hpp"
+#include "harness/experiment.hpp"
 #include "harness/scale_model.hpp"
+#include "harness/sim_cluster.hpp"
 #include "net/topology.hpp"
+#include "workloads/microbench.hpp"
 
 namespace {
 
@@ -47,14 +58,170 @@ void append_record(const std::string& name, int ranks, int shards,
   std::fclose(f);
 }
 
+// One full-stack run at a given shard/thread split. Mirrors
+// harness::run_experiment but keeps the cluster in scope so the per-shard
+// event counters survive the run.
+struct FullstackRow {
+  int threads_used = 1;
+  double wall = 0;
+  sim::Time completion = 0;
+  std::uint64_t events = 0;
+  std::vector<std::uint64_t> shard_events;
+  double shard0_share = 0;
+  std::uint64_t hash = 0;
+};
+
+FullstackRow run_fullstack(int nranks, int shards, int threads,
+                           std::uint64_t iterations) {
+  harness::ClusterPreset p = harness::icpp07_cluster();
+  p.nranks = nranks;
+  p.shards = shards;
+  p.threads = threads;
+
+  ckpt::CkptConfig cc;
+  cc.group_size = std::max(1, nranks / 4);
+
+  workloads::CommGroupBenchConfig wcfg;
+  wcfg.comm_group_size = std::max(2, nranks / 4);
+  wcfg.compute_per_iter = 50 * sim::kMillisecond;
+  wcfg.iterations = iterations;
+  wcfg.footprint_mib = 64.0;
+
+  const auto start = std::chrono::steady_clock::now();
+  harness::SimCluster cluster(p, cc);
+  auto wl = std::make_unique<workloads::CommGroupBench>(nranks, wcfg);
+  wl->setup(cluster.mpi());
+  wl->attach(cluster.checkpoints());
+  // Two checkpoint cycles landing mid-run, whatever the iteration count, so
+  // the service LP carries realistic coordination + storage traffic.
+  const sim::Time span =
+      static_cast<sim::Time>(iterations) * wcfg.compute_per_iter;
+  cluster.checkpoints().request_at(span / 3, ckpt::Protocol::kGroupBased);
+  cluster.checkpoints().request_at(2 * span / 3, ckpt::Protocol::kGroupBased);
+
+  std::vector<sim::Time> done(nranks, 0);
+  cluster.spawn_ranks([&](mpi::RankCtx& rank) {
+    return [](workloads::Workload* w, mpi::RankCtx* rk,
+              sim::Time* slot) -> sim::Task<void> {
+      co_await w->run_rank(*rk, {});
+      *slot = rk->engine().now();
+    }(wl.get(), &rank, &done[rank.world_rank()]);
+  });
+  cluster.run();
+
+  FullstackRow row;
+  row.wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  row.threads_used = cluster.sharded().threads();
+  row.completion = *std::max_element(done.begin(), done.end());
+  row.events = cluster.sharded().total_events();
+  for (int s = 0; s < shards; ++s) {
+    row.shard_events.push_back(cluster.sharded().stats(s).events);
+  }
+  row.shard0_share =
+      row.events > 0
+          ? static_cast<double>(row.shard_events[0]) / row.events
+          : 0.0;
+  // Fold completion + per-rank state into one comparable digest.
+  std::uint64_t h = static_cast<std::uint64_t>(row.completion);
+  for (int r = 0; r < nranks; ++r) {
+    h = h * 1000003 + wl->state(r).hash;
+  }
+  row.hash = h;
+  return row;
+}
+
+void append_fullstack_record(int ranks, int shards, const FullstackRow& r) {
+  const char* json = std::getenv("GBC_BENCH_JSON");
+  if (!json || !*json) return;
+  std::FILE* f = std::fopen(json, "a");
+  if (!f) return;
+  const char* sha = std::getenv("GBC_GIT_SHA");
+  const double ev = static_cast<double>(r.events);
+  std::fprintf(f,
+               "{\"sweep\":\"shard_scaling_fullstack/%d\",\"git_sha\":\"%s\","
+               "\"mode\":\"fullstack\",\"ranks\":%d,\"shards\":%d,"
+               "\"threads\":%d,\"points\":1,\"wall_seconds\":%.6f,"
+               "\"events\":%llu,\"events_per_second\":%.0f,"
+               "\"shard0_events\":%llu,\"shard0_share\":%.4f,"
+               "\"shard_events\":[",
+               shards, sha && *sha ? sha : "unknown", ranks, shards,
+               r.threads_used, r.wall, static_cast<unsigned long long>(r.events),
+               r.wall > 0 ? ev / r.wall : 0.0,
+               static_cast<unsigned long long>(r.shard_events[0]),
+               r.shard0_share);
+  for (std::size_t s = 0; s < r.shard_events.size(); ++s) {
+    std::fprintf(f, "%s%llu", s ? "," : "",
+                 static_cast<unsigned long long>(r.shard_events[s]));
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+int run_fullstack_sweep(int ranks, std::uint64_t iterations) {
+  bench::banner("shard scaling, full protocol stack (events/s vs DES shards)",
+                "per-rank LP sharding, DESIGN.md 13");
+  harness::Table t({"shards", "threads", "wall_s", "completion_s", "events",
+                    "kev_per_s", "shard0_share", "hash"});
+  std::FILE* csv =
+      std::fopen(bench::csv_path("shard_scaling_fullstack").c_str(), "w");
+  if (csv) {
+    std::fprintf(csv,
+                 "shards,threads,wall_seconds,completion_seconds,events,"
+                 "events_per_second,shard0_events,shard0_share,hash\n");
+  }
+  std::uint64_t first_hash = 0;
+  bool hashes_agree = true;
+  for (int shards : {1, 2, 4}) {
+    if (shards > ranks) continue;
+    const FullstackRow r = run_fullstack(ranks, shards, /*threads=*/0,
+                                         iterations);
+    if (shards == 1) first_hash = r.hash;
+    hashes_agree = hashes_agree && r.hash == first_hash;
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(r.hash));
+    t.add_row({std::to_string(shards), std::to_string(r.threads_used),
+               harness::Table::num(r.wall),
+               harness::Table::num(sim::to_seconds(r.completion)),
+               std::to_string(r.events),
+               harness::Table::num(static_cast<double>(r.events) / r.wall /
+                                   1e3),
+               harness::Table::num(r.shard0_share), hash});
+    if (csv) {
+      std::fprintf(csv, "%d,%d,%.6f,%.6f,%llu,%.0f,%llu,%.4f,%016llx\n",
+                   shards, r.threads_used, r.wall,
+                   sim::to_seconds(r.completion),
+                   static_cast<unsigned long long>(r.events),
+                   r.wall > 0 ? static_cast<double>(r.events) / r.wall : 0.0,
+                   static_cast<unsigned long long>(r.shard_events[0]),
+                   r.shard0_share,
+                   static_cast<unsigned long long>(r.hash));
+    }
+    append_fullstack_record(ranks, shards, r);
+  }
+  if (csv) std::fclose(csv);
+  t.print();
+  std::printf("\nstate hashes %s across shard counts\n",
+              hashes_agree ? "IDENTICAL" : "DIVERGED");
+  return hashes_agree ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   harness::FlagSet flags("shard_scaling");
-  flags.add_int("ranks", 1024, "simulated MPI processes");
-  flags.add_int("iterations", 30, "compute iterations per rank");
+  flags.add_int("ranks", 0,
+                "simulated MPI processes (0 = 1024 scale model, 32 fullstack)");
+  flags.add_int("iterations", 0,
+                "compute iterations per rank (0 = 30 scale model, "
+                "240 fullstack)");
   flags.add_string("topology", "fat-tree:32:2",
                    "flat | fat-tree:<radix>:<oversub>");
+  flags.add_bool("fullstack", false,
+                 "run the real protocol stack (gbcsim run config) instead of "
+                 "the scale model; reports the per-shard event split");
   if (!flags.parse(argc - 1, argv + 1)) {
     if (flags.help_requested()) {
       std::fputs(flags.usage().c_str(), stdout);
@@ -71,12 +238,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (flags.get_bool("fullstack")) {
+    // The real stack simulates far fewer ranks than the scale model.
+    const int ranks = flags.get_int("ranks") > 0 ? flags.get_int("ranks") : 32;
+    const int iters =
+        flags.get_int("iterations") > 0 ? flags.get_int("iterations") : 240;
+    return run_fullstack_sweep(ranks, static_cast<std::uint64_t>(iters));
+  }
+
   bench::banner("shard scaling (events/s vs DES shards)",
                 "the scaling methodology of Sec. 5");
 
   harness::ScaleConfig cfg;
-  cfg.nranks = flags.get_int("ranks");
-  cfg.iterations = flags.get_int("iterations");
+  cfg.nranks = flags.get_int("ranks") > 0 ? flags.get_int("ranks") : 1024;
+  cfg.iterations =
+      flags.get_int("iterations") > 0 ? flags.get_int("iterations") : 30;
   cfg.net.topology = *topo;
   cfg.footprint_mib = 8.0;
   cfg.chunk_mib = 4.0;

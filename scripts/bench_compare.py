@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf snapshots and flag throughput regressions.
+
+Usage: scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Matches google-benchmark entries by name on `items_per_second` and sweep
+records by their identifying fields on `events_per_second`, prints a
+side-by-side delta table, and exits non-zero when any matched entry
+regressed by more than PCT percent (default 10). Entries present in only
+one snapshot are reported but never fail the check — benches come and go
+across PRs; only like-for-like slowdowns block.
+
+Invoked from bench/run_benchmarks.sh when a baseline snapshot is present
+(GBC_BENCH_BASELINE, or the newest BENCH_pr*.json in the repo root).
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a sweep record across snapshots (everything that
+# shapes the run; metrics and provenance are excluded).
+SWEEP_KEY_FIELDS = (
+    "sweep",
+    "ranks",
+    "shards",
+    "threads",
+    "points",
+    "group_size",
+    "topology",
+    "mode",
+)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def bench_rates(snap):
+    out = {}
+    for b in snap.get("benchmarks", []):
+        ips = b.get("items_per_second")
+        if isinstance(ips, (int, float)) and ips > 0:
+            out[b["name"]] = float(ips)
+    return out
+
+
+def sweep_rates(snap):
+    out = {}
+    for s in snap.get("sweeps", []):
+        eps = s.get("events_per_second")
+        if not isinstance(eps, (int, float)) or eps <= 0:
+            continue
+        key = tuple(
+            (f, s[f]) for f in SWEEP_KEY_FIELDS if f in s
+        )
+        out["sweep:" + ",".join(f"{k}={v}" for k, v in key)] = float(eps)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression percentage that fails the check (default: 10)",
+    )
+    args = ap.parse_args()
+
+    base_snap = load(args.baseline)
+    cur_snap = load(args.current)
+    base = {**bench_rates(base_snap), **sweep_rates(base_snap)}
+    cur = {**bench_rates(cur_snap), **sweep_rates(cur_snap)}
+
+    shared = sorted(set(base) & set(cur))
+    regressions = []
+    width = max((len(n) for n in shared), default=4)
+    print(f"baseline: {args.baseline} ({base_snap.get('git_sha', '?')[:12]})")
+    print(f"current:  {args.current} ({cur_snap.get('git_sha', '?')[:12]})")
+    print(f"{'name':<{width}}  {'baseline':>14}  {'current':>14}  {'delta':>8}")
+    for name in shared:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b * 100.0
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>14.3e}  {c:>14.3e}  {delta:>+7.1f}%{flag}")
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"{name}: only in baseline (skipped)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name}: new in current (no baseline)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} item(s) regressed more than "
+            f"{args.threshold:.0f}%:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    if not shared:
+        print("warning: no comparable entries between the two snapshots")
+    else:
+        print(f"\nOK: no regression beyond {args.threshold:.0f}% "
+              f"across {len(shared)} matched item(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,11 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+# Explicit ASan pass over the sharded full-stack suite: with the pools in
+# passthrough, the per-rank LP hot path (pooled wire flights returned across
+# shards, bus inbox functors, per-rank hook swaps) must be clean on its own.
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L fullshard
+
 echo "== thread sanitizer stage =="
 cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"

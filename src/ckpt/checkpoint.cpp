@@ -44,11 +44,46 @@ double GlobalCheckpoint::storage_fraction() const {
 // DeferralGate
 // ---------------------------------------------------------------------------
 
+CheckpointService::DeferralGate::DeferralGate(CheckpointService& svc)
+    : svc_(svc) {
+  sim::LpBus& bus = svc.mpi_.fabric().bus();
+  const int n = svc.mpi_.nranks();
+  views_.resize(bus.shards());
+  for (int s = 0; s < static_cast<int>(views_.size()); ++s) {
+    views_[s].done.assign(n, 0);
+    const int anchor = std::min(bus.first_lp_of_shard(s), n - 1);
+    views_[s].cv = std::make_unique<sim::Condition>(bus.engine_of(anchor));
+  }
+}
+
 bool CheckpointService::DeferralGate::allowed(int a, int b) const {
-  if (!svc_.defer_active_) return true;
   // The consistency rule (DESIGN.md): traffic may flow only between ranks
-  // whose groups are on the same side of the recovery line.
-  return svc_.done_[a] == svc_.done_[b];
+  // whose groups are on the same side of the recovery line. Evaluated
+  // against the sender's shard view — the sender's shard is the caller.
+  const ShardView& v = views_[svc_.mpi_.fabric().bus().shard_of(a)];
+  if (!v.defer) return true;
+  return v.done[a] == v.done[b];
+}
+
+sim::Condition& CheckpointService::DeferralGate::changed(int src) {
+  return *views_[svc_.mpi_.fabric().bus().shard_of(src)].cv;
+}
+
+void CheckpointService::DeferralGate::notify() {
+  sim::LpBus& bus = svc_.mpi_.fabric().bus();
+  const bool defer = svc_.defer_active_;
+  for (int s = 0; s < static_cast<int>(views_.size()); ++s) {
+    const int anchor = std::min(bus.first_lp_of_shard(s), bus.nranks() - 1);
+    // Every shard — including the service's own — receives the update one
+    // bus hop out, so gate openings land at the same instant at any shard
+    // count.
+    bus.send(bus.svc_lp(), anchor,
+             [this, s, defer, done = svc_.done_]() mutable {
+               views_[s].done = std::move(done);
+               views_[s].defer = defer;
+               views_[s].cv->notify_all();
+             });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -95,14 +130,21 @@ sim::Task<void> periodic_driver(CheckpointService* svc, sim::Engine* eng,
   // after the previous cycle completes. A fixed rate shorter than the cycle
   // time would otherwise pile up requests and starve the application.
   for (;;) {
-    // Stop once only this driver remains alive (the application is done).
-    // Background drain services are detached processes too, but they are
-    // storage activity, not application progress — counting them would keep
-    // the driver (and thus the drain) alive forever once drains lag the
-    // checkpoint interval.
-    const int background =
-        svc->tier() ? svc->tier()->drain_tasks_running() : 0;
-    if (eng->live_processes() <= 1 + background) co_return;
+    // Stop once the application is done. When the harness reports rank
+    // liveness, use it: rank mains run on their home shards' engines, so
+    // this engine's live_processes() no longer sees them. Otherwise (direct
+    // tests driving one engine) fall back to the process-count heuristic:
+    // stop once only this driver remains. Background drain services are
+    // detached processes too, but they are storage activity, not
+    // application progress — counting them would keep the driver (and thus
+    // the drain) alive forever once drains lag the checkpoint interval.
+    if (svc->tracking_ranks()) {
+      if (svc->live_ranks() <= 0) co_return;
+    } else {
+      const int background =
+          svc->tier() ? svc->tier()->drain_tasks_running() : 0;
+      if (eng->live_processes() <= 1 + background) co_return;
+    }
     (void)co_await svc->checkpoint(p);
     co_await eng->delay(interval);
   }
@@ -112,7 +154,9 @@ sim::Task<void> periodic_driver(CheckpointService* svc, sim::Engine* eng,
 void CheckpointService::request_every(sim::Time first, sim::Time interval,
                                       Protocol protocol) {
   eng_.schedule_at(first, [this, interval, protocol] {
-    if (eng_.live_processes() <= 0) return;
+    if (tracking_ranks() ? live_ranks_ <= 0 : eng_.live_processes() <= 0) {
+      return;
+    }
     eng_.spawn(periodic_driver(this, &eng_, interval, protocol));
   });
 }
@@ -145,6 +189,12 @@ sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
 
   CycleContext ctx(*this, gc);
   co_await protocol_runner(protocol).run(ctx);
+
+  // Thaws are one-way bus sends: the last rank only resumes one bus floor
+  // after the runner returns. The cycle is complete when every rank has.
+  sim::Time resumed = eng_.now();
+  for (const auto& s : gc.snapshots) resumed = std::max(resumed, s.resume_at);
+  if (resumed > eng_.now()) co_await eng_.delay_until(resumed);
 
   gc.completed_at = eng_.now();
   if (trace_) trace_->add(eng_.now(), -1, "cycle", "complete");
@@ -198,6 +248,36 @@ int CycleContext::nranks() const noexcept { return svc_.mpi_.nranks(); }
 
 GroupPlan CycleContext::plan_groups() const { return svc_.plan_groups(); }
 
+sim::Task<GroupPlan> CycleContext::gather_plan() {
+  const CkptConfig& cfg = svc_.cfg_;
+  const int n = svc_.mpi_.nranks();
+  if (!cfg.dynamic_formation) co_return static_plan(n, cfg.group_size);
+  // Traffic rows are rank-owned under the sharding discipline: fetch each
+  // rank's row by RPC on its shard, then symmetrize service-side.
+  sim::LpBus& bus = svc_.mpi_.fabric().bus();
+  net::Fabric* fab = &svc_.mpi_.fabric();
+  std::vector<std::int64_t> m(static_cast<std::size_t>(n) * n, 0);
+  for (int src = 0; src < n; ++src) {
+    std::int64_t* row = m.data() + static_cast<std::size_t>(src) * n;
+    co_await bus.call(bus.svc_lp(), src,
+                      [fab, src, row]() -> sim::Task<void> {
+                        const auto r = fab->copy_traffic_row(src);
+                        std::copy(r.begin(), r.end(), row);
+                        co_return;
+                      });
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const std::int64_t sum = m[static_cast<std::size_t>(a) * n + b] +
+                               m[static_cast<std::size_t>(b) * n + a];
+      m[static_cast<std::size_t>(a) * n + b] = sum;
+      m[static_cast<std::size_t>(b) * n + a] = sum;
+    }
+  }
+  const int max_size = cfg.group_size > 0 ? cfg.group_size : n;
+  co_return dynamic_plan(m, n, max_size);
+}
+
 void CycleContext::assign_groups(const GroupPlan& plan) {
   const int n = svc_.mpi_.nranks();
   svc_.group_of_.assign(n, 0);
@@ -207,7 +287,13 @@ void CycleContext::assign_groups(const GroupPlan& plan) {
   svc_.done_.assign(n, 0);
 }
 
-void CycleContext::set_defer_active(bool on) { svc_.defer_active_ = on; }
+void CycleContext::set_defer_active(bool on) {
+  svc_.defer_active_ = on;
+  // Propagate to the shard views right away: defer=true with an all-zero
+  // done vector is vacuously permissive, so flipping early is safe, while
+  // flipping late could let a sender slip past the first group's line.
+  svc_.gate_->notify();
+}
 
 void CycleContext::mark_on_recovery_line(int rank) {
   svc_.done_[rank] = 1;
@@ -218,39 +304,66 @@ void CycleContext::mark_on_recovery_line(int rank) {
 
 void CycleContext::notify_gate() { svc_.gate_->notify(); }
 
-void CycleContext::freeze(int rank) {
-  svc_.mpi_.rank(rank).freeze();
-  gc_.snapshots[rank].freeze_begin = svc_.eng_.now();
-  if (svc_.trace_) svc_.trace_->add(svc_.eng_.now(), rank, "freeze", "");
+sim::Task<void> CycleContext::freeze(int rank) {
+  sim::LpBus& bus = svc_.mpi_.fabric().bus();
+  mpi::MiniMPI* mpi = &svc_.mpi_;
+  // The pause lands on the rank's shard one bus hop out; the RPC reply only
+  // tells us it happened. Stamp the instant the rank actually stopped.
+  const sim::Time pause_at = svc_.eng_.now() + bus.floor();
+  co_await bus.call(bus.svc_lp(), rank, [mpi, rank]() -> sim::Task<void> {
+    mpi->rank(rank).freeze();
+    co_return;
+  });
+  gc_.snapshots[rank].freeze_begin = pause_at;
+  if (svc_.trace_) svc_.trace_->add(pause_at, rank, "freeze", "");
 }
 
 void CycleContext::thaw(int rank) {
-  svc_.mpi_.rank(rank).thaw();
-  gc_.snapshots[rank].resume_at = svc_.eng_.now();
-  if (svc_.trace_) svc_.trace_->add(svc_.eng_.now(), rank, "resume", "");
+  sim::LpBus& bus = svc_.mpi_.fabric().bus();
+  mpi::MiniMPI* mpi = &svc_.mpi_;
+  bus.send(bus.svc_lp(), rank, [mpi, rank] { mpi->rank(rank).thaw(); });
+  const sim::Time resume_at = svc_.eng_.now() + bus.floor();
+  gc_.snapshots[rank].resume_at = resume_at;
+  if (svc_.trace_) {
+    // The resume lands one bus floor out; emit the trace event *at* that
+    // instant so the trace stays append-ordered in time.
+    sim::Trace* tr = svc_.trace_;
+    svc_.eng_.schedule_at(resume_at, [tr, resume_at, rank] {
+      tr->add(resume_at, rank, "resume", "");
+    });
+  }
 }
 
 sim::Task<void> CycleContext::snapshot_rank(int rank) {
   return svc_.snapshot_rank(rank, gc_);
 }
 
+namespace {
+/// Waits (by RPC on the peer's shard) for the peer's progress engine to
+/// service a passive coordination request (Sec. 4.2/4.4).
+sim::Task<void> await_peer_service(CheckpointService& svc,
+                                   mpi::MiniMPI& mpi, int peer) {
+  sim::LpBus& bus = mpi.fabric().bus();
+  mpi::MiniMPI* m = &mpi;
+  const bool ap = svc.config().async_progress;
+  const sim::Time hi = svc.config().helper_interval;
+  co_await bus.call(bus.svc_lp(), peer, [m, peer, ap, hi] {
+    return m->rank(peer).exec().await_service_point(ap, hi);
+  });
+}
+}  // namespace
+
 sim::Task<void> CycleContext::teardown_one(int m, int peer,
                                            bool peer_passive) {
   // A peer outside the checkpointing set participates passively: the request
   // first waits until the peer's progress engine services it (Sec. 4.2/4.4).
-  if (peer_passive) {
-    co_await svc_.mpi_.rank(peer).exec().await_service_point(
-        svc_.cfg_.async_progress, svc_.cfg_.helper_interval);
-  }
+  if (peer_passive) co_await await_peer_service(svc_, svc_.mpi_, peer);
   co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // disconnect RPC
   co_await svc_.mpi_.fabric().connections().disconnect(m, peer);
 }
 
 sim::Task<void> CycleContext::rebuild_one(int m, int peer, bool peer_passive) {
-  if (peer_passive) {
-    co_await svc_.mpi_.rank(peer).exec().await_service_point(
-        svc_.cfg_.async_progress, svc_.cfg_.helper_interval);
-  }
+  if (peer_passive) co_await await_peer_service(svc_, svc_.mpi_, peer);
   co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // reconnect RPC
   co_await svc_.mpi_.fabric().connections().ensure_connected(m, peer);
 }

@@ -175,18 +175,44 @@ class CheckpointService {
   void set_tier(storage::TieredStore* tier) { tier_ = tier; }
   storage::TieredStore* tier() const noexcept { return tier_; }
 
+  /// Rank-process liveness, reported by the harness: rank mains run on
+  /// other shards' engines, so the service engine's live_processes() no
+  /// longer sees them. started is called at setup (quiescent); finished
+  /// arrives by bus message when a rank's main returns. -1 = harness not
+  /// tracking (direct-construction tests); the periodic driver then falls
+  /// back to the live_processes() heuristic.
+  void note_rank_started() {
+    live_ranks_ = (live_ranks_ < 0 ? 0 : live_ranks_) + 1;
+  }
+  void note_rank_finished() { --live_ranks_; }
+  bool tracking_ranks() const noexcept { return live_ranks_ >= 0; }
+  int live_ranks() const noexcept { return live_ranks_; }
+
  private:
+  /// The consistency rule, evaluated on the *sender's* shard: each shard
+  /// owns a mirror (ShardView) of the recovery-line state, anchored at its
+  /// first rank LP and updated only by service→shard bus messages. allowed()
+  /// and changed() touch nothing but the caller's own view, so the gate is
+  /// queried from every shard without shared mutable state; the one-hop lag
+  /// of a view update is harmless because the deferral hazard window opens
+  /// at thaw, milliseconds after the line flips (DESIGN.md §13).
   class DeferralGate : public mpi::CommGate {
    public:
-    explicit DeferralGate(CheckpointService& svc)
-        : svc_(svc), cv_(svc.eng_) {}
+    explicit DeferralGate(CheckpointService& svc);
     bool allowed(int a, int b) const override;
-    sim::Condition& changed() override { return cv_; }
-    void notify() { cv_.notify_all(); }
+    sim::Condition& changed(int src) override;
+    /// Service-side: broadcast a fresh copy of (defer_active_, done_) to
+    /// every shard's view, waking that shard's blocked senders on arrival.
+    void notify();
 
    private:
+    struct ShardView {
+      std::vector<char> done;
+      bool defer = false;
+      std::unique_ptr<sim::Condition> cv;  // on the view's shard engine
+    };
     CheckpointService& svc_;
-    sim::Condition cv_;
+    std::vector<ShardView> views_;
   };
 
   /// The per-cycle façade protocol runners act through (protocol.hpp).
@@ -212,6 +238,7 @@ class CheckpointService {
   bool cycle_active_ = false;
   bool defer_active_ = false;   // gate enforces the done/not-done rule
   sim::Condition cycle_done_;
+  int live_ranks_ = -1;  // -1: harness not reporting rank liveness
   sim::Trace* trace_ = nullptr;
   std::vector<sim::Time> last_snapshot_at_;  // -1: no snapshot yet
   std::vector<GlobalCheckpoint> history_;

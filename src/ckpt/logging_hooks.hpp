@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "mpi/minimpi.hpp"
 #include "sim/time.hpp"
 #include "storage/storage.hpp"
@@ -11,16 +14,21 @@ namespace gbc::ckpt {
 /// before it may be sent, and zero-copy rendezvous must be disabled because
 /// the library has to see the data. Both costs land on the failure-free
 /// critical path — that is the overhead the paper's design avoids.
+///
+/// send_tax runs on the *sender's* shard, so volumes accumulate into
+/// per-sender slots; logged_bytes()/logged_messages() are aggregate reads
+/// for quiescent points (end of run).
 class SenderLogger : public mpi::MpiHooks {
  public:
   /// log_bandwidth_mbps: rate at which payloads can be copied into the log
   /// (memory copy, possibly with a spill to local buffers).
-  explicit SenderLogger(double log_bandwidth_mbps = 1200.0)
-      : log_mbps_(log_bandwidth_mbps) {}
+  explicit SenderLogger(int nranks, double log_bandwidth_mbps = 1200.0)
+      : log_mbps_(log_bandwidth_mbps), slot_(nranks) {}
 
-  sim::Time send_tax(int /*src*/, int /*dst*/, storage::Bytes b) override {
-    logged_bytes_ += b;
-    ++logged_messages_;
+  sim::Time send_tax(int src, int /*dst*/, storage::Bytes b) override {
+    Slot& s = slot_[src];
+    s.bytes += b;
+    ++s.messages;
     const double bps = log_mbps_ * static_cast<double>(storage::kMiB);
     return static_cast<sim::Time>(static_cast<double>(b) / bps *
                                   static_cast<double>(sim::kSecond));
@@ -28,13 +36,24 @@ class SenderLogger : public mpi::MpiHooks {
 
   bool disable_zero_copy() const override { return true; }
 
-  storage::Bytes logged_bytes() const noexcept { return logged_bytes_; }
-  std::int64_t logged_messages() const noexcept { return logged_messages_; }
+  storage::Bytes logged_bytes() const noexcept {
+    storage::Bytes t = 0;
+    for (const Slot& s : slot_) t += s.bytes;
+    return t;
+  }
+  std::int64_t logged_messages() const noexcept {
+    std::int64_t t = 0;
+    for (const Slot& s : slot_) t += s.messages;
+    return t;
+  }
 
  private:
+  struct alignas(64) Slot {
+    storage::Bytes bytes = 0;
+    std::int64_t messages = 0;
+  };
   double log_mbps_;
-  storage::Bytes logged_bytes_ = 0;
-  std::int64_t logged_messages_ = 0;
+  std::vector<Slot> slot_;
 };
 
 }  // namespace gbc::ckpt

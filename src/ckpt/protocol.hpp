@@ -56,7 +56,13 @@ class CycleContext {
   int nranks() const noexcept;
 
   /// The group plan a group-based cycle would use (static or dynamic).
+  /// Quiescent aggregate read — for tests/benches; cycles use gather_plan().
   GroupPlan plan_groups() const;
+
+  /// In-cycle plan formation: gathers each rank's traffic row from its own
+  /// shard by RPC (the rows are rank-owned under the sharding discipline),
+  /// then runs the planner service-side.
+  sim::Task<GroupPlan> gather_plan();
 
   // --- consistency rule (drives the service's DeferralGate) ---
   /// Installs the plan's rank→group map and clears the recovery-line state.
@@ -69,7 +75,11 @@ class CycleContext {
   void notify_gate();
 
   // --- per-rank BLCR-style control (all traced) ---
-  void freeze(int rank);
+  /// Freezes `rank` by RPC to its shard; resolves once the pause landed
+  /// (freeze_begin is stamped with the pause instant, one bus hop after the
+  /// request). Launch a JoinSet of these to freeze a group simultaneously.
+  sim::Task<void> freeze(int rank);
+  /// Thaws `rank` with a one-way message; resume_at is the arrival instant.
   void thaw(int rank);
   /// Writes one rank's image (tier-aware) and stamps its RankSnapshot.
   sim::Task<void> snapshot_rank(int rank);

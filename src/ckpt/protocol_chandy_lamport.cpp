@@ -11,6 +11,7 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/join.hpp"
+#include "sim/lp_bus.hpp"
 #include "storage/storage.hpp"
 
 namespace gbc::ckpt {
@@ -20,18 +21,37 @@ namespace {
 /// Counts channel-logging volume during a Chandy-Lamport cycle: messages
 /// arriving at a rank that has already recorded its snapshot belong to the
 /// channel state and must be written down.
+///
+/// on_deliver runs on the *receiver's* shard, so the state is kept in
+/// per-rank slots: slot `dst` is only ever touched from dst's shard (the
+/// snapshotted flag is flipped by a service→rank bus message). The totals
+/// are read service-side after the uninstall RPCs complete, whose replies
+/// provide the happens-before edges.
 class ChannelLogger : public mpi::MpiHooks {
  public:
-  explicit ChannelLogger(const std::vector<char>& snapshotted)
-      : snapshotted_(snapshotted) {}
+  explicit ChannelLogger(int n) : slot_(n) {}
+
   void on_deliver(int /*src*/, int dst, Bytes b) override {
-    if (snapshotted_[dst]) logged_ += b;
+    Slot& s = slot_[dst];
+    if (s.snapshotted) s.logged += b;
   }
-  Bytes logged() const noexcept { return logged_; }
+
+  /// Call on `dst`'s shard (via the bus).
+  void mark_snapshotted(int dst) { slot_[dst].snapshotted = true; }
+
+  /// Quiescent aggregate read (after uninstall).
+  Bytes total_logged() const {
+    Bytes t = 0;
+    for (const Slot& s : slot_) t += s.logged;
+    return t;
+  }
 
  private:
-  const std::vector<char>& snapshotted_;
-  Bytes logged_ = 0;
+  struct alignas(64) Slot {
+    bool snapshotted = false;
+    Bytes logged = 0;
+  };
+  std::vector<Slot> slot_;
 };
 
 class ChandyLamportRunner final : public ProtocolRunner {
@@ -42,23 +62,38 @@ class ChandyLamportRunner final : public ProtocolRunner {
     GlobalCheckpoint& gc = ctx.cycle();
     const int n = ctx.nranks();
     gc.plan = static_plan(n, 0);
-    // Marker propagation: every rank learns of the checkpoint within a
-    // marker-latency fan-out, then runs its own phases independently.
-    std::vector<char> snapshotted(n, 0);
-    ChannelLogger logger(snapshotted);
-    mpi::MpiHooks* prev_hooks = ctx.mpi().hooks();
-    ctx.mpi().set_hooks(&logger);
+    mpi::MiniMPI* mpi = &ctx.mpi();
+    sim::LpBus& bus = mpi->fabric().bus();
+    ChannelLogger logger(n);
+    ChannelLogger* lg = &logger;
+    // Hook slots are rank-owned: swap the logger in (and later out) on each
+    // rank's own shard, remembering what was installed before.
+    std::vector<mpi::MpiHooks*> prev(n, nullptr);
+    mpi::MpiHooks** prevp = prev.data();
+    {
+      sim::JoinSet install(ctx.engine());
+      for (int m = 0; m < n; ++m) {
+        install.launch(
+            bus.call(bus.svc_lp(), m, [mpi, lg, prevp, m]() -> sim::Task<void> {
+              prevp[m] = mpi->rank_hooks(m);
+              mpi->set_rank_hooks(m, lg);
+              co_return;
+            }));
+      }
+      co_await install.join();
+    }
 
     struct ClCtx {
       CycleContext* ctx;
-      std::vector<char>* snapshotted;
-    } c{&ctx, &snapshotted};
+      sim::LpBus* bus;
+      ChannelLogger* lg;
+    } c{&ctx, &bus, lg};
 
     auto cl_rank = [](ClCtx* c, int m) -> sim::Task<void> {
       CycleContext& ctx = *c->ctx;
       ctx.phase_begin(Phase::kQuiesce, m);
       co_await ctx.engine().delay(ctx.fanout_latency(ctx.nranks()));
-      ctx.freeze(m);
+      co_await ctx.freeze(m);
       ctx.phase_end(Phase::kQuiesce, m);
       // IB still requires tearing down this process's connections
       // (Sec. 2.2), with no global schedule to amortize it.
@@ -73,7 +108,10 @@ class ChandyLamportRunner final : public ProtocolRunner {
       }
       ctx.phase_end(Phase::kTeardown, m);
       ctx.phase_end(Phase::kDrain, m);
-      (*c->snapshotted)[m] = 1;
+      // Flip the channel-state flag on m's own shard; from this arrival on,
+      // anything delivered to m belongs to the logged channel state.
+      ChannelLogger* lg = c->lg;
+      c->bus->send(c->bus->svc_lp(), m, [lg, m] { lg->mark_snapshotted(m); });
       ctx.phase_begin(Phase::kSnapshot, m);
       co_await ctx.snapshot_rank(m);
       ctx.phase_end(Phase::kSnapshot, m);
@@ -86,8 +124,18 @@ class ChandyLamportRunner final : public ProtocolRunner {
     for (int m = 0; m < n; ++m) all.launch(cl_rank(&c, m));
     co_await all.join();
 
-    gc.logged_bytes = logger.logged();
-    ctx.mpi().set_hooks(prev_hooks);
+    {
+      sim::JoinSet uninstall(ctx.engine());
+      for (int m = 0; m < n; ++m) {
+        uninstall.launch(
+            bus.call(bus.svc_lp(), m, [mpi, prevp, m]() -> sim::Task<void> {
+              mpi->set_rank_hooks(m, prevp[m]);
+              co_return;
+            }));
+      }
+      co_await uninstall.join();
+    }
+    gc.logged_bytes = logger.total_logged();
     // The channel log is part of the checkpoint and must reach stable
     // storage.
     if (gc.logged_bytes > 0) co_await ctx.shared_fs().write(gc.logged_bytes);

@@ -32,7 +32,13 @@ sim::Task<void> checkpoint_group(CycleContext& ctx,
   ctx.phase_begin(Phase::kQuiesce);
   co_await ctx.engine().delay(
       ctx.fanout_latency(static_cast<int>(group.size())));
-  for (int m : group) ctx.freeze(m);
+  {
+    // All freeze RPCs leave at the same instant, so every member pauses
+    // simultaneously one bus hop out (simultaneous group quiesce).
+    sim::JoinSet freezes(ctx.engine());
+    for (int m : group) freezes.launch(ctx.freeze(m));
+    co_await freezes.join();
+  }
   ctx.phase_end(Phase::kQuiesce);
 
   // Pre-checkpoint coordination: flush in-transit messages and tear down
@@ -97,7 +103,7 @@ class GroupRunner final : public ProtocolRunner {
 
   sim::Task<void> run(CycleContext& ctx) const override {
     GlobalCheckpoint& gc = ctx.cycle();
-    gc.plan = ctx.plan_groups();
+    gc.plan = co_await ctx.gather_plan();
     ctx.assign_groups(gc.plan);
     ctx.set_defer_active(gc.plan.size() > 1);
     co_await detail::run_group_schedule(ctx);

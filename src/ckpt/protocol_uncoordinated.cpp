@@ -27,7 +27,7 @@ class UncoordinatedRunner final : public ProtocolRunner {
       // always-on sender-based message log, not from coordination.
       co_await ctx.engine().delay(m * ctx.config().uncoordinated_stagger);
       ctx.phase_begin(Phase::kQuiesce, m);
-      ctx.freeze(m);
+      co_await ctx.freeze(m);
       ctx.phase_end(Phase::kQuiesce, m);
       ctx.phase_begin(Phase::kDrain, m);
       ctx.phase_begin(Phase::kTeardown, m);

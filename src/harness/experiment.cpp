@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+
 #include "harness/sim_cluster.hpp"
 #include "harness/sweep.hpp"
 #include "storage/tiers.hpp"
@@ -30,18 +32,21 @@ RunResult run_experiment(const ClusterPreset& preset,
     cluster.checkpoints().request_at(req.at, req.protocol);
   }
 
-  sim::Time completion = 0;
+  // Completion stamps are per-rank slots (each written from its own shard);
+  // the max is folded after the run, at quiescence.
+  std::vector<sim::Time> done_at(preset.nranks, 0);
   cluster.spawn_ranks([&](mpi::RankCtx& rank) {
     return [](workloads::Workload* w, mpi::RankCtx* rk,
               sim::Time* done) -> sim::Task<void> {
       co_await rank_program(w, rk, {});
-      if (rk->engine().now() > *done) *done = rk->engine().now();
-    }(wl.get(), &rank, &completion);
+      *done = rk->engine().now();
+    }(wl.get(), &rank, &done_at[rank.world_rank()]);
   });
   cluster.run();
 
   RunResult res;
-  res.completion = completion;
+  res.completion = 0;
+  for (sim::Time t : done_at) res.completion = std::max(res.completion, t);
   res.checkpoints = cluster.checkpoints().history();
   res.mpi_stats = cluster.mpi().stats();
   res.storage_peak_concurrency = cluster.shared_fs().peak_concurrency();
@@ -56,7 +61,7 @@ RunResult run_experiment(const ClusterPreset& preset,
     res.tier_write_throughs = tier->write_throughs();
     res.tier_replicas = tier->replicas_made();
   }
-  res.events_processed = cluster.engine().events_processed();
+  res.events_processed = cluster.sharded().total_events();
   return res;
 }
 

@@ -15,12 +15,17 @@ double young_interval_seconds(double ckpt_cost_seconds, double mtbf_seconds) {
 namespace {
 
 sim::Task<void> tracked_rank(workloads::Workload* wl, mpi::RankCtx* rank,
-                             storage::StorageSystem* fs, storage::Bytes image,
-                             workloads::WorkloadState from, int* live,
+                             sim::LpBus* bus, storage::StorageSystem* fs,
+                             storage::Bytes image, workloads::WorkloadState from,
                              sim::Time* done_at) {
-  if (image > 0) co_await fs->read(image);  // restart image reload
+  if (image > 0) {
+    // Restart image reload: the PFS is service-LP state, so the read runs
+    // there via an RPC over the bus (same discipline as recovery.cpp).
+    co_await bus->call(rank->world_rank(), bus->svc_lp(),
+                       [fs, image] { return fs->read(image); });
+  }
   co_await wl->run_rank(*rank, from);
-  if (--*live == 0) *done_at = rank->engine().now();
+  *done_at = rank->engine().now();
 }
 
 }  // namespace
@@ -43,20 +48,20 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
     // The MTBF loop never attaches a tier: each attempt is a fresh job whose
     // restart images live on the PFS.
     SimCluster cluster(preset, ckpt_cfg, {.attach_tier = false});
-    sim::Engine& eng = cluster.engine();
     ckpt::CheckpointService& svc = cluster.checkpoints();
     auto wl = make(preset.nranks);
     wl->setup(cluster.mpi());
     wl->attach(svc);
     svc.request_every(ckpt_interval, ckpt_interval, protocol);
 
-    int live = preset.nranks;
-    sim::Time done_at = -1;
-    for (int r = 0; r < preset.nranks; ++r) {
-      eng.spawn(tracked_rank(wl.get(), &cluster.mpi().rank(r),
-                             &cluster.shared_fs(), images[r], resume[r],
-                             &live, &done_at));
-    }
+    // Per-rank completion slots (each written from its own shard).
+    std::vector<sim::Time> done_slots(preset.nranks, -1);
+    cluster.spawn_ranks([&](mpi::RankCtx& rank) {
+      const int r = rank.world_rank();
+      return tracked_rank(wl.get(), &rank, &cluster.bus(),
+                          &cluster.shared_fs(), images[r], resume[r],
+                          &done_slots[r]);
+    });
 
     const sim::Time fail_at = out.failures < max_failures
                                   ? sim::from_seconds(
@@ -64,8 +69,13 @@ MtbfRunResult run_with_poisson_failures(const ClusterPreset& preset,
                                   : sim::Time{1} << 60;
     cluster.run_until(fail_at);
 
-    out.events_processed += eng.events_processed();
+    out.events_processed += cluster.sharded().total_events();
 
+    sim::Time done_at = 0;
+    for (sim::Time t : done_slots) {
+      done_at = t < 0 ? t : std::max(done_at, t);
+      if (done_at < 0) break;
+    }
     if (done_at >= 0 && done_at <= fail_at) {
       // Completed before the failure.
       for (const auto& gc : svc.history()) {

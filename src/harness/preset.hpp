@@ -10,14 +10,14 @@ namespace gbc::harness {
 /// Everything needed to instantiate one simulated cluster.
 struct ClusterPreset {
   int nranks = 32;
-  /// DES shards for the run (sim::ShardedEngine). The full protocol stack
-  /// stays one logical process pinned to shard 0; shards 1..S-1 host
-  /// per-rank wire-flight relay LPs (contiguous rank blocks), so sharded
-  /// SimCluster runs are event-for-event identical to serial ones (see
-  /// net::ShardRouter and DESIGN.md sec. 12). Must be in [1, nranks]. The
-  /// LP-disciplined scale model (harness/scale_model.hpp) additionally
-  /// partitions rank compute across shards. The topology knob lives in
-  /// net.topology.
+  /// DES shards for the run (sim::ShardedEngine). Each MPI rank is a
+  /// logical process owned by shard rank*S/nranks (its matcher, send pump
+  /// and NIC state run there); shard 0 additionally hosts the service LP
+  /// (storage, connection manager, checkpoint coordinator). All cross-LP
+  /// interaction flows over the sim::LpBus with canonical inbox ordering,
+  /// so sharded SimCluster runs are event-for-event identical to serial
+  /// ones (DESIGN.md §13). Must be in [1, nranks]. The topology knob lives
+  /// in net.topology.
   int shards = 1;
   /// Worker threads driving the shards, clamped to [1, shards]; 1 runs all
   /// shards inline (identical results at any thread count).

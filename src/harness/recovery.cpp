@@ -183,44 +183,57 @@ Selection select_job_pause(const ClusterPreset& preset,
 }
 
 struct RestartCtx {
+  sim::LpBus* bus;
   storage::StorageSystem* fs;
   net::Fabric* fabric;
   const storage::TierConfig* tier;
   workloads::Workload* wl;
-  sim::Time* done;
-  double* read_seconds;
 };
 
 sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
-                             RestoreSource src,
-                             workloads::WorkloadState from) {
+                             RestoreSource src, workloads::WorkloadState from,
+                             sim::Time* done, double* read_seconds) {
   // Restart: reload the process image from wherever it durably lives, then
   // resume the application. PFS reads contend through the shared storage;
   // local-tier reads run at the node's dedicated bandwidth; replica reads
   // add the partner's disk plus a real fabric transfer. kNone (a fresh
   // first attempt) skips the reload entirely.
+  //
+  // Runs on the rank's home engine. The PFS queue and the staging lanes are
+  // service-LP state, so those two legs go through the bus as RPCs; `done`
+  // and `read_seconds` are this rank's private slots, folded by the caller
+  // after the run.
+  const int world = rank->world_rank();
+  sim::LpBus& bus = *ctx->bus;
   const sim::Time t0 = rank->engine().now();
   switch (src.kind) {
-    case RestoreSource::kPfs:
-      co_await ctx->fs->read(src.bytes);
+    case RestoreSource::kPfs: {
+      storage::StorageSystem* fs = ctx->fs;
+      const storage::Bytes b = src.bytes;
+      co_await bus.call(world, bus.svc_lp(), [fs, b] { return fs->read(b); });
       break;
+    }
     case RestoreSource::kLocal:
       co_await rank->engine().delay(
           storage::transfer_time(src.bytes, ctx->tier->local_read_mbps));
       break;
-    case RestoreSource::kReplica:
+    case RestoreSource::kReplica: {
       co_await rank->engine().delay(
           storage::transfer_time(src.bytes, ctx->tier->local_read_mbps));
-      co_await ctx->fabric->bulk_transfer(src.from_node, rank->world_rank(),
-                                          src.bytes);
+      net::Fabric* fab = ctx->fabric;
+      const int from_node = src.from_node;
+      const storage::Bytes b = src.bytes;
+      co_await bus.call(world, bus.svc_lp(), [fab, from_node, world, b] {
+        return fab->bulk_transfer(from_node, world, b);
+      });
       break;
+    }
     case RestoreSource::kNone:
       break;
   }
-  const double rs = sim::to_seconds(rank->engine().now() - t0);
-  if (rs > *ctx->read_seconds) *ctx->read_seconds = rs;
+  *read_seconds = sim::to_seconds(rank->engine().now() - t0);
   co_await ctx->wl->run_rank(*rank, from);
-  if (rank->engine().now() > *ctx->done) *ctx->done = rank->engine().now();
+  *done = rank->engine().now();
 }
 
 /// What the replay loop learns from one attempt.
@@ -252,14 +265,15 @@ AttemptResult run_attempt(const ClusterPreset& preset,
   for (const auto& req : requests) {
     cluster.checkpoints().request_at(req.at, req.protocol);
   }
-  sim::Time done = 0;
-  double read_seconds = 0;
-  RestartCtx ctx{&cluster.shared_fs(), &cluster.fabric(), &preset.tier,
-                 wl.get(), &done, &read_seconds};
-  for (int r = 0; r < preset.nranks; ++r) {
-    cluster.engine().spawn(
-        restart_rank(&ctx, &cluster.mpi().rank(r), plan[r], resume[r]));
-  }
+  std::vector<sim::Time> done_at(preset.nranks, 0);
+  std::vector<double> read_at(preset.nranks, 0);
+  RestartCtx ctx{&cluster.bus(), &cluster.shared_fs(), &cluster.fabric(),
+                 &preset.tier, wl.get()};
+  cluster.spawn_ranks([&](mpi::RankCtx& rank) {
+    const int r = rank.world_rank();
+    return restart_rank(&ctx, &rank, plan[r], resume[r], &done_at[r],
+                        &read_at[r]);
+  });
   if (cutoff >= 0) {
     cluster.run_until(cutoff);
   } else {
@@ -271,8 +285,8 @@ AttemptResult run_attempt(const ClusterPreset& preset,
     }
   }
   if (auto* tier = cluster.tier()) out.ledger = tier->ledger();
-  out.read_seconds = read_seconds;
-  out.done = done;
+  out.read_seconds = *std::max_element(read_at.begin(), read_at.end());
+  out.done = *std::max_element(done_at.begin(), done_at.end());
   for (int r = 0; r < preset.nranks; ++r) {
     out.final_iterations.push_back(wl->state(r).iteration);
     out.final_hashes.push_back(wl->state(r).hash);

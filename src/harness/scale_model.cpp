@@ -10,6 +10,7 @@
 
 #include "harness/thread_budget.hpp"
 #include "net/topology.hpp"
+#include "sim/lp_bus.hpp"
 #include "sim/random.hpp"
 #include "sim/shard_engine.hpp"
 #include "storage/storage.hpp"
@@ -141,8 +142,9 @@ class ScaleModel {
     // requirement for resumable identical runs.
     shard_of_.resize(nlp());
     for (int r = 0; r < N_; ++r) {
-      shard_of_[lp_rank(r)] = static_cast<int>(
-          (static_cast<std::int64_t>(r) * S_) / N_);
+      // The same contiguous-block rule the full protocol stack uses
+      // (sim::lp_owner_shard): one ownership convention everywhere.
+      shard_of_[lp_rank(r)] = sim::lp_owner_shard(r, N_, S_);
     }
     for (int l = 0; l < L_; ++l) {
       shard_of_[lp_leaf(l)] = shard_of_[lp_rank(std::min(

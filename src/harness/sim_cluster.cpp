@@ -6,41 +6,12 @@
 
 namespace gbc::harness {
 
-namespace {
-
-/// Wire-flight relay for the full stack: packets to rank r are carried by a
-/// relay LP on the shard owning r's contiguous block, touching down halfway
-/// through the propagation delay and re-entering shard 0 at arrival under
-/// the sequence number the fabric reserved at send time.
-class BlockRelayRouter final : public net::ShardRouter {
- public:
-  BlockRelayRouter(sim::ShardedEngine& se, int nranks)
-      : se_(se), nranks_(nranks) {}
-
-  void relay(int src, int dst, sim::Time depart, sim::Time arrival,
-             std::uint64_t seq, sim::InlineFn fn) override {
-    (void)src;
-    const int s = static_cast<int>(static_cast<std::int64_t>(dst) *
-                                   se_.shards() / nranks_);
-    if (s == 0) {
-      // The destination's relay block is the stack shard itself; a direct
-      // reserved schedule is the same event the serial path produces.
-      se_.shard(0).schedule_at_reserved(arrival, seq, std::move(fn));
-      return;
-    }
-    const sim::Time mid = depart + (arrival - depart) / 2;
-    se_.post(0, s, mid,
-             [this, s, arrival, seq, fn = std::move(fn)]() mutable {
-               se_.post_reserved(s, 0, arrival, seq, std::move(fn));
-             });
-  }
-
- private:
-  sim::ShardedEngine& se_;
-  int nranks_;
-};
-
-}  // namespace
+sim::Time SimCluster::bus_floor(const ClusterPreset& p) {
+  // = Fabric::floor_hop(): NIC overhead + minimum propagation delay, the
+  // cheapest cross-LP interaction the model ever posts.
+  return p.net.per_message_overhead +
+         p.net.wire_latency * std::max(1, p.net.topology.min_hops());
+}
 
 sim::ShardedEngine::Options SimCluster::engine_options(
     const ClusterPreset& p) {
@@ -52,25 +23,14 @@ sim::ShardedEngine::Options SimCluster::engine_options(
   o.shards = p.shards;
   o.threads = p.threads;
   if (p.shards == 1) return o;
-  // Star-shaped lookahead matrix around the stack shard. A relay hop out of
-  // shard 0 lands no sooner than the NIC overhead plus half the minimum
-  // propagation delay after it was posted; the return leg covers the other
-  // (rounded-up) half. Relay shards never talk to each other.
-  const sim::Time min_lat =
-      p.net.wire_latency * std::max(1, p.net.topology.min_hops());
-  const sim::Time out = p.net.per_message_overhead + min_lat / 2;
-  const sim::Time back = min_lat - min_lat / 2;
-  if (out <= 0 || back <= 0) {
+  // Uniform conservative horizon: every cross-LP message (wire flight,
+  // control hop, RPC leg) respects the bus floor, whichever shards its
+  // endpoints live on.
+  o.lookahead = bus_floor(p);
+  if (o.lookahead <= 0) {
     throw std::invalid_argument(
         "SimCluster: sharded runs need per_message_overhead + wire_latency "
-        "large enough for a positive relay lookahead");
-  }
-  const int S = p.shards;
-  o.lookahead_matrix.assign(static_cast<std::size_t>(S) * S,
-                            sim::ShardedEngine::kNoLink);
-  for (int s = 1; s < S; ++s) {
-    o.lookahead_matrix[static_cast<std::size_t>(0) * S + s] = out;
-    o.lookahead_matrix[static_cast<std::size_t>(s) * S + 0] = back;
+        "large enough for a positive lookahead floor");
   }
   return o;
 }
@@ -81,15 +41,11 @@ SimCluster::SimCluster(const ClusterPreset& preset,
     : preset_(preset),
       sharded_(engine_options(preset)),
       eng_(sharded_.shard(0)),
-      fabric_(eng_, preset_.net, preset_.nranks),
+      bus_(sharded_, preset_.nranks, bus_floor(preset)),
+      fabric_(eng_, preset_.net, preset_.nranks, &bus_),
       fs_(eng_, preset_.storage),
       mpi_(eng_, fabric_, preset_.mpi),
       ckpt_(mpi_, fs_, ckpt_cfg) {
-  if (preset_.shards > 1) {
-    router_ =
-        std::make_unique<BlockRelayRouter>(sharded_, preset_.nranks);
-    fabric_.set_shard_router(router_.get());
-  }
   if (preset_.tier.enabled && opts.attach_tier) {
     tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks);
     tier_->set_replica_transport(
@@ -101,6 +57,21 @@ SimCluster::SimCluster(const ClusterPreset& preset,
   }
   if (opts.trace) ckpt_.set_trace(opts.trace);
   if (opts.hooks) mpi_.set_hooks(opts.hooks);
+}
+
+SimCluster::~SimCluster() {
+  // Drop whatever is still queued (aborted or partially-driven runs) while
+  // every member is alive: queued-callback destructors recycle pooled
+  // resources (wire flights) into the fabric's return stacks, which
+  // ~Fabric then sweeps home.
+  sharded_.abort_all();
+  bus_.clear();
+}
+
+sim::Task<void> SimCluster::rank_main(sim::Task<void> body, int rank) {
+  co_await std::move(body);
+  ckpt::CheckpointService* svc = &ckpt_;
+  bus_.send(rank, bus_.svc_lp(), [svc] { svc->note_rank_finished(); });
 }
 
 }  // namespace gbc::harness

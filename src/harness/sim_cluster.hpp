@@ -9,6 +9,7 @@
 #include "mpi/minimpi.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/lp_bus.hpp"
 #include "sim/shard_engine.hpp"
 #include "sim/trace.hpp"
 #include "storage/storage.hpp"
@@ -38,12 +39,17 @@ struct SimClusterOptions {
 /// builds its stack through this class, so layer wiring changes happen
 /// here and nowhere else.
 ///
-/// The stack runs on shard 0 of a sim::ShardedEngine. With `preset.shards
-/// == 1` that is exactly the serial engine. With more shards, the fabric's
-/// wire flights are relayed through per-rank LPs on the shard owning the
-/// destination rank (contiguous blocks, net::ShardRouter), re-entering
-/// shard 0 under sequence numbers reserved at send time — so sharded runs
-/// are event-for-event identical to serial ones at any shard and thread
+/// ## LP layout (DESIGN.md §13)
+///
+/// The cluster is partitioned into logical processes connected by a
+/// sim::LpBus: each MPI rank is one LP owned by shard rank*S/n (its
+/// matcher, send pump, NIC horizon, connection mirrors and protocol-visible
+/// counters all live there), and the *service LP* — connection manager,
+/// shared storage, staging tier, checkpoint coordinator — is pinned to
+/// shard 0. Every cross-LP interaction flows over the bus with latency
+/// >= Fabric::floor_hop(), the uniform conservative lookahead, and arrivals
+/// are delivered through per-LP inboxes in canonical (origin, sequence)
+/// order — so runs are event-for-event identical at any shard and thread
 /// count. Drive a cluster with run()/run_until()/abort(); running shard 0's
 /// engine directly is only correct in the single-shard case.
 ///
@@ -54,22 +60,29 @@ class SimCluster {
   explicit SimCluster(const ClusterPreset& preset,
                       const ckpt::CkptConfig& ckpt_cfg = {},
                       const SimClusterOptions& opts = {});
+  ~SimCluster();
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
 
   const ClusterPreset& preset() const noexcept { return preset_; }
   int nranks() const noexcept { return preset_.nranks; }
 
-  /// Shard 0: the engine the whole protocol stack lives on.
+  /// Shard 0: the *service* engine (storage, connection manager, checkpoint
+  /// coordinator). Rank code runs on each rank's home engine — use
+  /// mpi().rank(r).engine() or spawn_ranks().
   sim::Engine& engine() noexcept { return eng_; }
   sim::ShardedEngine& sharded() noexcept { return sharded_; }
+  sim::LpBus& bus() noexcept { return bus_; }
 
   /// Runs the cluster to completion (all shards and mailboxes drained).
   void run() { sharded_.run(); }
   /// Runs everything at or before t, then advances every shard clock to t.
   void run_until(sim::Time t) { sharded_.run_until(t); }
   /// Aborts every shard (failure injection teardown).
-  void abort() { sharded_.abort_all(); }
+  void abort() {
+    sharded_.abort_all();
+    bus_.clear();
+  }
   net::Fabric& fabric() noexcept { return fabric_; }
   net::ConnectionManager& connections() noexcept {
     return fabric_.connections();
@@ -80,26 +93,34 @@ class SimCluster {
   /// Null when the preset has no tier (or attach_tier was false).
   storage::TieredStore* tier() noexcept { return tier_ ? &*tier_ : nullptr; }
 
-  /// Spawns `per_rank(rank_ctx)` for every rank (the usual launch pattern).
+  /// Spawns `per_rank(rank_ctx)` for every rank on the rank's home engine
+  /// (the usual launch pattern), and registers each for liveness tracking:
+  /// the checkpoint service's periodic driver stops once every rank main
+  /// has finished.
   template <typename F>
   void spawn_ranks(F&& per_rank) {
     for (int r = 0; r < preset_.nranks; ++r) {
-      eng_.spawn(per_rank(mpi_.rank(r)));
+      ckpt_.note_rank_started();
+      mpi::RankCtx& rc = mpi_.rank(r);
+      rc.engine().spawn(rank_main(per_rank(rc), r));
     }
   }
 
  private:
   static sim::ShardedEngine::Options engine_options(const ClusterPreset& p);
+  static sim::Time bus_floor(const ClusterPreset& p);
+  /// Wraps one rank's main: on return, reports liveness to the service LP.
+  sim::Task<void> rank_main(sim::Task<void> body, int rank);
 
   ClusterPreset preset_;
   sim::ShardedEngine sharded_;
-  sim::Engine& eng_;  // = sharded_.shard(0)
+  sim::Engine& eng_;  // = sharded_.shard(0), the service LP's engine
+  sim::LpBus bus_;
   net::Fabric fabric_;
   storage::StorageSystem fs_;
   mpi::MiniMPI mpi_;
   ckpt::CheckpointService ckpt_;
   std::optional<storage::TieredStore> tier_;
-  std::unique_ptr<net::ShardRouter> router_;
 };
 
 }  // namespace gbc::harness

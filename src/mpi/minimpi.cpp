@@ -19,11 +19,15 @@ MiniMPI::MiniMPI(sim::Engine& eng, net::Fabric& fabric, MpiConfig cfg)
     : eng_(eng), fabric_(fabric), cfg_(cfg) {
   const int n = fabric.size();
   ranks_.reserve(n);
+  hook_of_.assign(n, nullptr);
   std::vector<int> world_members;
   world_members.reserve(n);
   for (int r = 0; r < n; ++r) {
     ranks_.push_back(std::make_unique<RankCtx>(*this, r));
     world_members.push_back(r);
+    // The receiver callback fires on rank r's shard (the fabric terminates
+    // flights at the destination's home shard), so it may touch RankCtx
+    // state directly.
     fabric_.set_receiver(
         r, [ctx = ranks_.back().get()](net::Packet p) {
           ctx->on_packet(std::move(p));
@@ -65,20 +69,53 @@ void MiniMPI::set_gate(CommGate* gate) {
   CommGate* old = gate_;
   gate_ = gate;
   // Dropping or swapping a gate can unblock parked pumps.
-  if (old) old->changed().notify_all();
+  if (old) {
+    for (int r = 0; r < nranks(); ++r) old->changed(r).notify_all();
+  }
 }
 
-void MiniMPI::record_transmit(std::uint64_t id, int src, int dst, Bytes b) {
-  if (!cfg_.record_messages) return;
-  record_index_[id] = records_.size();
-  records_.push_back(MessageRecord{src, dst, b, eng_.now(), -1});
+MiniMPI::Stats MiniMPI::stats() const {
+  Stats total;
+  for (const auto& rc : ranks_) {
+    const MpiStats& s = rc->stats_;
+    total.sends += s.sends;
+    total.recvs += s.recvs;
+    total.message_buffered_bytes += s.message_buffered_bytes;
+    total.request_buffered_bytes += s.request_buffered_bytes;
+    total.messages_buffered += s.messages_buffered;
+    total.requests_buffered += s.requests_buffered;
+    total.peak_message_buffer =
+        std::max(total.peak_message_buffer, s.peak_message_buffer);
+  }
+  return total;
 }
 
-void MiniMPI::record_arrival(std::uint64_t id) {
-  if (!cfg_.record_messages) return;
-  auto it = record_index_.find(id);
-  if (it == record_index_.end()) return;
-  records_[it->second].arrival_time = eng_.now();
+std::vector<MessageRecord> MiniMPI::message_records() const {
+  struct Item {
+    std::uint64_t id;
+    MessageRecord rec;
+  };
+  std::vector<Item> items;
+  for (const auto& rc : ranks_) {
+    for (const auto& [id, rec] : rc->records_) {
+      MessageRecord m = rec;
+      const auto& arrivals = ranks_[m.dst]->arrivals_;
+      auto it = arrivals.find(id);
+      if (it != arrivals.end()) m.arrival_time = it->second;
+      items.push_back(Item{id, m});
+    }
+  }
+  // (transmit time, id) is a total order independent of the shard layout:
+  // ids embed the sender rank and per-sender issue order.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.rec.transmit_time != b.rec.transmit_time
+               ? a.rec.transmit_time < b.rec.transmit_time
+               : a.id < b.id;
+  });
+  std::vector<MessageRecord> out;
+  out.reserve(items.size());
+  for (auto& it : items) out.push_back(it.rec);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -88,17 +125,29 @@ void MiniMPI::record_arrival(std::uint64_t id) {
 RankCtx::RankCtx(MiniMPI& mpi, int world_rank)
     : mpi_(mpi),
       rank_(world_rank),
-      exec_(std::make_unique<sim::Pausable>(mpi.engine())),
-      any_complete_(mpi.engine()) {}
+      eng_(mpi.fabric().bus().engine_of(world_rank)),
+      exec_(std::make_unique<sim::Pausable>(eng_)),
+      any_complete_(eng_) {}
 
 int RankCtx::nranks() const noexcept { return mpi_.nranks(); }
-sim::Engine& RankCtx::engine() noexcept { return mpi_.eng_; }
+
+MpiHooks* RankCtx::hooks() const noexcept { return mpi_.hook_of_[rank_]; }
+
+void RankCtx::record_transmit(std::uint64_t id, int dst, Bytes b) {
+  if (!mpi_.cfg_.record_messages) return;
+  records_.emplace_back(id, MessageRecord{rank_, dst, b, eng_.now(), -1});
+}
+
+void RankCtx::record_arrival(std::uint64_t id) {
+  if (!mpi_.cfg_.record_messages) return;
+  arrivals_[id] = eng_.now();
+}
 
 Request RankCtx::make_request(bool is_recv) {
   // One arena allocation covers control block + ReqState + its condition
   // variable; the storage recycles at message rate.
   auto req = std::allocate_shared<ReqState>(
-      sim::ArenaAlloc<ReqState>(mpi_.req_arena_), engine());
+      sim::ArenaAlloc<ReqState>(req_arena_), engine());
   req->is_recv = is_recv;
   return req;
 }
@@ -132,7 +181,9 @@ Tag RankCtx::begin_collective(const Comm& c) {
 net::Packet RankCtx::to_packet(const OutItem& item) const {
   net::Packet p;
   p.id = item.env.id;
-  p.body = mpi_.env_pool_.make(item.env);
+  // The envelope crosses shards by value inside the packet body; the
+  // payload shared_ptr has an atomic refcount, so the copy is shard-safe.
+  p.body = net::WireBody::make<Envelope>(item.env);
   switch (item.kind) {
     case OutItem::Kind::kEager:
       p.src = item.env.src_world;
@@ -171,7 +222,7 @@ net::Packet RankCtx::to_packet(const OutItem& item) const {
 void RankCtx::account_buffered(OutItem& item) {
   if (item.counted) return;
   item.counted = true;
-  auto& st = mpi_.stats_;
+  MpiStats& st = stats_;
   if (item.kind == OutItem::Kind::kEager) {
     // Message buffering: payload already copied, held unsent.
     msg_buffer_cur_ += item.env.bytes;
@@ -211,13 +262,15 @@ sim::Task<void> RankCtx::pump(int dst) {
       for (OutItem& queued : ob.q) {
         if (queued.gated) account_buffered(queued);
       }
-      co_await gate->changed().wait();
+      co_await gate->changed(rank_).wait();
       continue;
     }
 
-    // 2. Connection (re)establishment; blocks while the peer is frozen.
-    if (!fab.connections().connected(rank_, dst)) {
-      co_await fab.connections().ensure_connected(rank_, dst);
+    // 2. Connection (re)establishment, driven off this rank's local mirror;
+    // the actual state machine runs on the service LP and blocks while the
+    // peer is frozen.
+    if (!fab.mirror_connected(rank_, dst)) {
+      co_await fab.ensure_connected_from(rank_, dst);
       continue;  // the gate may have closed while we were connecting
     }
 
@@ -225,12 +278,12 @@ sim::Task<void> RankCtx::pump(int dst) {
     if (!head.taxed) {
       head.taxed = true;
       sim::Time tax = 0;
-      MpiHooks* hooks = mpi_.hooks_;
+      MpiHooks* hk = hooks();
       const bool payload = head.kind == OutItem::Kind::kEager ||
                            head.kind == OutItem::Kind::kRdma;
-      if (hooks && payload) {
-        tax += hooks->send_tax(rank_, dst, head.env.bytes);
-        if (head.kind == OutItem::Kind::kRdma && hooks->disable_zero_copy()) {
+      if (hk && payload) {
+        tax += hk->send_tax(rank_, dst, head.env.bytes);
+        if (head.kind == OutItem::Kind::kRdma && hk->disable_zero_copy()) {
           const double bps =
               mpi_.cfg_.mem_copy_mbps * static_cast<double>(storage::kMiB);
           tax += static_cast<sim::Time>(static_cast<double>(head.env.bytes) /
@@ -252,7 +305,7 @@ sim::Task<void> RankCtx::pump(int dst) {
     }
     if (item.kind == OutItem::Kind::kEager ||
         item.kind == OutItem::Kind::kRdma) {
-      mpi_.record_transmit(item.env.id, rank_, dst, item.env.bytes);
+      record_transmit(item.env.id, dst, item.env.bytes);
     }
     fab.transmit(to_packet(item));
   }
@@ -268,7 +321,8 @@ std::vector<int> RankCtx::pending_destinations() const {
 }
 
 sim::Task<void> RankCtx::flush_channel_to(int peer) {
-  return mpi_.fabric_.connections().drain(rank_, peer);
+  // Sender-side in-flight counters are rank-local: no service round-trip.
+  return mpi_.fabric_.drain_outbound(rank_, peer);
 }
 
 // ---------------------------------------------------------------------------
@@ -278,10 +332,10 @@ sim::Task<void> RankCtx::flush_channel_to(int peer) {
 sim::Task<void> RankCtx::send(const Comm& c, int dst, Tag tag, Bytes bytes,
                               Payload data) {
   co_await exec_->freeze_point();
-  ++mpi_.stats_.sends;
+  ++stats_.sends;
   const int dst_world = c.world_rank(dst);
   Envelope env{c.id(), rank_, dst_world, tag, bytes, std::move(data),
-               mpi_.next_id()};
+               next_id()};
   if (dst_world == rank_) {
     deliver_eager(env);  // self-send: local copy
     co_return;
@@ -303,10 +357,10 @@ sim::Task<void> RankCtx::send(const Comm& c, int dst, Tag tag, Bytes bytes,
 
 Request RankCtx::isend(const Comm& c, int dst, Tag tag, Bytes bytes,
                        Payload data) {
-  ++mpi_.stats_.sends;
+  ++stats_.sends;
   const int dst_world = c.world_rank(dst);
   Envelope env{c.id(), rank_, dst_world, tag, bytes, std::move(data),
-               mpi_.next_id()};
+               next_id()};
   auto req = make_request(/*is_recv=*/false);
   if (dst_world == rank_) {
     deliver_eager(env);
@@ -331,30 +385,23 @@ sim::Task<RecvInfo> RankCtx::recv(const Comm& c, int src, Tag tag) {
 }
 
 Request RankCtx::irecv(const Comm& c, int src, Tag tag) {
-  ++mpi_.stats_.recvs;
+  ++stats_.recvs;
   auto req = make_request(/*is_recv=*/true);
   req->comm_id = c.id();
   req->match_src = src == kAnySource ? kAnySource : c.world_rank(src);
   req->match_tag = tag;
   // First look at already-arrived unexpected messages, in arrival order.
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    const Envelope& env = it->env;
-    const bool match =
-        env.comm_id == req->comm_id &&
-        (req->match_src == kAnySource || req->match_src == env.src_world) &&
-        (req->match_tag == kAnyTag || req->match_tag == env.tag);
-    if (!match) continue;
-    UnexpectedMsg um = std::move(*it);
-    unexpected_.erase(it);
-    if (um.rndv) {
-      start_rndv_receive(um.env, req);
+  if (auto um = matcher_.take_unexpected(req->comm_id, req->match_src,
+                                         req->match_tag)) {
+    if (um->rndv) {
+      start_rndv_receive(um->env, req);
     } else {
-      req->info = fill_info(um.env);
+      req->info = fill_info(um->env);
       req->done = true;
     }
     return req;
   }
-  posted_.push_back(req);
+  matcher_.post(req);
   return req;
 }
 
@@ -390,48 +437,24 @@ sim::Task<std::size_t> RankCtx::wait_any(std::vector<Request> reqs) {
 bool RankCtx::iprobe(const Comm& c, int src, Tag tag) {
   exec_->mark_progress();  // a library entry: passive requests get serviced
   const int match_src = src == kAnySource ? kAnySource : c.world_rank(src);
-  for (const auto& um : unexpected_) {
-    const Envelope& env = um.env;
-    if (env.comm_id == c.id() &&
-        (match_src == kAnySource || match_src == env.src_world) &&
-        (tag == kAnyTag || tag == env.tag)) {
-      return true;
-    }
-  }
-  return false;
+  return matcher_.probe(c.id(), match_src, tag);
 }
 
 // ---------------------------------------------------------------------------
 // RankCtx: delivery path
 // ---------------------------------------------------------------------------
 
-Request RankCtx::match_posted(const Envelope& env) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    const Request& req = *it;
-    const bool match =
-        env.comm_id == req->comm_id &&
-        (req->match_src == kAnySource || req->match_src == env.src_world) &&
-        (req->match_tag == kAnyTag || req->match_tag == env.tag);
-    if (match) {
-      Request r = req;
-      posted_.erase(it);
-      return r;
-    }
-  }
-  return nullptr;
-}
-
 void RankCtx::deliver_eager(const Envelope& env) {
-  if (MpiHooks* hooks = mpi_.hooks_) {
-    hooks->on_deliver(env.src_world, rank_, env.bytes);
+  if (MpiHooks* hk = hooks()) {
+    hk->on_deliver(env.src_world, rank_, env.bytes);
   }
-  mpi_.record_arrival(env.id);
-  if (Request req = match_posted(env)) {
+  record_arrival(env.id);
+  if (Request req = matcher_.match_posted(env)) {
     req->info = fill_info(env);
     complete(req);
     return;
   }
-  unexpected_.push_back(UnexpectedMsg{env, /*rndv=*/false});
+  matcher_.push_unexpected(env, /*rndv=*/false);
 }
 
 void RankCtx::start_rndv_receive(const Envelope& env, const Request& req) {
@@ -440,17 +463,21 @@ void RankCtx::start_rndv_receive(const Envelope& env, const Request& req) {
 }
 
 void RankCtx::deliver_rts(const Envelope& env) {
-  if (Request req = match_posted(env)) {
+  if (Request req = matcher_.match_posted(env)) {
     start_rndv_receive(env, req);
     return;
   }
-  unexpected_.push_back(UnexpectedMsg{env, /*rndv=*/true});
+  matcher_.push_unexpected(env, /*rndv=*/true);
 }
 
 void RankCtx::on_packet(net::Packet p) {
-  const Envelope* env_ptr = p.body.get<Envelope>();
-  assert(env_ptr != nullptr);
-  const Envelope& env = *env_ptr;
+  if (p.kind == net::PacketKind::kControl) {
+    assert(control_handler_ && "control packet with no handler installed");
+    if (control_handler_) control_handler_(std::move(p));
+    return;
+  }
+  assert(!p.body.empty() && "data-plane packet without an envelope");
+  const Envelope& env = p.body.get<Envelope>();
   switch (p.kind) {
     case net::PacketKind::kEager:
       deliver_eager(env);
@@ -468,10 +495,10 @@ void RankCtx::on_packet(net::Packet p) {
       assert(it != rndv_recv_.end() && "RDMA data with no receive in progress");
       Request req = it->second;
       rndv_recv_.erase(it);
-      if (MpiHooks* hooks = mpi_.hooks_) {
-        hooks->on_deliver(env.src_world, rank_, env.bytes);
+      if (MpiHooks* hk = hooks()) {
+        hk->on_deliver(env.src_world, rank_, env.bytes);
       }
-      mpi_.record_arrival(env.id);
+      record_arrival(env.id);
       req->info = fill_info(env);
       complete(req);
       push_out(env.src_world, OutItem{OutItem::Kind::kFin, env, true});
@@ -486,9 +513,7 @@ void RankCtx::on_packet(net::Packet p) {
       break;
     }
     case net::PacketKind::kControl:
-      assert(control_handler_ && "control packet with no handler installed");
-      if (control_handler_) control_handler_(std::move(p));
-      break;
+      break;  // handled above
   }
 }
 
@@ -498,11 +523,12 @@ void RankCtx::on_packet(net::Packet p) {
 
 void RankCtx::freeze() {
   exec_->pause();
-  mpi_.fabric_.connections().lock_endpoint(rank_);
+  // The endpoint lock lives on the service LP; one control hop away.
+  mpi_.fabric_.request_lock(rank_);
 }
 
 void RankCtx::thaw() {
-  mpi_.fabric_.connections().unlock_endpoint(rank_);
+  mpi_.fabric_.request_unlock(rank_);
   exec_->resume();
 }
 

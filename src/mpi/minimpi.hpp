@@ -2,13 +2,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "mpi/comm.hpp"
+#include "mpi/matcher.hpp"
 #include "mpi/types.hpp"
 #include "net/fabric.hpp"
 #include "sim/condition.hpp"
@@ -26,18 +26,27 @@ class MiniMPI;
 /// group that has taken its snapshot and one that has not must be held back.
 /// Small already-copied messages wait in the sender's message buffer; large
 /// transfers stay as incomplete requests (request buffering).
+///
+/// Both methods are invoked from the *sender's* shard, so an implementation
+/// shared across shards must keep per-shard state (the checkpoint service's
+/// gate mirrors its decision data per shard) and hand back a condition that
+/// lives on the querying rank's engine.
 class CommGate {
  public:
   virtual ~CommGate() = default;
-  /// May data flow between these two world ranks right now?
+  /// May data flow between these two world ranks right now? Called on
+  /// src_world's shard.
   virtual bool allowed(int src_world, int dst_world) const = 0;
-  /// Notified whenever the answer to allowed() may have changed.
-  virtual sim::Condition& changed() = 0;
+  /// Notified whenever the answer to allowed() may have changed; must
+  /// return a condition on src_world's engine.
+  virtual sim::Condition& changed(int src_world) = 0;
 };
 
 /// Interposition hooks below the send/receive paths, used by the logging
 /// baselines (pessimistic sender-based logging; Chandy-Lamport channel
-/// logging) to charge costs and account volumes.
+/// logging) to charge costs and account volumes. send_tax runs on the
+/// sender's shard, on_deliver on the receiver's — implementations keep
+/// per-rank slots (see logging_hooks.hpp).
 class MpiHooks {
  public:
   virtual ~MpiHooks() = default;
@@ -63,9 +72,25 @@ struct MpiConfig {
   bool record_messages = false;
 };
 
+/// Job-wide communication statistics. Counters accumulate per rank (each on
+/// its own shard) and are merged at read time — see MiniMPI::stats().
+struct MpiStats {
+  std::int64_t sends = 0;
+  std::int64_t recvs = 0;
+  Bytes message_buffered_bytes = 0;  ///< eager payloads held by the gate
+  Bytes request_buffered_bytes = 0;  ///< large transfers held by the gate
+  std::int64_t messages_buffered = 0;
+  std::int64_t requests_buffered = 0;
+  Bytes peak_message_buffer = 0;  ///< max bytes parked at once on any rank
+};
+
 /// Per-process view of the library: the object a rank's program uses for all
 /// communication, plus the control surface the checkpoint layer drives
 /// (freeze/thaw, buffered-state queries).
+///
+/// Every mutable member lives on the rank's home shard (the engine the
+/// cluster's LpBus assigns to this world rank); all methods below must run
+/// there. The checkpoint service reaches this state only by bus message.
 class RankCtx {
  public:
   RankCtx(MiniMPI& mpi, int world_rank);
@@ -74,7 +99,8 @@ class RankCtx {
 
   int world_rank() const noexcept { return rank_; }
   int nranks() const noexcept;
-  sim::Engine& engine() noexcept;
+  /// This rank's home engine (its shard's engine in a sharded run).
+  sim::Engine& engine() noexcept { return eng_; }
   sim::Pausable& exec() noexcept { return *exec_; }
   MiniMPI& mpi() noexcept { return mpi_; }
 
@@ -155,7 +181,8 @@ class RankCtx {
 
   // --- checkpoint control surface ---
   /// Freezes this process for a snapshot: pauses compute, blocks library
-  /// entries, and locks the endpoint against connection establishment.
+  /// entries, and (by message) locks the endpoint against connection
+  /// establishment. Call on this rank's shard.
   void freeze();
   void thaw();
   bool frozen() const { return exec_->paused(); }
@@ -166,7 +193,7 @@ class RankCtx {
   /// Waits until nothing this rank sent is still on the wire toward `peer`.
   sim::Task<void> flush_channel_to(int peer);
 
-  // --- internal: called by MiniMPI's delivery path ---
+  // --- internal: called by the fabric's delivery path (on this shard) ---
   void on_packet(net::Packet p);
 
   /// Handler for control-plane packets (installed by the C/R framework).
@@ -177,6 +204,12 @@ class RankCtx {
   /// Marks a request complete and wakes its waiters (used by the
   /// non-blocking collective drivers).
   void finish_request(const Request& req) { complete(req); }
+
+  /// Rank-unique message/transfer id (the rank id is folded into the high
+  /// bits so id spaces never collide across shards).
+  std::uint64_t next_id() {
+    return (static_cast<std::uint64_t>(rank_ + 1) << 40) | ++id_counter_;
+  }
 
  private:
   friend class MiniMPI;
@@ -193,10 +226,6 @@ class RankCtx {
     std::deque<OutItem> q;
     bool pump_running = false;
   };
-  struct UnexpectedMsg {
-    Envelope env;
-    bool rndv = false;  // true: this is an RTS awaiting a matching recv
-  };
 
   void push_out(int dst, OutItem item);
   void account_buffered(OutItem& item);
@@ -204,8 +233,6 @@ class RankCtx {
   net::Packet to_packet(const OutItem& item) const;
   Request make_request(bool is_recv);
   void complete(const Request& req);
-  /// Tries to match an arrived envelope against posted receives.
-  Request match_posted(const Envelope& env);
   void deliver_eager(const Envelope& env);
   void deliver_rts(const Envelope& env);
   void start_rndv_receive(const Envelope& env, const Request& req);
@@ -213,12 +240,15 @@ class RankCtx {
   /// Allocates the tag base for one collective operation on `c`; all member
   /// ranks call collectives in the same order, so bases agree.
   Tag begin_collective(const Comm& c);
+  void record_transmit(std::uint64_t id, int dst, Bytes b);
+  void record_arrival(std::uint64_t id);
+  MpiHooks* hooks() const noexcept;
 
   MiniMPI& mpi_;
   int rank_;
+  sim::Engine& eng_;  // this rank's home engine
   std::unique_ptr<sim::Pausable> exec_;
-  std::vector<Request> posted_;
-  std::deque<UnexpectedMsg> unexpected_;
+  Matcher matcher_;
   std::map<int, Outbound> outbound_;
   std::unordered_map<std::uint64_t, Request> pending_send_;  // by transfer id
   std::unordered_map<std::uint64_t, Request> rndv_recv_;     // by transfer id
@@ -226,22 +256,39 @@ class RankCtx {
   std::function<void(net::Packet)> control_handler_;
   sim::Condition any_complete_;  // wakes wait_any
   Bytes msg_buffer_cur_ = 0;
+  std::uint64_t id_counter_ = 0;
+  /// Request records come from a per-rank arena (single-threaded by design,
+  /// so it cannot be shared across shards).
+  std::shared_ptr<sim::ArenaCore> req_arena_ =
+      std::make_shared<sim::ArenaCore>();
+  MpiStats stats_;
+  // Consistency-analysis records: transmits this rank originated (with the
+  // transfer id), arrivals keyed by id. Merged job-wide at read time.
+  std::vector<std::pair<std::uint64_t, MessageRecord>> records_;
+  std::unordered_map<std::uint64_t, sim::Time> arrivals_;
 };
 
 /// Whole-job library instance: owns the per-rank contexts, the communicator
-/// registry, deferral gate and hooks, and global statistics.
+/// registry, deferral gate and hooks, and merged statistics. The per-rank
+/// contexts live on their home shards; everything MiniMPI itself owns
+/// (communicators, gate/hook pointers) is immutable during a run or updated
+/// only at quiescent points / by per-rank message.
 class MiniMPI {
  public:
   MiniMPI(sim::Engine& eng, net::Fabric& fabric, MpiConfig cfg = {});
 
   int nranks() const noexcept { return static_cast<int>(ranks_.size()); }
+  /// The service engine (shard 0) — NOT where rank code runs; use
+  /// RankCtx::engine() for per-rank work.
   sim::Engine& engine() noexcept { return eng_; }
   net::Fabric& fabric() noexcept { return fabric_; }
   const MpiConfig& config() const noexcept { return cfg_; }
 
   RankCtx& rank(int r) { return *ranks_.at(r); }
   const Comm& world() const { return *comms_.front(); }
-  /// Registers a communicator over the given world ranks.
+  /// Registers a communicator over the given world ranks. Quiescent points
+  /// only (setup / collectively ordered): the registry is read lock-free
+  /// from every shard.
   const Comm& create_comm(std::vector<int> members);
   /// Splits `parent` by color: ranks with equal color (indexed by comm rank)
   /// end up in one communicator, ordered by parent comm rank.
@@ -253,30 +300,26 @@ class MiniMPI {
 
   void set_gate(CommGate* gate);
   CommGate* gate() const noexcept { return gate_; }
-  void set_hooks(MpiHooks* hooks) { hooks_ = hooks; }
-  MpiHooks* hooks() const noexcept { return hooks_; }
-
-  std::uint64_t next_id() { return ++id_counter_; }
+  /// Installs `hooks` on every rank. Quiescent points only — for a mid-run
+  /// swap, message each rank's shard via set_rank_hooks.
+  void set_hooks(MpiHooks* hooks) {
+    for (auto& h : hook_of_) h = hooks;
+  }
+  MpiHooks* hooks() const noexcept { return hook_of_[0]; }
+  /// Per-rank hook slot; access only from rank r's shard (or quiescent).
+  void set_rank_hooks(int r, MpiHooks* hooks) { hook_of_[r] = hooks; }
+  MpiHooks* rank_hooks(int r) const { return hook_of_[r]; }
 
   // --- statistics ---
-  struct Stats {
-    std::int64_t sends = 0;
-    std::int64_t recvs = 0;
-    Bytes message_buffered_bytes = 0;  ///< eager payloads held by the gate
-    Bytes request_buffered_bytes = 0;  ///< large transfers held by the gate
-    std::int64_t messages_buffered = 0;
-    std::int64_t requests_buffered = 0;
-    Bytes peak_message_buffer = 0;     ///< max bytes parked at once (job-wide)
-  };
-  Stats& stats() noexcept { return stats_; }
-  const Stats& stats() const noexcept { return stats_; }
+  using Stats = MpiStats;
+  /// Merged job-wide statistics. Aggregate read: call at quiescent points
+  /// (end of run, or from a test driving a single engine).
+  Stats stats() const;
 
   // --- message records for consistency analysis ---
-  void record_transmit(std::uint64_t id, int src, int dst, Bytes b);
-  void record_arrival(std::uint64_t id);
-  const std::vector<MessageRecord>& message_records() const {
-    return records_;
-  }
+  /// Merged job-wide transmit/arrival records, ordered by (transmit time,
+  /// id) — canonical at any shard count. Aggregate read: quiescent only.
+  std::vector<MessageRecord> message_records() const;
 
  private:
   friend class RankCtx;
@@ -287,18 +330,8 @@ class MiniMPI {
   std::vector<std::unique_ptr<RankCtx>> ranks_;
   std::vector<std::unique_ptr<Comm>> comms_;
   CommGate* gate_ = nullptr;
-  MpiHooks* hooks_ = nullptr;
-  /// Envelopes ride the wire inside pooled, refcounted packet bodies; the
-  /// request records come from a shared arena. Both recycle storage at
-  /// message rate instead of hitting the heap (DESIGN.md §8).
-  sim::MsgPool<Envelope> env_pool_;
-  std::shared_ptr<sim::ArenaCore> req_arena_ =
-      std::make_shared<sim::ArenaCore>();
-  std::uint64_t id_counter_ = 0;
+  std::vector<MpiHooks*> hook_of_;
   std::uint64_t comm_counter_ = 0;
-  Stats stats_;
-  std::vector<MessageRecord> records_;
-  std::unordered_map<std::uint64_t, std::size_t> record_index_;
 };
 
 }  // namespace gbc::mpi

@@ -10,9 +10,12 @@ namespace gbc::net {
 
 ConnectionManager::ConnectionManager(sim::Engine& eng, Fabric& fabric, int n,
                                      NetConfig cfg)
-    : eng_(eng), cfg_(cfg), n_(n), locked_(n, false), unlock_cv_(eng) {
-  (void)fabric;
-}
+    : eng_(eng),
+      fab_(fabric),
+      cfg_(cfg),
+      n_(n),
+      locked_(n, false),
+      unlock_cv_(eng) {}
 
 ConnectionManager::Conn& ConnectionManager::conn(int a, int b) {
   return conns_.try_emplace(key(a, b), eng_).first->second;
@@ -26,6 +29,17 @@ const ConnectionManager::Conn* ConnectionManager::find(int a, int b) const {
 ConnState ConnectionManager::state(int a, int b) const {
   const Conn* c = find(a, b);
   return c ? c->state : ConnState::kDisconnected;
+}
+
+void ConnectionManager::set_state(Conn& c, int a, int b, ConnState s) {
+  c.state = s;
+  c.cv.notify_all();
+  // Mirror the transition to both endpoints' shards: the rank-side send
+  // pumps gate on their local mirror, never on this object.
+  sim::LpBus& bus = fab_.bus();
+  Fabric* f = &fab_;
+  bus.send(bus.svc_lp(), a, [f, a, b, s] { f->mirror_state(a, b, s); });
+  bus.send(bus.svc_lp(), b, [f, b, a, s] { f->mirror_state(b, a, s); });
 }
 
 sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
@@ -42,13 +56,12 @@ sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
         co_await c.cv.wait();
         continue;  // re-evaluate from scratch (locks may have changed)
       case ConnState::kDisconnected: {
-        c.state = ConnState::kConnecting;
+        set_state(c, a, b, ConnState::kConnecting);
         // Out-of-band parameter exchange + QP transitions on both sides.
         co_await eng_.delay(cfg_.oob_exchange + cfg_.qp_transition);
         Conn& c2 = conn(a, b);  // iterator-stable (std::map), but be explicit
-        c2.state = ConnState::kConnected;
+        set_state(c2, a, b, ConnState::kConnected);
         ++setups_;
-        c2.cv.notify_all();
         co_return;
       }
     }
@@ -56,13 +69,19 @@ sim::Task<void> ConnectionManager::ensure_connected(int a, int b) {
 }
 
 sim::Task<void> ConnectionManager::drain(int a, int b) {
-  Conn& c = conn(a, b);
-  while (c.in_flight > 0) co_await c.cv.wait();
+  // In-flight counts are sender-owned: ask each endpoint, on its own shard,
+  // to report back once its outbound lane toward the peer is empty.
+  sim::LpBus& bus = fab_.bus();
+  Fabric* f = &fab_;
+  co_await bus.call(bus.svc_lp(), a,
+                    [f, a, b] { return f->drain_outbound(a, b); });
+  co_await bus.call(bus.svc_lp(), b,
+                    [f, a, b] { return f->drain_outbound(b, a); });
 }
 
 sim::Task<void> ConnectionManager::disconnect(int a, int b) {
-  Conn& c = conn(a, b);
   for (;;) {
+    Conn& c = conn(a, b);
     switch (c.state) {
       case ConnState::kDisconnected:
         co_return;
@@ -71,12 +90,12 @@ sim::Task<void> ConnectionManager::disconnect(int a, int b) {
         co_await c.cv.wait();
         continue;
       case ConnState::kConnected: {
-        c.state = ConnState::kDraining;
-        while (c.in_flight > 0) co_await c.cv.wait();
+        set_state(c, a, b, ConnState::kDraining);
+        co_await drain(a, b);
         co_await eng_.delay(cfg_.teardown_cost);
-        c.state = ConnState::kDisconnected;
+        Conn& c2 = conn(a, b);
+        set_state(c2, a, b, ConnState::kDisconnected);
         ++teardowns_;
-        c.cv.notify_all();
         co_return;
       }
     }
@@ -110,30 +129,46 @@ int ConnectionManager::established_count() const {
   return n;
 }
 
-void ConnectionManager::on_transmit_start(int a, int b) {
-  ++conn(a, b).in_flight;
-}
-
-void ConnectionManager::on_delivered(int a, int b) {
-  Conn& c = conn(a, b);
-  assert(c.in_flight > 0);
-  if (--c.in_flight == 0) c.cv.notify_all();
-}
-
 // ---------------------------------------------------------------------------
 // Fabric
 // ---------------------------------------------------------------------------
 
-Fabric::Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints)
+Fabric::Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints,
+               sim::LpBus* bus)
     : eng_(eng),
       cfg_(cfg),
       n_(n_endpoints),
       receivers_(n_endpoints),
-      nic_busy_until_(n_endpoints, 0),
+      staging_busy_(n_endpoints, 0),
       traffic_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0),
       msgcount_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0) {
   if (!cfg_.topology.flat()) tree_.emplace(cfg_.topology, n_endpoints);
-  conn_mgr_ = std::make_unique<ConnectionManager>(eng, *this, n_endpoints, cfg);
+  if (bus == nullptr) {
+    own_bus_ = std::make_unique<sim::LpBus>(eng_, n_, floor_hop());
+    bus_ = own_bus_.get();
+  } else {
+    bus_ = bus;
+  }
+  rank_net_.reserve(n_);
+  for (int r = 0; r < n_; ++r) {
+    rank_net_.push_back(std::make_unique<RankNet>(bus_->engine_of(r)));
+  }
+  const int shards = bus_->shards();
+  flight_pool_.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    flight_pool_.push_back(std::make_unique<sim::Pool<FlightRec>>(256));
+  }
+  return_stack_ = std::make_unique<ReturnStack[]>(shards);
+  conn_mgr_ =
+      std::make_unique<ConnectionManager>(eng, *this, n_endpoints, cfg);
+}
+
+Fabric::~Fabric() {
+  // The cluster aborts the engines and clears the bus before members are
+  // destroyed, so every in-flight record has been pushed onto its return
+  // stack by now. Sweep them home so the pools' liveness assert holds.
+  if (own_bus_) own_bus_->clear();
+  for (int s = 0; s < bus_->shards(); ++s) reclaim(s);
 }
 
 sim::Time Fabric::latency(int src, int dst) const {
@@ -141,81 +176,205 @@ sim::Time Fabric::latency(int src, int dst) const {
   return cfg_.wire_latency * tree_->hops(src, dst);
 }
 
-void Fabric::transmit(Packet p) {
-  assert(conn_mgr_->connected(p.src, p.dst) &&
-         "data-plane transmit on unestablished connection");
-  conn_mgr_->on_transmit_start(p.src, p.dst);
-  enqueue(std::move(p), /*data_plane=*/true);
-}
+void Fabric::transmit(Packet p) { enqueue(std::move(p), /*data_plane=*/true); }
 
 void Fabric::transmit_control(Packet p) {
   enqueue(std::move(p), /*data_plane=*/false);
 }
 
+void Fabric::enqueue(Packet p, bool data_plane) {
+  assert(p.src >= 0 && p.src < n_ && p.dst >= 0 && p.dst < n_);
+  const int src = p.src;
+  const int dst = p.dst;
+  RankNet& rn = *rank_net_[src];
+  sim::Engine& src_eng = bus_->engine_of(src);
+  ++rn.packets;
+  rn.bytes += p.bytes;
+  if (data_plane) {
+    // Sender-row ownership: only src's shard writes row src.
+    traffic_[static_cast<std::size_t>(src) * n_ + dst] += p.bytes;
+    ++msgcount_[static_cast<std::size_t>(src) * n_ + dst];
+  }
+  // Serialize on the sender NIC.
+  const double bps =
+      cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
+  const auto xfer = static_cast<sim::Time>(
+      static_cast<double>(p.bytes) / bps * static_cast<double>(sim::kSecond));
+  const sim::Time start = std::max(src_eng.now(), rn.nic_busy);
+  const sim::Time done = start + cfg_.per_message_overhead + xfer;
+  rn.nic_busy = done;
+  const sim::Time arrival = done + latency(src, dst);
+  ++rn.out[dst];
+  const int home = bus_->shard_of(src);
+  FlightRec* rec = acquire_rec(home);
+  rec->pkt = std::move(p);
+  rec->oseq = bus_->next_oseq(src);
+  rec->fab = this;
+  rec->home_shard = home;
+  // arrival >= now + per_message_overhead + min_latency = now + floor, so
+  // this respects the lookahead floor at any shard layout.
+  bus_->post_raw(src, dst, arrival, FlightArrive{rec});
+  // Sender-side completion: the packet leaves the in-flight lane at its
+  // arrival instant (drain watches these counters).
+  src_eng.schedule_at(arrival, [this, src, dst] {
+    RankNet& s = *rank_net_[src];
+    if (--s.out[dst] == 0) s.out_cv.notify_all();
+  });
+}
+
+void Fabric::FlightArrive::operator()() {
+  FlightRec* r = std::exchange(rec, nullptr);
+  // Runs on the destination's shard at the arrival time: enter the inbox so
+  // same-instant arrivals deliver in canonical (origin, oseq) order.
+  r->fab->bus_->inbox_push(r->pkt.dst, r->pkt.src, r->oseq, FlightDeliver{r});
+}
+
+void Fabric::FlightDeliver::operator()() {
+  FlightRec* r = std::exchange(rec, nullptr);
+  Fabric* f = r->fab;
+  Packet p = std::move(r->pkt);
+  f->recycle_local(r, f->bus_->shard_of(p.dst));
+  f->deliver(std::move(p));
+}
+
+Fabric::FlightRec* Fabric::acquire_rec(int shard) {
+  reclaim(shard);
+  return flight_pool_[shard]->acquire();
+}
+
+void Fabric::recycle_local(FlightRec* rec, int caller_shard) {
+  if (caller_shard == rec->home_shard) {
+    flight_pool_[rec->home_shard]->release(rec);
+  } else {
+    return_stack_[rec->home_shard].push(rec);
+  }
+}
+
+void Fabric::recycle_remote(FlightRec* rec) {
+  return_stack_[rec->home_shard].push(rec);
+}
+
+void Fabric::reclaim(int shard) {
+  FlightRec* r = return_stack_[shard].take_all();
+  while (r != nullptr) {
+    FlightRec* next = r->free_next;
+    flight_pool_[shard]->release(r);
+    r = next;
+  }
+}
+
+void Fabric::deliver(Packet p) {
+  auto& rx = receivers_[p.dst];
+  assert(rx && "no receiver registered");
+  rx(std::move(p));
+}
+
+sim::Task<void> Fabric::ensure_connected_from(int src, int dst) {
+  RankNet& rn = *rank_net_[src];
+  RankNet::Link& link = rn.links[dst];
+  while (link.mirror != ConnState::kConnected) {
+    if (link.mirror == ConnState::kDisconnected && !link.requested) {
+      link.requested = true;
+      bus_->send(src, bus_->svc_lp(), [this, src, dst] {
+        eng_.spawn(conn_mgr_->ensure_connected(src, dst));
+      });
+    }
+    co_await rn.conn_cv.wait();
+  }
+}
+
+void Fabric::mirror_state(int ep, int peer, ConnState s) {
+  RankNet& rn = *rank_net_[ep];
+  RankNet::Link& link = rn.links[peer];
+  link.mirror = s;
+  link.requested = false;
+  rn.conn_cv.notify_all();
+}
+
+sim::Task<void> Fabric::drain_outbound(int src, int dst) {
+  RankNet& rn = *rank_net_[src];
+  while (outbound_in_flight(src, dst) != 0) co_await rn.out_cv.wait();
+}
+
+std::int64_t Fabric::outbound_in_flight(int src, int dst) const {
+  const auto& out = rank_net_[src]->out;
+  auto it = out.find(dst);
+  return it == out.end() ? 0 : it->second;
+}
+
+void Fabric::request_lock(int ep) {
+  bus_->send(ep, bus_->svc_lp(),
+             [this, ep] { conn_mgr_->lock_endpoint(ep); });
+}
+
+void Fabric::request_unlock(int ep) {
+  bus_->send(ep, bus_->svc_lp(),
+             [this, ep] { conn_mgr_->unlock_endpoint(ep); });
+}
+
 sim::Task<void> Fabric::bulk_transfer(int src, int dst, Bytes bytes) {
   assert(src >= 0 && src < n_ && dst >= 0 && dst < n_ && src != dst);
-  ++packets_;
-  bytes_ += bytes;
+  ++staging_packets_;
+  staging_bytes_ += bytes;
   const double bps =
       cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
   const auto xfer = static_cast<sim::Time>(
       static_cast<double>(bytes) / bps * static_cast<double>(sim::kSecond));
-  const sim::Time start = std::max(eng_.now(), nic_busy_until_[src]);
+  const sim::Time start = std::max(eng_.now(), staging_busy_[src]);
   const sim::Time done = start + cfg_.per_message_overhead + xfer;
-  nic_busy_until_[src] = done;
+  staging_busy_[src] = done;
   co_await eng_.delay_until(done + latency(src, dst));
 }
 
-void Fabric::enqueue(Packet p, bool data_plane) {
-  assert(p.src >= 0 && p.src < n_ && p.dst >= 0 && p.dst < n_);
-  ++packets_;
-  bytes_ += p.bytes;
-  if (data_plane) {
-    const auto idx = static_cast<std::size_t>(p.src) * n_ + p.dst;
-    const auto rdx = static_cast<std::size_t>(p.dst) * n_ + p.src;
-    traffic_[idx] += p.bytes;
-    traffic_[rdx] += p.bytes;
-    ++msgcount_[idx];
-    ++msgcount_[rdx];
-  }
-  // Serialize on the sender NIC.
-  const double bps = cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
-  const auto xfer = static_cast<sim::Time>(
-      static_cast<double>(p.bytes) / bps * static_cast<double>(sim::kSecond));
-  const sim::Time start = std::max(eng_.now(), nic_busy_until_[p.src]);
-  const sim::Time done = start + cfg_.per_message_overhead + xfer;
-  nic_busy_until_[p.src] = done;
-  const sim::Time arrival = done + latency(p.src, p.dst);
-  const int src = p.src;
-  const int dst = p.dst;
-  sim::InlineFn fn = [this, p = std::move(p), data_plane]() mutable {
-    deliver(std::move(p), data_plane);
-  };
-  if (router_ != nullptr) {
-    // Reserving here (not at injection) pins the delivery's place in the
-    // home engine's FIFO order at the exact point a serial schedule_at
-    // would have consumed it.
-    router_->relay(src, dst, done, arrival, eng_.reserve_seq(),
-                   std::move(fn));
-  } else {
-    eng_.schedule_at(arrival, std::move(fn));
-  }
+std::int64_t Fabric::packets_sent() const noexcept {
+  std::int64_t total = staging_packets_;
+  for (const auto& rn : rank_net_) total += rn->packets;
+  return total;
 }
 
-void Fabric::deliver(Packet p, bool data_plane) {
-  const int src = p.src, dst = p.dst;
-  auto& rx = receivers_[dst];
-  assert(rx && "no receiver registered");
-  rx(std::move(p));
-  if (data_plane) conn_mgr_->on_delivered(src, dst);
+Bytes Fabric::bytes_sent() const noexcept {
+  Bytes total = staging_bytes_;
+  for (const auto& rn : rank_net_) total += rn->bytes;
+  return total;
+}
+
+std::uint64_t Fabric::flight_recs_reused() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : flight_pool_) total += p->reused();
+  return total;
+}
+
+std::size_t Fabric::flight_recs_outstanding() const noexcept {
+  std::size_t total = 0;
+  for (const auto& p : flight_pool_) total += p->outstanding();
+  return total;
 }
 
 Bytes Fabric::bytes_between(int a, int b) const {
-  return traffic_[static_cast<std::size_t>(a) * n_ + b];
+  return traffic_[static_cast<std::size_t>(a) * n_ + b] +
+         traffic_[static_cast<std::size_t>(b) * n_ + a];
 }
 
 std::int64_t Fabric::messages_between(int a, int b) const {
-  return msgcount_[static_cast<std::size_t>(a) * n_ + b];
+  return msgcount_[static_cast<std::size_t>(a) * n_ + b] +
+         msgcount_[static_cast<std::size_t>(b) * n_ + a];
+}
+
+std::vector<std::int64_t> Fabric::traffic_matrix() const {
+  std::vector<std::int64_t> m(static_cast<std::size_t>(n_) * n_, 0);
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      const std::int64_t sum = bytes_between(a, b);
+      m[static_cast<std::size_t>(a) * n_ + b] = sum;
+      m[static_cast<std::size_t>(b) * n_ + a] = sum;
+    }
+  }
+  return m;
+}
+
+std::vector<std::int64_t> Fabric::copy_traffic_row(int src) const {
+  const auto base = traffic_.begin() + static_cast<std::size_t>(src) * n_;
+  return std::vector<std::int64_t>(base, base + n_);
 }
 
 }  // namespace gbc::net

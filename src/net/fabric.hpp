@@ -1,19 +1,22 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <new>
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
-
-#include <optional>
 
 #include "net/topology.hpp"
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "sim/lp_bus.hpp"
 #include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -54,15 +57,86 @@ enum class PacketKind : std::uint8_t {
   kControl,   // checkpoint / connection control
 };
 
+/// Opaque by-value payload carried across shards inside a packet. Unlike
+/// sim::MsgBuf (whose refcount and free list belong to one engine), a
+/// WireBody owns its contents inline: created on the sender's shard,
+/// destroyed on the receiver's, with no shared bookkeeping in between.
+class WireBody {
+ public:
+  static constexpr std::size_t kInline = 64;
+
+  WireBody() = default;
+  WireBody(std::nullptr_t) noexcept {}  // NOLINT: empty-body literal
+  WireBody(WireBody&& o) noexcept : ops_(std::exchange(o.ops_, nullptr)) {
+    if (ops_) ops_->relocate(buf_, o.buf_);
+  }
+  WireBody& operator=(WireBody&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = std::exchange(o.ops_, nullptr);
+      if (ops_) ops_->relocate(buf_, o.buf_);
+    }
+    return *this;
+  }
+  WireBody(const WireBody&) = delete;
+  WireBody& operator=(const WireBody&) = delete;
+  ~WireBody() { reset(); }
+
+  template <typename T, typename... Args>
+  static WireBody make(Args&&... args) {
+    static_assert(sizeof(T) <= kInline && alignof(T) <= alignof(std::max_align_t),
+                  "WireBody payload must fit the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<T>);
+    WireBody b;
+    ::new (static_cast<void*>(b.buf_)) T(std::forward<Args>(args)...);
+    b.ops_ = &ops_for<T>;
+    return b;
+  }
+
+  bool empty() const noexcept { return ops_ == nullptr; }
+
+  template <typename T>
+  T& get() {
+    assert(ops_ == &ops_for<T> && "WireBody type mismatch");
+    return *std::launder(reinterpret_cast<T*>(buf_));
+  }
+
+ private:
+  struct Ops {
+    void (*relocate)(std::byte* dst, std::byte* src) noexcept;
+    void (*destroy)(std::byte* p) noexcept;
+  };
+  template <typename T>
+  static constexpr Ops ops_for{
+      [](std::byte* dst, std::byte* src) noexcept {
+        T* s = std::launder(reinterpret_cast<T*>(src));
+        ::new (static_cast<void*>(dst)) T(std::move(*s));
+        s->~T();
+      },
+      [](std::byte* p) noexcept {
+        std::launder(reinterpret_cast<T*>(p))->~T();
+      }};
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInline];
+  const Ops* ops_ = nullptr;
+};
+
 struct Packet {
   int src = -1;
   int dst = -1;
   Bytes bytes = 0;
   PacketKind kind = PacketKind::kControl;
   std::uint64_t id = 0;
-  /// Opaque payload owned by the MPI layer: a pooled, refcounted buffer
-  /// (sim::MsgPool) instead of a heap-allocated shared_ptr<void>.
-  sim::MsgBuf body;
+  /// Opaque payload owned by the MPI layer, carried by value so a flight
+  /// can cross shards without touching sender-side pools.
+  WireBody body;
 };
 
 enum class ConnState : std::uint8_t {
@@ -74,36 +148,17 @@ enum class ConnState : std::uint8_t {
 
 class Fabric;
 
-/// Relay hook for sharded full-stack runs (sim::ShardedEngine).
-///
-/// The protocol stack — connection manager, MPI matching, storage queues,
-/// checkpoint service — is one logical process pinned to one shard. What CAN
-/// leave that shard is the wire flight of a packet: the interval between the
-/// moment it clears the sender NIC (`depart`) and the moment its delivery
-/// callback must run (`arrival`). When a router is installed, the fabric
-/// reserves the delivery's sequence number on its home engine at send time
-/// and hands the flight to the router, which carries it through a relay LP
-/// on the shard owning the destination rank and re-injects it under the
-/// reserved number. The home shard therefore executes the exact (t, seq)
-/// event stream a serial run would — sharded full-stack runs are
-/// byte-identical to serial ones by construction. Without a router every
-/// delivery schedules directly on the home engine (the serial path,
-/// unchanged).
-class ShardRouter {
- public:
-  virtual ~ShardRouter() = default;
-  /// Carry the delivery of a packet src -> dst departing the sender NIC at
-  /// `depart` so that `fn` runs on the fabric's home shard at `arrival`
-  /// under home-engine sequence number `seq`.
-  virtual void relay(int src, int dst, sim::Time depart, sim::Time arrival,
-                     std::uint64_t seq, sim::InlineFn fn) = 0;
-};
-
 /// Per-connection management (paper Sec. 4.2): the checkpoint protocols need
 /// to tear down and rebuild *specific* connections rather than all of them,
 /// and either endpoint may initiate (client/server, active/passive). A rank
 /// that is frozen for a snapshot locks its endpoint; establishment toward it
 /// blocks until it thaws.
+///
+/// The state machine is owned by the service LP (shard 0). Every transition
+/// is mirrored to both endpoints with a one-hop message (see
+/// Fabric::mirror_state), so rank-side code — the MPI send pump — consults
+/// its local mirror and never reads this object directly. All methods here
+/// must run on the service LP's engine.
 class ConnectionManager {
  public:
   ConnectionManager(sim::Engine& eng, Fabric& fabric, int n, NetConfig cfg);
@@ -117,7 +172,8 @@ class ConnectionManager {
   /// No-op if already disconnected.
   sim::Task<void> disconnect(int a, int b);
 
-  /// Waits until no packet is in flight on a<->b (channel flush).
+  /// Waits until no packet is in flight on a<->b (channel flush). Queries
+  /// both endpoints' sender-side in-flight counters by message.
   sim::Task<void> drain(int a, int b);
 
   ConnState state(int a, int b) const;
@@ -138,16 +194,11 @@ class ConnectionManager {
   std::int64_t total_teardowns() const noexcept { return teardowns_; }
   int established_count() const;
 
-  // Called by the fabric.
-  void on_transmit_start(int a, int b);
-  void on_delivered(int a, int b);
-
  private:
   struct Conn {
     explicit Conn(sim::Engine& eng) : cv(eng) {}
     ConnState state = ConnState::kDisconnected;
-    int in_flight = 0;
-    sim::Condition cv;  // state / drain changes
+    sim::Condition cv;  // state changes
   };
   using Key = std::pair<int, int>;
   static Key key(int a, int b) {
@@ -155,8 +206,11 @@ class ConnectionManager {
   }
   Conn& conn(int a, int b);
   const Conn* find(int a, int b) const;
+  /// Transition + mirror fan-out to both endpoints.
+  void set_state(Conn& c, int a, int b, ConnState s);
 
   sim::Engine& eng_;
+  Fabric& fab_;
   NetConfig cfg_;
   int n_;
   std::map<Key, Conn> conns_;
@@ -171,16 +225,33 @@ class ConnectionManager {
 /// arrives wire_latency later). Delivery invokes the receiver callback
 /// registered by the MPI layer. Per-pair byte counts feed dynamic group
 /// formation (paper Sec. 4.1).
+///
+/// ## Per-rank ownership (DESIGN.md §13)
+///
+/// Every piece of mutable per-rank state — the NIC busy horizon, the
+/// sender-side in-flight counters, the connection mirrors, the traffic
+/// matrix rows — is owned by the rank's home shard; transmit() must run
+/// there. Flights travel as pooled FlightRecs posted straight to the
+/// destination rank's shard, where delivery goes through the LpBus inbox so
+/// the order among same-instant arrivals is canonical at any shard count.
+/// Records recycle to their home shard's pool over a lock-free return
+/// stack, keeping the hot path allocation-free in sharded runs too.
 class Fabric {
  public:
   using Deliver = std::function<void(Packet)>;
 
-  Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints);
+  /// `bus` connects the fabric to the cluster's LP topology; when null (the
+  /// direct-construction test path) the fabric builds a single-engine bus
+  /// of its own on `eng` and every LP runs serially on it.
+  Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints,
+         sim::LpBus* bus = nullptr);
+  ~Fabric();
 
   int size() const noexcept { return n_; }
   const NetConfig& config() const noexcept { return cfg_; }
   sim::Engine& engine() noexcept { return eng_; }
   ConnectionManager& connections() noexcept { return *conn_mgr_; }
+  sim::LpBus& bus() noexcept { return *bus_; }
 
   /// End-to-end propagation delay src -> dst: wire_latency on a crossbar,
   /// wire_latency per switch hop on a fat-tree.
@@ -193,16 +264,16 @@ class Fabric {
     return cfg_.wire_latency *
            std::max(1, cfg_.topology.min_hops());
   }
+  /// The lookahead-matrix floor every cross-LP message respects: NIC
+  /// overhead plus the minimum propagation delay.
+  sim::Time floor_hop() const {
+    return cfg_.per_message_overhead + min_latency();
+  }
 
   void set_receiver(int ep, Deliver d) { receivers_[ep] = std::move(d); }
 
-  /// Installs the cross-shard wire-flight relay (sharded runs only; see
-  /// ShardRouter). Pass nullptr to restore the serial delivery path. The
-  /// router must outlive the fabric.
-  void set_shard_router(ShardRouter* r) noexcept { router_ = r; }
-
-  /// Queues a packet on src's NIC. Caller (MPI layer) is responsible for the
-  /// connection being established; asserted here.
+  /// Queues a packet on src's NIC (call on src's shard). The MPI layer's
+  /// send pump checks the sender-side connection mirror before calling.
   void transmit(Packet p);
 
   /// Control-plane message (coordination): does not require an established
@@ -210,38 +281,163 @@ class Fabric {
   /// channel. Costs per_message_overhead + wire_latency.
   void transmit_control(Packet p);
 
+  /// Sender-side connection mirror check (the pump's fast path). Call on
+  /// src's shard.
+  bool mirror_connected(int src, int dst) const {
+    const auto& links = rank_net_[src]->links;
+    auto it = links.find(dst);
+    return it != links.end() && it->second.mirror == ConnState::kConnected;
+  }
+
+  /// Rank-side establish-or-wait: consults src's local connection mirror,
+  /// requesting establishment from the service LP when disconnected, and
+  /// resumes once the mirror shows kConnected. Call on src's shard.
+  sim::Task<void> ensure_connected_from(int src, int dst);
+
+  /// Rank-side channel flush: waits until src has no packet in flight
+  /// toward dst (sender-side counter). Call on src's shard.
+  sim::Task<void> drain_outbound(int src, int dst);
+
+  /// Sends a freeze-lock/unlock request for `ep` to the connection manager
+  /// (one control hop). Call on ep's shard.
+  void request_lock(int ep);
+  void request_unlock(int ep);
+
   /// Awaitable bulk copy src -> dst over the interconnect (checkpoint
-  /// staging traffic: partner replication, replica fetch on restart). Like
-  /// control traffic it uses a dedicated channel — no established data
-  /// connection needed and no entry in the application traffic matrix — but
-  /// it pays the real cost: the transfer serializes on src's NIC for
-  /// overhead + bytes/bandwidth and completes wire_latency later.
+  /// staging traffic: partner replication, replica fetch on restart). Runs
+  /// on the service LP: staging uses a dedicated per-node staging lane, so
+  /// it serializes against other staging traffic from the same node but not
+  /// against the application NIC.
   sim::Task<void> bulk_transfer(int src, int dst, Bytes bytes);
 
-  // --- accounting ---
-  std::int64_t packets_sent() const noexcept { return packets_; }
-  Bytes bytes_sent() const noexcept { return bytes_; }
+  // --- accounting (aggregate reads are for quiescent points) ---
+  std::int64_t packets_sent() const noexcept;
+  Bytes bytes_sent() const noexcept;
+  /// Flight-record recycling stats across all per-shard pools (quiescent
+  /// reads). `flight_recs_reused` counts pool acquisitions served from a
+  /// free list — the allocation-counter evidence that the steady-state
+  /// wire path is heap-allocation-free (always 0 with pools in ASan
+  /// passthrough). `flight_recs_outstanding` counts live records plus any
+  /// parked on cross-shard return stacks awaiting reclaim (swept home by
+  /// ~Fabric, whose pool destructors assert none leak).
+  std::uint64_t flight_recs_reused() const noexcept;
+  std::size_t flight_recs_outstanding() const noexcept;
   Bytes bytes_between(int a, int b) const;
   std::int64_t messages_between(int a, int b) const;
-  /// Data-plane traffic matrix (bytes), indexed [a*n+b], symmetric.
-  const std::vector<std::int64_t>& traffic_matrix() const { return traffic_; }
+  /// Data-plane traffic matrix (bytes), indexed [a*n+b], symmetrized from
+  /// the per-sender rows. Only valid at quiescent points; during a run use
+  /// copy_traffic_row() from each rank's own shard.
+  std::vector<std::int64_t> traffic_matrix() const;
+  /// Copies src's outbound traffic row (bytes to each peer). Call on src's
+  /// shard; this is the race-free gather primitive dynamic group formation
+  /// uses mid-run.
+  std::vector<std::int64_t> copy_traffic_row(int src) const;
+
+  /// Applies a connection-state mirror update at endpoint `ep` for `peer`
+  /// (invoked via the bus by the ConnectionManager; runs on ep's shard).
+  void mirror_state(int ep, int peer, ConnState s);
+  /// Sender-side in-flight count src -> dst (rank-owned; read on src's
+  /// shard).
+  std::int64_t outbound_in_flight(int src, int dst) const;
 
  private:
+  friend class ConnectionManager;
+
+  /// One pooled wire flight: the packet plus its canonical inbox key.
+  struct FlightRec {
+    Packet pkt;
+    std::uint64_t oseq = 0;
+    Fabric* fab = nullptr;
+    int home_shard = 0;
+    FlightRec* free_next = nullptr;
+  };
+
+  /// Lock-free return stack: receivers push finished FlightRecs, the
+  /// owning shard reclaims them in batch on its next acquire.
+  struct alignas(64) ReturnStack {
+    std::atomic<FlightRec*> head{nullptr};
+    void push(FlightRec* r) noexcept {
+      r->free_next = head.load(std::memory_order_relaxed);
+      while (!head.compare_exchange_weak(r->free_next, r,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      }
+    }
+    FlightRec* take_all() noexcept {
+      return head.exchange(nullptr, std::memory_order_acquire);
+    }
+  };
+
+  struct FlightArrive {
+    FlightRec* rec;
+    explicit FlightArrive(FlightRec* r) noexcept : rec(r) {}
+    FlightArrive(FlightArrive&& o) noexcept
+        : rec(std::exchange(o.rec, nullptr)) {}
+    FlightArrive& operator=(FlightArrive&&) = delete;
+    ~FlightArrive() {
+      if (rec) rec->fab->recycle_remote(rec);
+    }
+    void operator()();
+  };
+  struct FlightDeliver {
+    FlightRec* rec;
+    explicit FlightDeliver(FlightRec* r) noexcept : rec(r) {}
+    FlightDeliver(FlightDeliver&& o) noexcept
+        : rec(std::exchange(o.rec, nullptr)) {}
+    FlightDeliver& operator=(FlightDeliver&&) = delete;
+    ~FlightDeliver() {
+      if (rec) rec->fab->recycle_remote(rec);
+    }
+    void operator()();
+  };
+
+  /// Mutable state owned by one rank's shard.
+  struct RankNet {
+    explicit RankNet(sim::Engine& eng) : conn_cv(eng), out_cv(eng) {}
+    sim::Time nic_busy = 0;
+    std::int64_t packets = 0;
+    Bytes bytes = 0;
+    /// Connection mirror per peer: last state flip received from the
+    /// manager, plus whether an establishment request is outstanding.
+    struct Link {
+      ConnState mirror = ConnState::kDisconnected;
+      bool requested = false;
+    };
+    std::map<int, Link> links;
+    sim::Condition conn_cv;
+    /// Sender-side in-flight packets per destination.
+    std::map<int, std::int64_t> out;
+    sim::Condition out_cv;
+  };
+
   void enqueue(Packet p, bool data_plane);
-  void deliver(Packet p, bool data_plane);
+  void deliver(Packet p);
+  FlightRec* acquire_rec(int shard);
+  void recycle_local(FlightRec* rec, int caller_shard);
+  void recycle_remote(FlightRec* rec);
+  void reclaim(int shard);
 
   sim::Engine& eng_;
   NetConfig cfg_;
   int n_;
   std::optional<FatTree> tree_;  // engaged when topology is fat-tree
-  ShardRouter* router_ = nullptr;
+  std::unique_ptr<sim::LpBus> own_bus_;
+  sim::LpBus* bus_;
   std::vector<Deliver> receivers_;
-  std::vector<sim::Time> nic_busy_until_;
+  std::vector<std::unique_ptr<RankNet>> rank_net_;
+  // Flight pools: one per shard, owned by that shard's worker; the return
+  // stacks carry cross-shard frees home.
+  std::vector<std::unique_ptr<sim::Pool<FlightRec>>> flight_pool_;
+  std::unique_ptr<ReturnStack[]> return_stack_;
   std::unique_ptr<ConnectionManager> conn_mgr_;
-  std::int64_t packets_ = 0;
-  Bytes bytes_ = 0;
-  std::vector<std::int64_t> traffic_;   // bytes
-  std::vector<std::int64_t> msgcount_;  // messages
+  // Staging lane (service LP): bulk transfers serialize per source node.
+  std::vector<sim::Time> staging_busy_;
+  std::int64_t staging_packets_ = 0;
+  Bytes staging_bytes_ = 0;
+  // Data-plane accounting, sender-row ownership: row src is written only by
+  // src's shard.
+  std::vector<std::int64_t> traffic_;   // bytes, [src*n+dst]
+  std::vector<std::int64_t> msgcount_;  // messages, [src*n+dst]
 };
 
 }  // namespace gbc::net

@@ -1,0 +1,225 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/shard_engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gbc::sim {
+
+/// Which shard owns logical process `lp` when `nlps` LPs are split across
+/// `shards` contiguous blocks. This is the single ownership rule shared by
+/// the scale model and the full protocol stack (DESIGN.md §13): rank r lives
+/// on shard r*S/n, and the service LP (id = nlps) is pinned to shard 0.
+constexpr int lp_owner_shard(int lp, int nlps, int shards) {
+  return static_cast<int>(static_cast<std::int64_t>(lp) * shards / nlps);
+}
+
+/// Message bus between logical processes (LPs) of one simulated cluster.
+///
+/// LP ids 0..nranks-1 are the MPI ranks; id nranks is the *service LP*
+/// (checkpoint coordinator, connection manager, shared storage), pinned to
+/// shard 0. Every cross-LP interaction — wire flights, control messages,
+/// RPCs — flows through here with latency >= `floor()`, the lookahead-matrix
+/// floor, so the conservative horizons of ShardedEngine stay valid and no
+/// LP ever reaches into another LP's state directly.
+///
+/// ## Determinism: the per-LP inbox discipline
+///
+/// Cross-shard merge order at equal timestamps is (t, src_shard, seq),
+/// which is not shard-count-invariant. The bus therefore never hands a
+/// message straight to model code: arrivals are appended to the destination
+/// LP's inbox, and the first same-t arrival schedules a flush at t that
+/// sorts the batch by (origin LP, per-origin sequence) — a key that depends
+/// only on the model, not on the shard layout. Because every message
+/// carries latency >= floor() > 0, all arrivals for (lp, t) are scheduled
+/// strictly before t executes, so exactly one flush batch forms per (lp, t)
+/// at any shard count and the delivery order is canonical.
+///
+/// In single-engine mode (direct-construction tests) the same inbox path
+/// runs on one engine, so serial and sharded runs are order-identical.
+class LpBus {
+ public:
+  /// Sharded mode: rank LPs in contiguous blocks across se.shards().
+  LpBus(ShardedEngine& se, int nranks, Time floor)
+      : se_(&se), nranks_(nranks), floor_(floor) {
+    assert(floor_ > 0 && "LpBus floor must be positive");
+    init();
+  }
+
+  /// Single-engine mode: every LP lives on `eng` (direct-construction
+  /// tests and serial tools).
+  LpBus(Engine& eng, int nranks, Time floor)
+      : single_(&eng), nranks_(nranks), floor_(floor) {
+    assert(floor_ > 0 && "LpBus floor must be positive");
+    init();
+  }
+
+  LpBus(const LpBus&) = delete;
+  LpBus& operator=(const LpBus&) = delete;
+
+  int nranks() const noexcept { return nranks_; }
+  /// The service LP: connection manager, storage, checkpoint coordinator.
+  int svc_lp() const noexcept { return nranks_; }
+  /// Minimum cross-LP message latency (the lookahead-matrix floor).
+  Time floor() const noexcept { return floor_; }
+
+  int shards() const noexcept { return se_ ? se_->shards() : 1; }
+
+  int shard_of(int lp) const {
+    if (!se_) return 0;
+    return lp >= nranks_ ? 0 : lp_owner_shard(lp, nranks_, se_->shards());
+  }
+
+  /// Lowest rank LP owned by shard `s` (the inverse of lp_owner_shard for
+  /// contiguous blocks). Used to place per-shard mirror state — e.g. the
+  /// deferral gate's shard views — on a canonical LP of that shard.
+  int first_lp_of_shard(int s) const {
+    const int S = shards();
+    return static_cast<int>(
+        (static_cast<std::int64_t>(s) * nranks_ + S - 1) / S);
+  }
+
+  Engine& engine_of(int lp) {
+    return single_ ? *single_ : se_->shard(shard_of(lp));
+  }
+
+  /// Next canonical sequence number for messages originated by `origin`.
+  /// Must be called on origin's shard; assignment order equals origin's
+  /// execution order, which is shard-count-invariant.
+  std::uint64_t next_oseq(int origin) { return ++oseq_[origin].v; }
+
+  /// Appends to dst's inbox. Must run on dst's shard at the delivery time;
+  /// this is the zero-allocation entry the fabric's pooled flight path uses.
+  void inbox_push(int dst_lp, int origin, std::uint64_t oseq, InlineFn fn) {
+    Inbox& ib = inbox_[dst_lp];
+    ib.batch.push_back(Entry{origin, oseq, std::move(fn)});
+    if (!ib.flush_scheduled) {
+      ib.flush_scheduled = true;
+      Engine& eng = engine_of(dst_lp);
+      eng.schedule_at(eng.now(), [this, dst_lp] { flush(dst_lp); });
+    }
+  }
+
+  /// Raw cross-shard dispatch at absolute time t, bypassing the inbox (no
+  /// origin sequencing). Only for callers that do their own canonical
+  /// ordering at the destination — the fabric's pooled flight path, which
+  /// pushes into the inbox itself on arrival. `t` must respect the floor.
+  void post_raw(int src_lp, int dst_lp, Time t, InlineFn fn) {
+    const int ss = shard_of(src_lp);
+    const int ds = shard_of(dst_lp);
+    if (!se_ || ss == ds) {
+      engine_of(dst_lp).schedule_at(t, std::move(fn));
+    } else {
+      se_->post(ss, ds, t, std::move(fn));
+    }
+  }
+
+  /// Delivers `fn` into dst's inbox at absolute time t, clamped up to
+  /// src-now + floor(). Call from code running on src's shard.
+  void send_at(int src_lp, int dst_lp, Time t, InlineFn fn) {
+    Engine& src_eng = engine_of(src_lp);
+    const Time t_eff = std::max(t, src_eng.now() + floor_);
+    const std::uint64_t oseq = next_oseq(src_lp);
+    post_raw(src_lp, dst_lp, t_eff,
+             [this, dst_lp, src_lp, oseq, fn = std::move(fn)]() mutable {
+               inbox_push(dst_lp, src_lp, oseq, std::move(fn));
+             });
+  }
+
+  /// Delivers `fn` one floor hop from now (the common control-plane case).
+  void send(int src_lp, int dst_lp, InlineFn fn) {
+    send_at(src_lp, dst_lp, engine_of(src_lp).now() + floor_,
+            std::move(fn));
+  }
+
+  /// RPC: runs the Task produced by `work()` on dst's engine, then resumes
+  /// the caller one floor hop after it completes. Must be awaited from a
+  /// coroutine running on src's shard; the request pays a floor hop too.
+  /// `work` is invoked on dst's shard, so it may touch dst-owned state.
+  template <typename F>
+  Task<void> call(int src_lp, int dst_lp, F work) {
+    RpcWait w(engine_of(src_lp));
+    send(src_lp, dst_lp, [this, src_lp, dst_lp, &w, work = std::move(work)]() mutable {
+      engine_of(dst_lp).spawn(
+          run_remote(this, src_lp, dst_lp, &w, std::move(work)));
+    });
+    while (!w.done) co_await w.cv.wait();
+  }
+
+  /// Drops every queued inbox entry (teardown of an aborted run): entry
+  /// destructors run, releasing pooled resources they hold.
+  void clear() {
+    for (Inbox& ib : inbox_) {
+      ib.batch.clear();
+      ib.scratch.clear();
+      ib.flush_scheduled = false;
+    }
+  }
+
+ private:
+  struct Entry {
+    int origin;
+    std::uint64_t oseq;
+    InlineFn fn;
+  };
+  struct Inbox {
+    std::vector<Entry> batch;
+    std::vector<Entry> scratch;  // recycled flush buffer (keeps capacity)
+    bool flush_scheduled = false;
+  };
+  struct RpcWait {
+    explicit RpcWait(Engine& eng) : cv(eng) {}
+    bool done = false;
+    Condition cv;
+  };
+  struct alignas(64) OriginSeq {
+    std::uint64_t v = 0;
+  };
+
+  void init() {
+    inbox_.resize(static_cast<std::size_t>(nranks_) + 1);
+    oseq_.resize(static_cast<std::size_t>(nranks_) + 1);
+  }
+
+  template <typename F>
+  static Task<void> run_remote(LpBus* bus, int src_lp, int dst_lp,
+                               RpcWait* w, F work) {
+    co_await work();
+    bus->send(dst_lp, src_lp, [w] {
+      w->done = true;
+      w->cv.notify_all();
+    });
+  }
+
+  void flush(int lp) {
+    Inbox& ib = inbox_[lp];
+    ib.scratch.clear();
+    ib.scratch.swap(ib.batch);
+    ib.flush_scheduled = false;
+    std::sort(ib.scratch.begin(), ib.scratch.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.origin != b.origin ? a.origin < b.origin
+                                            : a.oseq < b.oseq;
+              });
+    for (Entry& e : ib.scratch) e.fn();
+    ib.scratch.clear();
+  }
+
+  ShardedEngine* se_ = nullptr;
+  Engine* single_ = nullptr;
+  int nranks_;
+  Time floor_;
+  std::vector<Inbox> inbox_;
+  std::vector<OriginSeq> oseq_;
+};
+
+}  // namespace gbc::sim

@@ -364,7 +364,7 @@ TEST(SenderLogging, TaxesFailureFreePath) {
     });
     return done;
   };
-  SenderLogger logger(1200.0);
+  SenderLogger logger(2, 1200.0);
   const sim::Time plain = run_once(nullptr);
   const sim::Time logged = run_once(&logger);
   EXPECT_GT(logged, plain + plain / 4);  // meaningful slowdown

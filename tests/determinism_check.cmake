@@ -5,12 +5,16 @@
 #
 # Usage: cmake -DBIN=<figure binary> -DCSV=<csv basename, no extension>
 #              -DWORK=<scratch dir> [-DMODE=shards] [-DEXTRA=<args;list>]
-#              -P determinism_check.cmake
+#              [-DVARIANTS=<list>] -P determinism_check.cmake
 #
 # Default mode varies GBC_SWEEP_THREADS (1 vs 8). MODE=shards instead varies
 # the DES shard count (--shards 1 vs --shards 4 on the binary's command
 # line, with EXTRA prepended) — the sharded-engine equivalent of the same
-# contract: partitioning the event set must not change the simulation.
+# contract: partitioning the event set must not change the simulation. In
+# MODE=shards, VARIANTS overrides the shard counts; an entry of the form
+# "S/T" additionally pins the worker count (--shards S --threads T), e.g.
+# -DVARIANTS=1;4/1;4/4 checks serial vs 4 shards at both 1 and 4 workers.
+# Every variant's CSV is compared against the first.
 if(NOT BIN OR NOT CSV OR NOT WORK)
   message(FATAL_ERROR
           "pass -DBIN=<binary>, -DCSV=<csv basename> and -DWORK=<scratch dir>")
@@ -20,21 +24,37 @@ file(REMOVE_RECURSE "${WORK}")
 file(MAKE_DIRECTORY "${WORK}")
 
 if(MODE STREQUAL "shards")
-  set(variants 1 4)
+  if(VARIANTS)
+    set(variants ${VARIANTS})
+  else()
+    set(variants 1 4)
+  endif()
 else()
   set(variants 1 8)
 endif()
 
+set(tags)
 foreach(v IN LISTS variants)
   if(MODE STREQUAL "shards")
-    set(cmd "${BIN}" ${EXTRA} --shards ${v})
-    set(env_args "GBC_BENCH_OUT=${WORK}/variant${v}")
-    set(what "--shards ${v}")
+    string(REPLACE "/" ";" shard_threads "${v}")
+    list(GET shard_threads 0 nshards)
+    list(LENGTH shard_threads stlen)
+    set(cmd "${BIN}" ${EXTRA} --shards ${nshards})
+    set(what "--shards ${nshards}")
+    if(stlen GREATER 1)
+      list(GET shard_threads 1 nthreads)
+      list(APPEND cmd --threads ${nthreads})
+      set(what "${what} --threads ${nthreads}")
+    endif()
+    string(REPLACE "/" "t" tag "${v}")
+    set(env_args "GBC_BENCH_OUT=${WORK}/variant${tag}")
   else()
     set(cmd "${BIN}")
-    set(env_args "GBC_SWEEP_THREADS=${v}" "GBC_BENCH_OUT=${WORK}/variant${v}")
+    set(tag "${v}")
+    set(env_args "GBC_SWEEP_THREADS=${v}" "GBC_BENCH_OUT=${WORK}/variant${tag}")
     set(what "GBC_SWEEP_THREADS=${v}")
   endif()
+  list(APPEND tags "${tag}")
   execute_process(
     COMMAND "${CMAKE_COMMAND}" -E env ${env_args} ${cmd}
     RESULT_VARIABLE rc
@@ -44,19 +64,21 @@ foreach(v IN LISTS variants)
   endif()
 endforeach()
 
-list(GET variants 0 v0)
-list(GET variants 1 v1)
-execute_process(
-  COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${WORK}/variant${v0}/${CSV}.csv"
-          "${WORK}/variant${v1}/${CSV}.csv"
-  RESULT_VARIABLE diff)
-if(NOT diff EQUAL 0)
-  if(MODE STREQUAL "shards")
-    message(FATAL_ERROR "${CSV}.csv differs between 1-shard and 4-shard "
-                        "runs: sharded-DES determinism broken")
+list(GET tags 0 tag0)
+list(REMOVE_AT tags 0)
+foreach(tag IN LISTS tags)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK}/variant${tag0}/${CSV}.csv"
+            "${WORK}/variant${tag}/${CSV}.csv"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    if(MODE STREQUAL "shards")
+      message(FATAL_ERROR "${CSV}.csv differs between variant ${tag0} and "
+                          "variant ${tag}: sharded-DES determinism broken")
+    endif()
+    message(FATAL_ERROR "${CSV}.csv differs between serial and "
+                        "8-thread sweeps: determinism broken")
   endif()
-  message(FATAL_ERROR "${CSV}.csv differs between serial and "
-                      "8-thread sweeps: determinism broken")
-endif()
+endforeach()
 message(STATUS "${CSV} CSVs byte-identical across variants ${variants}")

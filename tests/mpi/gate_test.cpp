@@ -20,7 +20,7 @@ class PairGate : public CommGate {
   bool allowed(int a, int b) const override {
     return blocked_.count(key(a, b)) == 0;
   }
-  sim::Condition& changed() override { return cv_; }
+  sim::Condition& changed(int /*src_world*/) override { return cv_; }
   void block(int a, int b) {
     blocked_.insert(key(a, b));
     cv_.notify_all();

@@ -43,7 +43,10 @@ TEST(ConnectionChurn, DisconnectWaitsOutInFlightEstablishment) {
   w.eng.run();
   const Time setup = w.cfg.oob_exchange + w.cfg.qp_transition;
   EXPECT_EQ(connected_at, setup);
-  EXPECT_EQ(disconnected_at, setup + w.cfg.teardown_cost);
+  // The teardown is preceded by the pre-teardown drain: one RPC round trip
+  // per endpoint (4 bus floors).
+  EXPECT_EQ(disconnected_at,
+            setup + 4 * w.fabric.floor_hop() + w.cfg.teardown_cost);
   EXPECT_EQ(w.cm().state(0, 1), ConnState::kDisconnected);
   EXPECT_EQ(w.cm().total_setups(), 1);
   EXPECT_EQ(w.cm().total_teardowns(), 1);

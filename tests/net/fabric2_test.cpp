@@ -74,7 +74,10 @@ TEST(Fabric2, DrainOnIdleConnectionReturnsImmediately) {
     at = w.eng.now();
   }(w, drained_at));
   w.eng.run();
-  EXPECT_EQ(drained_at, w.cfg.oob_exchange + w.cfg.qp_transition);
+  // Idle drain still costs the two endpoint round trips (one RPC per side,
+  // request + reply legs each): 4 bus floors on top of the setup.
+  EXPECT_EQ(drained_at, w.cfg.oob_exchange + w.cfg.qp_transition +
+                            4 * w.fabric.floor_hop());
 }
 
 TEST(Fabric2, ConcurrentDisconnectsResolveOnce) {
@@ -142,8 +145,10 @@ TEST(Fabric2, ManyPairsEstablishIndependently) {
   w.eng.run();
   EXPECT_EQ(established, n / 2);
   EXPECT_EQ(w.fabric.connections().established_count(), n / 2);
-  // All establishments overlap: total time = one setup, not n/2.
-  EXPECT_EQ(w.eng.now(), w.cfg.oob_exchange + w.cfg.qp_transition);
+  // All establishments overlap: total time = one setup, not n/2. The final
+  // event is the endpoint-mirror update, one bus floor after the setup.
+  EXPECT_EQ(w.eng.now(), w.cfg.oob_exchange + w.cfg.qp_transition +
+                             w.fabric.floor_hop());
 }
 
 }  // namespace
