@@ -70,6 +70,12 @@ inline void report_sweep(const std::string& name, const harness::SweepStats& s,
                  tc.local_read_mbps, tc.local_capacity_mib, tc.drain_mbps,
                  tc.drain_chunk_mib, tc.replicate ? "true" : "false",
                  tc.replica_offset);
+    const auto& ec = tc.erasure;
+    std::fprintf(f,
+                 ",\"erasure\":{\"enabled\":%s,\"k\":%d,\"m\":%d,"
+                 "\"codec\":\"%s\"}",
+                 ec.enabled ? "true" : "false", ec.k, ec.m,
+                 storage::erasure_codec_name(ec.codec));
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

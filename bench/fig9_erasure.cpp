@@ -1,0 +1,178 @@
+// Figure 9 (extension): diskless erasure-coded checkpoint tier. Time to
+// solution vs the number of concurrent node losses for three protection
+// schemes: PFS-only (the paper's model), partner replication (PR 3), and
+// RS(4,2) erasure coding across a 6-node parity group. One node loss is
+// covered by all three; a correlated double loss (a node plus its replica
+// partner, e.g. a shared PSU) defeats the partner copy — the replica line
+// falls back to an older PFS-durable checkpoint while the erasure line
+// decodes the newest one from the surviving chunks.
+//
+// Accepts --shards N [--threads T]: every simulation (clean runs and every
+// fault/restart attempt) runs on the sharded DES, and the CSV is required
+// byte-identical to the serial run (tests/ fig9_erasure_determinism) —
+// encode and chunk placement live on the service LP, so partitioning the
+// rank LPs must not reorder them.
+#include "bench_util.hpp"
+#include "harness/cli.hpp"
+#include "harness/recovery.hpp"
+
+namespace {
+
+using namespace gbc;
+
+struct Config {
+  const char* name;
+  bool tier;
+  bool replicate;
+  bool erasure;
+};
+
+harness::ClusterPreset erasure_preset(const Config& c, int shards,
+                                      int threads) {
+  harness::ClusterPreset p = harness::icpp07_cluster();
+  p.nranks = 16;
+  p.shards = shards;
+  p.threads = threads;
+  p.tier.enabled = c.tier;
+  p.tier.local_write_mbps = 400.0;
+  p.tier.drain_mbps = 4.0;  // slow drain: newest images not yet PFS-durable
+  p.tier.drain_chunk_mib = 16.0;
+  p.tier.replicate = c.replicate;
+  if (c.erasure) {
+    p.tier.erasure.enabled = true;
+    p.tier.erasure.k = 4;
+    p.tier.erasure.m = 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::FlagSet flags("fig9_erasure");
+  flags.add_int("shards", 1, "DES shards for every simulation");
+  flags.add_int("threads", 1, "worker threads for the shards");
+  if (!flags.parse(argc - 1, argv + 1)) {
+    if (flags.help_requested()) {
+      std::fputs(flags.usage().c_str(), stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  const int shards = flags.get_int("shards");
+  const int threads = std::max(1, flags.get_int("threads"));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+
+  bench::banner("erasure tier: time to solution vs concurrent node losses",
+                "extension Figure 9 (diskless erasure coding)");
+
+  workloads::CommGroupBenchConfig wcfg;
+  wcfg.comm_group_size = 4;
+  wcfg.compute_per_iter = 100 * sim::kMillisecond;
+  wcfg.iterations = 600;
+  wcfg.footprint_mib = 64.0;
+  const harness::WorkloadFactory factory = [wcfg](int n) {
+    return std::make_unique<workloads::CommGroupBench>(n, wcfg);
+  };
+
+  const std::vector<Config> configs{
+      {"pfs-only", false, false, false},
+      {"replica", true, true, false},
+      {"rs42", true, false, true},
+  };
+  std::vector<harness::CkptRequest> reqs;
+  for (double at : {10.0, 22.0, 34.0}) {
+    reqs.push_back(harness::CkptRequest{sim::from_seconds(at),
+                                        ckpt::Protocol::kGroupBased});
+  }
+  ckpt::CkptConfig cc;
+  cc.group_size = 8;
+  const sim::Time failure_at = sim::from_seconds(44);
+  // Loss scenarios: rank 1 alone, then rank 1 plus its replica partner
+  // (rank 2) at the same instant — the correlated pair that defeats
+  // partner replication but not the parity stripe (which avoids node 2).
+  const std::vector<std::vector<int>> losses{{}, {1}, {1, 2}};
+
+  // Phase 1 (sweep pool): the checkpointed no-fault run per config — the
+  // failures=0 column and the events/s record BENCH snapshots gate.
+  std::vector<harness::ExperimentPoint> pts;
+  for (const Config& c : configs) {
+    harness::ExperimentPoint p;
+    p.preset = erasure_preset(c, shards, threads);
+    p.factory = factory;
+    p.ckpt_cfg = cc;
+    p.requests = reqs;
+    pts.push_back(std::move(p));
+  }
+  harness::SweepStats clean_stats;
+  auto cleans = harness::run_experiments(pts, &clean_stats);
+
+  // Phase 2 (sweep pool): every (loss scenario, config) fault/restart run.
+  const std::size_t nfail = losses.size() - 1;  // skip the empty scenario
+  harness::SweepStats rec_stats;
+  auto recs = harness::SweepRunner::shared().map<harness::RecoveryResult>(
+      nfail * configs.size(),
+      [&](std::size_t i) {
+        const auto& dead = losses[1 + i / configs.size()];
+        const Config& c = configs[i % configs.size()];
+        harness::FaultPlan plan;
+        plan.faults.push_back(harness::FaultEvent{
+            failure_at, dead.front(),
+            std::vector<int>(dead.begin() + 1, dead.end())});
+        return harness::run_with_faults(erasure_preset(c, shards, threads),
+                                        factory, cc, reqs, plan);
+      },
+      &rec_stats);
+
+  harness::Table t({"config", "node_losses", "tts_s", "restart_read_s",
+                    "ckpts_skipped", "local", "replica", "erasure", "pfs",
+                    "rollback_iter"});
+  for (std::size_t li = 0; li < losses.size(); ++li) {
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      double tts, read_s;
+      int skipped, loc, rep, ec, pfs;
+      std::uint64_t rollback;
+      if (li == 0) {
+        const auto& run = cleans[ci];
+        tts = run.completion_seconds();
+        read_s = 0;
+        skipped = loc = rep = ec = pfs = 0;
+        rollback = run.final_iterations.empty() ? 0
+                                                : run.final_iterations[0];
+      } else {
+        const auto& rec = recs[(li - 1) * configs.size() + ci];
+        tts = rec.total_seconds;
+        read_s = rec.restart_read_seconds;
+        skipped = rec.checkpoints_skipped;
+        loc = rec.ranks_restored_local;
+        rep = rec.ranks_restored_replica;
+        ec = rec.ranks_restored_erasure;
+        pfs = rec.ranks_restored_pfs;
+        rollback = rec.rollback_iteration;
+      }
+      t.add_row({configs[ci].name, std::to_string(losses[li].size()),
+                 harness::Table::num(tts), harness::Table::num(read_s),
+                 std::to_string(skipped), std::to_string(loc),
+                 std::to_string(rep), std::to_string(ec),
+                 std::to_string(pfs), std::to_string(rollback)});
+    }
+  }
+  t.print();
+  t.write_csv(bench::csv_path("fig9_erasure"));
+  const auto rs_preset = erasure_preset(configs[2], shards, threads);
+  bench::report_sweep("fig9_erasure", clean_stats, &rs_preset);
+  bench::report_sweep("fig9_erasure_recovery", rec_stats, &rs_preset);
+  std::printf(
+      "\nExpected shape: with one node lost all three schemes recover the\n"
+      "newest checkpoint, but PFS-only pays the contended restart read.\n"
+      "Losing the node together with its replica partner defeats the\n"
+      "partner copy (ckpts_skipped > 0, older rollback); the RS(4,2)\n"
+      "stripe avoids the partner node by construction, so the erasure\n"
+      "line still decodes the newest checkpoint with zero PFS reads.\n");
+  return 0;
+}

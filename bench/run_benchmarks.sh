@@ -6,7 +6,7 @@
 #
 # Usage: bench/run_benchmarks.sh [build-dir] [output.json]
 #   build-dir   cmake build tree containing bench/ binaries   (default: build)
-#   output.json snapshot destination                          (default: BENCH_pr6.json)
+#   output.json snapshot destination                          (default: BENCH_pr9.json)
 # Env: GBC_BENCH_MIN_TIME  seconds per microbenchmark case    (default: 2)
 #
 # Run on an otherwise-idle machine: the microbench numbers are the ones the
@@ -14,10 +14,10 @@
 set -euo pipefail
 
 BUILD=${1:-build}
-OUT=${2:-BENCH_pr6.json}
+OUT=${2:-BENCH_pr9.json}
 MIN_TIME=${GBC_BENCH_MIN_TIME:-2}
 
-for bin in simcore_microbench fig3_group_size fig6_hpl_groupsize shard_scaling scale_groupsize; do
+for bin in simcore_microbench fig3_group_size fig6_hpl_groupsize shard_scaling scale_groupsize fig9_erasure ablation_erasure; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "error: $BUILD/bench/$bin missing; build first: cmake --build $BUILD -j" >&2
     exit 1
@@ -44,6 +44,13 @@ GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig6_hpl_groupsize"
 if [[ -x "$BUILD/bench/fig8_staging" ]]; then
   GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig8_staging"
 fi
+
+echo "== erasure tier =="
+# Clean-run phases carry the gated events/s records; the recovery phases
+# report TTS only (their SweepStats have no engine events). ablation_erasure
+# exits non-zero if its RS(4,2) acceptance row regresses.
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/fig9_erasure"
+GBC_BENCH_OUT="$tmp/csv" "$BUILD/bench/ablation_erasure"
 
 echo "== sharded-DES scaling =="
 # Throughput at 1/2/4/8 shards on a fixed 1k-rank fat-tree config; one JSONL

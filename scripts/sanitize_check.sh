@@ -8,9 +8,11 @@
 # threads: the sweep pool (label `sweep`), the staging-tier suites
 # (label `storage`, swept 8-wide by the fig8 determinism check), the
 # sharded DES (label `shard`: SPSC mailbox stress, window-barrier pool,
-# thread budget, scale-model runs), and the full protocol stack under relay
+# thread budget, scale-model runs), the full protocol stack under relay
 # sharding (label `fullshard`: `gbcsim run --shards 4` byte-identity plus
-# the multi-threaded SimCluster integration suite).
+# the multi-threaded SimCluster integration suite), and the erasure tier
+# (label `erasure`: the GF(256) codec, parity-group recovery, and the fig9
+# shard-determinism run, whose encode/scatter lives on the service LP).
 #
 # Usage: scripts/sanitize_check.sh [build-dir] [tsan-build-dir]
 #   build-dir       ASan/UBSan build tree (default: build-asan)
@@ -33,11 +35,15 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 # shards, bus inbox functors, per-rank hook swaps) must be clean on its own.
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L fullshard
 
+# Same for the erasure tier: the codec's table-driven GF math and the
+# JoinSet-fanned chunk scatter/fetch paths get a dedicated ASan pass.
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L erasure
+
 echo "== thread sanitizer stage =="
 cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-      -L "sweep|storage|shard|fullshard"
+      -L "sweep|storage|shard|fullshard|erasure"
 
 echo "sanitize check passed"

@@ -222,8 +222,11 @@ sim::Task<void> CheckpointService::snapshot_rank(int rank,
     if (pause) tier_->resume_drain(rank);
     const auto* img = tier_->find(snap.image_id);
     if (img && img->local) {
-      snap.placement = img->partner >= 0 ? ImagePlacement::kLocalReplicated
-                                         : ImagePlacement::kLocal;
+      // Erasure wins the label: the stripe survives strictly more failure
+      // patterns than the single partner copy.
+      snap.placement = img->ec.encoded_at >= 0 ? ImagePlacement::kLocalErasure
+                       : img->partner >= 0     ? ImagePlacement::kLocalReplicated
+                                               : ImagePlacement::kLocal;
       snap.replica_node = img->partner;
     } else {
       snap.placement = ImagePlacement::kPfs;  // capacity write-through

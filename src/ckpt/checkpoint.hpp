@@ -84,6 +84,7 @@ enum class ImagePlacement : std::uint8_t {
   kPfs,              ///< written straight to the shared PFS (no tier)
   kLocal,            ///< node-local tier only (lost with the node)
   kLocalReplicated,  ///< node-local tier + partner replica
+  kLocalErasure,     ///< node-local tier + erasure stripe across parity group
 };
 
 /// One rank's snapshot (what BLCR would write).

@@ -60,6 +60,7 @@ RunResult run_experiment(const ClusterPreset& preset,
     res.tier_images_drained = tier->images_drained();
     res.tier_write_throughs = tier->write_throughs();
     res.tier_replicas = tier->replicas_made();
+    res.tier_images_encoded = tier->images_encoded();
   }
   res.events_processed = cluster.sharded().total_events();
   return res;

@@ -36,6 +36,7 @@ struct RunResult {
   std::int64_t tier_images_drained = 0;
   std::int64_t tier_write_throughs = 0;  ///< capacity fallbacks to the PFS
   std::int64_t tier_replicas = 0;
+  std::int64_t tier_images_encoded = 0;  ///< erasure stripes placed
 
   double completion_seconds() const { return sim::to_seconds(completion); }
 };

@@ -5,6 +5,8 @@
 
 #include "ckpt/store.hpp"
 #include "harness/sim_cluster.hpp"
+#include "sim/join.hpp"
+#include "storage/erasure.hpp"
 #include "storage/tiers.hpp"
 
 namespace gbc::harness {
@@ -20,12 +22,58 @@ struct RestoreSource {
     kNone,     ///< nothing to read (fresh start of the original attempt)
     kLocal,    ///< surviving node-local tier copy
     kReplica,  ///< partner's replica: partner disk read + fabric transfer
+    kErasure,  ///< degraded read: fetch k chunks, invert, reconstruct
     kPfs,      ///< shared parallel file system (contended)
   };
   Kind kind = Kind::kPfs;
   storage::Bytes bytes = 0;
   int from_node = -1;  ///< replica source node (kReplica only)
+
+  // --- kErasure only ---
+  std::vector<int> from_nodes;    ///< the k chunk holders to fetch from
+  storage::Bytes chunk_bytes = 0;
+  int data_erasures = 0;  ///< data chunks lost (0 = systematic pass-through)
+
+  RestoreSource() = default;
+  RestoreSource(Kind kind_, storage::Bytes bytes_, int from)
+      : kind(kind_), bytes(bytes_), from_node(from) {}
 };
+
+/// Builds the degraded-read plan for an erasure-coded image: pick k
+/// surviving chunks (data chunks first — every parity chunk drafted in is
+/// one more row of the inverted system and one more reconstruction pass).
+/// nullopt when fewer than k chunks survive the dead set.
+std::optional<RestoreSource> erasure_source(
+    const TieredStore::ImageInfo& img, const std::vector<char>& failed) {
+  const storage::ErasureChunks& ec = img.ec;
+  if (!ec.active()) return std::nullopt;
+  std::vector<int> data, parity;
+  for (std::size_t c = 0; c < ec.nodes.size(); ++c) {
+    if (ec.done_at[c] < 0 || TieredStore::node_failed(ec.nodes[c], failed)) {
+      continue;
+    }
+    (static_cast<int>(c) < ec.k ? data : parity).push_back(static_cast<int>(c));
+  }
+  if (static_cast<int>(data.size() + parity.size()) < ec.k) {
+    return std::nullopt;
+  }
+  RestoreSource src;
+  src.kind = RestoreSource::kErasure;
+  src.bytes = img.bytes;
+  src.chunk_bytes = ec.chunk_bytes;
+  for (int c : data) {
+    if (static_cast<int>(src.from_nodes.size()) < ec.k) {
+      src.from_nodes.push_back(ec.nodes[static_cast<std::size_t>(c)]);
+    }
+  }
+  src.data_erasures = ec.k - static_cast<int>(src.from_nodes.size());
+  for (int c : parity) {
+    if (static_cast<int>(src.from_nodes.size()) < ec.k) {
+      src.from_nodes.push_back(ec.nodes[static_cast<std::size_t>(c)]);
+    }
+  }
+  return src;
+}
 
 /// Restore source for one rank of checkpoint `gc` given the set of nodes
 /// that have died so far. Returns nullopt if the image is gone.
@@ -46,6 +94,9 @@ std::optional<RestoreSource> source_for_rank(const TierLedger& ledger,
   if (TieredStore::replica_available(*img, failed)) {
     return RestoreSource{RestoreSource::kReplica, img->bytes, img->partner};
   }
+  // Erasure decode beats the PFS in the tier walk: k chunk fetches over the
+  // fabric plus the decode compute still undercut a contended PFS read.
+  if (auto ec = erasure_source(*img, failed)) return ec;
   if (TieredStore::pfs_durable(*img)) {
     return RestoreSource{RestoreSource::kPfs, img->bytes, -1};
   }
@@ -77,6 +128,7 @@ struct Selection {
   int checkpoints_skipped = 0;
   int restored_local = 0;
   int restored_replica = 0;
+  int restored_erasure = 0;
   int restored_pfs = 0;
 };
 
@@ -84,6 +136,7 @@ void count_source(const RestoreSource& src, Selection* sel) {
   switch (src.kind) {
     case RestoreSource::kLocal: ++sel->restored_local; break;
     case RestoreSource::kReplica: ++sel->restored_replica; break;
+    case RestoreSource::kErasure: ++sel->restored_erasure; break;
     case RestoreSource::kPfs: ++sel->restored_pfs; break;
     case RestoreSource::kNone: break;
   }
@@ -190,6 +243,15 @@ struct RestartCtx {
   workloads::Workload* wl;
 };
 
+/// One chunk fetch of a degraded read, bussed to the service LP like the
+/// replica leg (the staging lanes are service-LP state).
+sim::Task<void> fetch_chunk(sim::LpBus* bus, net::Fabric* fab, int from,
+                            int world, storage::Bytes bytes) {
+  co_await bus->call(world, bus->svc_lp(), [fab, from, world, bytes] {
+    return fab->bulk_transfer(from, world, bytes);
+  });
+}
+
 sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
                              RestoreSource src, workloads::WorkloadState from,
                              sim::Time* done, double* read_seconds) {
@@ -226,6 +288,20 @@ sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
       co_await bus.call(world, bus.svc_lp(), [fab, from_node, world, b] {
         return fab->bulk_transfer(from_node, world, b);
       });
+      break;
+    }
+    case RestoreSource::kErasure: {
+      // Degraded read: pull the k chunks from their holders in parallel
+      // (distinct source nodes, so their staging lanes genuinely overlap),
+      // then pay the matrix-inversion + reconstruction compute.
+      sim::JoinSet fetch(rank->engine());
+      for (int from : src.from_nodes) {
+        fetch.launch(
+            fetch_chunk(&bus, ctx->fabric, from, world, src.chunk_bytes));
+      }
+      co_await fetch.join();
+      co_await rank->engine().delay(storage::ErasureTier::decode_time(
+          ctx->tier->erasure, src.bytes, src.data_erasures));
       break;
     }
     case RestoreSource::kNone:
@@ -343,6 +419,9 @@ RecoveryResult run_with_faults(const ClusterPreset& preset,
     }
     elapsed_seconds += sim::to_seconds(fault->at);
     failed[fault->rank] = 1;
+    for (int r : fault->also_ranks) {
+      if (r >= 0 && r < preset.nranks) failed[r] = 1;
+    }
 
     Selection sel;
     if (plan.style == RecoveryStyle::kJobPause) {
@@ -363,6 +442,7 @@ RecoveryResult run_with_faults(const ClusterPreset& preset,
     out.checkpoints_skipped += sel.checkpoints_skipped;
     out.ranks_restored_local += sel.restored_local;
     out.ranks_restored_replica += sel.restored_replica;
+    out.ranks_restored_erasure += sel.restored_erasure;
     out.ranks_restored_pfs += sel.restored_pfs;
   }
 }

@@ -10,6 +10,14 @@ namespace gbc::harness {
 struct FaultEvent {
   sim::Time at = 0;
   int rank = 0;  ///< node that dies (its local-tier images die with it)
+  /// Further nodes that die at the same instant (correlated failure, e.g. a
+  /// shared PSU or switch): they join the dead set before recovery is
+  /// chosen, so one event can erase up to m chunks of a parity group.
+  std::vector<int> also_ranks;
+
+  FaultEvent() = default;
+  FaultEvent(sim::Time at_, int rank_, std::vector<int> also = {})
+      : at(at_), rank(rank_), also_ranks(std::move(also)) {}
 };
 
 /// How each failure is recovered from.
@@ -46,6 +54,7 @@ struct RecoveryResult {
   int checkpoints_skipped = 0;
   int ranks_restored_local = 0;    ///< read back from the node-local tier
   int ranks_restored_replica = 0;  ///< fetched from the partner's replica
+  int ranks_restored_erasure = 0;  ///< decoded from the erasure stripe
   int ranks_restored_pfs = 0;      ///< read from the shared PFS
 };
 

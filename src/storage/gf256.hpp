@@ -1,0 +1,205 @@
+#pragma once
+
+// GF(256) arithmetic and a systematic Reed-Solomon codec for the diskless
+// erasure tier (storage/erasure.hpp; DESIGN.md §14). The simulator charges
+// *modelled* encode/decode time to the simulation clock, but the codec here
+// is a real one — tests round-trip actual bytes through it, and the
+// matrix-inversion path is exactly what the decode cost model prices.
+//
+// Layout: a (k+m) x k generator whose top k rows are the identity (data
+// chunks pass through untouched) and whose bottom m rows are a Cauchy
+// matrix C[i][j] = 1 / (x_i ^ y_j) with x_i = k + i, y_j = j. Every square
+// submatrix of a Cauchy matrix is invertible, so any k of the k+m rows of
+// [I; C] form an invertible system: any m chunk losses are recoverable.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "storage/storage.hpp"
+
+namespace gbc::storage::gf256 {
+
+/// Exp/log tables for GF(2^8) with the AES/ISA-L polynomial 0x11d,
+/// generator 2. exp is doubled so mul can skip the mod-255 reduction.
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint16_t, 256> log{};  // log[0] unused (log of 0 undefined)
+
+  constexpr Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      exp[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    exp[510] = exp[255];
+    exp[511] = exp[256];
+  }
+};
+
+inline constexpr Tables kTables{};
+
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kTables.exp[kTables.log[a] + kTables.log[b]];
+}
+
+inline std::uint8_t inv(std::uint8_t a) {
+  // a^-1 = g^(255 - log a); precondition a != 0.
+  return kTables.exp[255 - kTables.log[a]];
+}
+
+inline std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  return a == 0 ? 0 : mul(a, inv(b));
+}
+
+/// In-place Gauss-Jordan inversion of an n x n row-major matrix over
+/// GF(256). Returns false (matrix contents unspecified) when singular.
+inline bool invert_matrix(std::vector<std::uint8_t>& a, int n) {
+  std::vector<std::uint8_t> inv_m(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) inv_m[static_cast<std::size_t>(i) * n + i] = 1;
+  auto row = [n](std::vector<std::uint8_t>& mat, int r) {
+    return mat.data() + static_cast<std::size_t>(r) * n;
+  };
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (row(a, r)[col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;  // singular
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(row(a, pivot)[c], row(a, col)[c]);
+        std::swap(row(inv_m, pivot)[c], row(inv_m, col)[c]);
+      }
+    }
+    const std::uint8_t piv_inv = inv(row(a, col)[col]);
+    for (int c = 0; c < n; ++c) {
+      row(a, col)[c] = mul(row(a, col)[c], piv_inv);
+      row(inv_m, col)[c] = mul(row(inv_m, col)[c], piv_inv);
+    }
+    for (int r = 0; r < n; ++r) {
+      const std::uint8_t f = row(a, r)[col];
+      if (r == col || f == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        row(a, r)[c] ^= mul(f, row(a, col)[c]);
+        row(inv_m, r)[c] ^= mul(f, row(inv_m, col)[c]);
+      }
+    }
+  }
+  a = std::move(inv_m);
+  return true;
+}
+
+/// Systematic (k+m) x k generator: identity on top, Cauchy parity rows
+/// below. m == 0 is allowed (identity only, no redundancy).
+struct Codec {
+  int k = 0;
+  int m = 0;
+  std::vector<std::uint8_t> rows;  // (k+m) x k row-major
+
+  const std::uint8_t* row(int r) const {
+    return rows.data() + static_cast<std::size_t>(r) * k;
+  }
+};
+
+/// Builds the Cauchy-based codec. Requires 1 <= k, 0 <= m, k + m <= 256
+/// (x_i = k+i and y_j = j must stay distinct GF(256) elements).
+inline Codec make_codec(int k, int m) {
+  Codec c;
+  c.k = k;
+  c.m = m;
+  c.rows.assign(static_cast<std::size_t>(k + m) * k, 0);
+  for (int i = 0; i < k; ++i) {
+    c.rows[static_cast<std::size_t>(i) * k + i] = 1;
+  }
+  for (int i = 0; i < m; ++i) {
+    std::uint8_t* row = c.rows.data() + static_cast<std::size_t>(k + i) * k;
+    for (int j = 0; j < k; ++j) {
+      row[j] = inv(static_cast<std::uint8_t>((k + i) ^ j));
+    }
+  }
+  return c;
+}
+
+using Chunk = std::vector<std::uint8_t>;
+
+/// Splits `data` into k equal chunks, zero-padding the tail.
+inline std::vector<Chunk> split(const Chunk& data, int k) {
+  const std::size_t chunk =
+      data.empty() ? 0 : (data.size() + static_cast<std::size_t>(k) - 1) / k;
+  std::vector<Chunk> out(static_cast<std::size_t>(k), Chunk(chunk, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i / chunk][i % chunk] = data[i];
+  }
+  return out;
+}
+
+/// Inverse of split() for a known original size.
+inline Chunk join(const std::vector<Chunk>& chunks, std::size_t size) {
+  Chunk out(size, 0);
+  if (chunks.empty() || chunks[0].empty()) return out;
+  const std::size_t chunk = chunks[0].size();
+  for (std::size_t i = 0; i < size; ++i) out[i] = chunks[i / chunk][i % chunk];
+  return out;
+}
+
+/// Encodes k data chunks into the full k+m chunk stripe (data chunks are
+/// copied through; parity chunks are the Cauchy combinations).
+inline std::vector<Chunk> encode(const Codec& c,
+                                 const std::vector<Chunk>& data) {
+  std::vector<Chunk> stripe(data.begin(), data.end());
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  for (int p = 0; p < c.m; ++p) {
+    Chunk parity(len, 0);
+    const std::uint8_t* row = c.row(c.k + p);
+    for (int j = 0; j < c.k; ++j) {
+      const std::uint8_t f = row[j];
+      if (f == 0) continue;
+      const Chunk& d = data[static_cast<std::size_t>(j)];
+      for (std::size_t b = 0; b < len; ++b) parity[b] ^= mul(f, d[b]);
+    }
+    stripe.push_back(std::move(parity));
+  }
+  return stripe;
+}
+
+/// Recovers the k data chunks from any >= k surviving stripe chunks.
+/// `stripe[i]` empty means chunk i was erased. Returns false when fewer
+/// than k chunks survive or the selected submatrix is singular (impossible
+/// for make_codec() matrices, reachable with a hand-built degenerate one).
+inline bool decode(const Codec& c, const std::vector<Chunk>& stripe,
+                   std::vector<Chunk>* data_out) {
+  std::vector<int> have;
+  for (int i = 0; i < c.k + c.m && static_cast<int>(have.size()) < c.k; ++i) {
+    if (!stripe[static_cast<std::size_t>(i)].empty()) have.push_back(i);
+  }
+  if (static_cast<int>(have.size()) < c.k) return false;
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(c.k) * c.k);
+  for (int r = 0; r < c.k; ++r) {
+    const std::uint8_t* row = c.row(have[static_cast<std::size_t>(r)]);
+    std::copy(row, row + c.k, sub.begin() + static_cast<std::size_t>(r) * c.k);
+  }
+  if (!invert_matrix(sub, c.k)) return false;
+  const std::size_t len = stripe[static_cast<std::size_t>(have[0])].size();
+  data_out->assign(static_cast<std::size_t>(c.k), Chunk(len, 0));
+  for (int d = 0; d < c.k; ++d) {
+    Chunk& out = (*data_out)[static_cast<std::size_t>(d)];
+    const std::uint8_t* row = sub.data() + static_cast<std::size_t>(d) * c.k;
+    for (int r = 0; r < c.k; ++r) {
+      const std::uint8_t f = row[r];
+      if (f == 0) continue;
+      const Chunk& s = stripe[static_cast<std::size_t>(have[r])];
+      for (std::size_t b = 0; b < len; ++b) out[b] ^= mul(f, s[b]);
+    }
+  }
+  return true;
+}
+
+}  // namespace gbc::storage::gf256

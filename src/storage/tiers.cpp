@@ -9,6 +9,10 @@ TieredStore::TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
                          int nnodes)
     : eng_(eng), pfs_(pfs), cfg_(cfg), idle_cv_(eng) {
   for (int i = 0; i < nnodes; ++i) nodes_.emplace_back(eng_);
+  if (cfg_.enabled && cfg_.erasure.enabled) {
+    erasure_ = std::make_unique<ErasureTier>(eng_, cfg_.erasure, nnodes,
+                                             cfg_.replica_offset);
+  }
 }
 
 void TieredStore::trace_event(int node, const char* category,
@@ -80,6 +84,14 @@ sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
   }
 
   if (cfg_.replicate && nnodes() > 1) co_await replicate_image(img.id);
+  // Erasure protection runs after replication so the stripe scatter and the
+  // partner copy never interleave on the home node's staging lane in a
+  // schedule-dependent order. The write-through PFS path above skips this:
+  // those images are already durable against any node loss.
+  if (erasure_) {
+    co_await erasure_->protect(node, bytes, img.id, &img.ec, transport_,
+                               cfg_.replica_fallback_mbps);
+  }
   co_return img.id;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/condition.hpp"
@@ -10,6 +11,7 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "storage/erasure.hpp"
 #include "storage/storage.hpp"
 
 namespace gbc::storage {
@@ -49,6 +51,11 @@ struct TierConfig {
   /// Fallback replica bandwidth (MB/s) used only when no fabric transport
   /// is installed (standalone storage tests).
   double replica_fallback_mbps = 1250.0;
+
+  /// Diskless erasure coding: each image is additionally split into k data
+  /// + m parity chunks scattered across a parity group of remote nodes
+  /// (storage/erasure.hpp). Off by default.
+  ErasureConfig erasure;
 };
 
 /// Duration of moving `bytes` at `mbps` (binary MB/s), in simulated time.
@@ -85,6 +92,7 @@ class TieredStore {
     sim::Time written_at = -1;     ///< local (or write-through) completion
     sim::Time replicated_at = -1;  ///< partner copy completion, -1 pending
     sim::Time drained_at = -1;     ///< PFS durability instant, -1 pending
+    ErasureChunks ec;              ///< chunk placement, inactive when k == 0
   };
 
   TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
@@ -99,7 +107,12 @@ class TieredStore {
   /// Replica copies go through this (the harness installs the fabric's
   /// bulk_transfer). Without one, replica_fallback_mbps is charged.
   void set_replica_transport(Transport t) { transport_ = std::move(t); }
-  void set_trace(sim::Trace* trace) { trace_ = trace; }
+  void set_trace(sim::Trace* trace) {
+    trace_ = trace;
+    if (erasure_) erasure_->set_trace(trace);
+  }
+  /// Non-null iff the erasure knob set is enabled (and the tier is).
+  ErasureTier* erasure() const noexcept { return erasure_.get(); }
 
   /// Foreground snapshot write from `node`: local-tier write (plus partner
   /// replication when enabled), falling through to a direct PFS write when
@@ -139,17 +152,37 @@ class TieredStore {
     return img.local && !img.evicted;
   }
   static bool pfs_durable(const ImageInfo& img) { return img.drained_at >= 0; }
-  static bool replica_available(const ImageInfo& img, int failed_node) {
-    return img.replicated_at >= 0 && img.partner != failed_node;
+  /// Shared aliveness predicate for every remote-durability check below:
+  /// nodes outside the set (or unset, -1) count as alive.
+  static bool node_failed(int node, const std::vector<char>& failed_nodes) {
+    return node >= 0 && node < static_cast<int>(failed_nodes.size()) &&
+           failed_nodes[node];
   }
-  /// Same, against a set of dead nodes (multi-failure recovery): the
-  /// replica survives only if the partner node is not in the set.
+  /// Replica survives a set of dead nodes (multi-failure recovery) only if
+  /// the partner node is not in the set.
   static bool replica_available(const ImageInfo& img,
                                 const std::vector<char>& failed_nodes) {
-    if (img.replicated_at < 0) return false;
-    return img.partner < 0 ||
-           img.partner >= static_cast<int>(failed_nodes.size()) ||
-           !failed_nodes[img.partner];
+    return img.replicated_at >= 0 && !node_failed(img.partner, failed_nodes);
+  }
+  static bool replica_available(const ImageInfo& img, int failed_node) {
+    std::vector<char> failed(
+        failed_node >= 0 ? static_cast<std::size_t>(failed_node) + 1 : 0, 0);
+    if (failed_node >= 0) failed[static_cast<std::size_t>(failed_node)] = 1;
+    return replica_available(img, failed);
+  }
+  /// The erasure stripe is decodable when at least k placed chunks sit on
+  /// nodes outside the dead set (same predicate as replica_available).
+  static bool erasure_decodable(const ImageInfo& img,
+                                const std::vector<char>& failed_nodes) {
+    if (!img.ec.active()) return false;
+    int alive = 0;
+    for (std::size_t c = 0; c < img.ec.nodes.size(); ++c) {
+      if (img.ec.done_at[c] >= 0 &&
+          !node_failed(img.ec.nodes[c], failed_nodes)) {
+        ++alive;
+      }
+    }
+    return alive >= img.ec.k;
   }
 
   // --- stats ---
@@ -158,6 +191,12 @@ class TieredStore {
   std::int64_t images_drained() const noexcept { return images_drained_; }
   std::int64_t images_evicted() const noexcept { return images_evicted_; }
   std::int64_t replicas_made() const noexcept { return replicas_made_; }
+  std::int64_t images_encoded() const noexcept {
+    return erasure_ ? erasure_->images_encoded() : 0;
+  }
+  std::int64_t ec_chunks_placed() const noexcept {
+    return erasure_ ? erasure_->chunks_placed() : 0;
+  }
   /// Images still waiting for (or in) the drain across all nodes.
   int drain_backlog() const;
   /// Drain service coroutines currently alive (they are detached engine
@@ -194,6 +233,7 @@ class TieredStore {
   StorageSystem& pfs_;
   TierConfig cfg_;
   Transport transport_;
+  std::unique_ptr<ErasureTier> erasure_;
   sim::Trace* trace_ = nullptr;
   std::deque<NodeState> nodes_;  // deque: Condition is immovable
   std::deque<ImageInfo> images_;  // deque: stable refs across coroutine waits

@@ -59,6 +59,47 @@ void add_common_flags(harness::FlagSet& flags) {
   flags.add_double("drain-mbps", 50.0,
                    "background drain rate to the PFS (MB/s, 0 = never drain)");
   flags.add_bool("replicate", false, "copy each image to a partner node");
+  flags.add_string("tier-erasure", "",
+                   "erasure-code staged images as k,m data/parity chunks "
+                   "scattered across a parity group (e.g. 4,2; implies "
+                   "--tier; m=1 uses the XOR codec)");
+}
+
+// Parses/validates --tier-erasure k,m into the preset (empty = disabled).
+// Prints an error + usage and returns false on a bad spec; callers exit 2.
+bool apply_erasure_flag(const harness::FlagSet& flags,
+                        harness::ClusterPreset* p) {
+  const std::string spec = flags.get_string("tier-erasure");
+  if (spec.empty()) return true;
+  int k = 0, m = 0;
+  char extra = 0;
+  if (std::sscanf(spec.c_str(), "%d,%d%c", &k, &m, &extra) != 2) {
+    std::fprintf(stderr, "--tier-erasure expects k,m (e.g. 4,2)\n%s",
+                 flags.usage().c_str());
+    return false;
+  }
+  std::string err;
+  if (k < 1) {
+    err = "--tier-erasure: k must be >= 1";
+  } else if (m < 0) {
+    err = "--tier-erasure: m must be >= 0";
+  } else if (k + m > p->nranks) {
+    err = "--tier-erasure: k+m must be <= --ranks";
+  } else if (k + m > p->nranks - 1) {
+    err = "--tier-erasure: the k+m chunks need k+m distinct nodes besides "
+          "the writer (k+m <= ranks-1)";
+  }
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n%s", err.c_str(), flags.usage().c_str());
+    return false;
+  }
+  p->tier.enabled = true;  // the stripe lives on top of the staging tier
+  p->tier.erasure.enabled = true;
+  p->tier.erasure.k = k;
+  p->tier.erasure.m = m;
+  p->tier.erasure.codec =
+      m == 1 ? storage::ErasureCodec::kXor : storage::ErasureCodec::kRs;
+  return true;
 }
 
 // Shared --shards/--threads flag group (run, scale). The two commands must
@@ -191,6 +232,7 @@ int cmd_run(int argc, const char* const* argv) {
   if (!validate_shard_flags(flags, flags.get_int("ranks"))) return 2;
 
   harness::ClusterPreset preset = make_cluster(flags);
+  if (!apply_erasure_flag(flags, &preset)) return 2;
   preset.shards = flags.get_int("shards");
   const int want = flags.get_int("threads");
   const int leased =
@@ -288,6 +330,7 @@ int cmd_delay(int argc, const char* const* argv) {
     return flags.help_requested() ? 0 : 2;
   }
   auto cluster = make_cluster(flags);
+  if (!apply_erasure_flag(flags, &cluster)) return 2;
   auto factory = make_workload(flags, cluster.nranks);
   auto m = harness::measure_effective_delay(
       cluster, factory, make_ckpt_config(flags),
@@ -315,6 +358,7 @@ int cmd_sweep(int argc, const char* const* argv) {
     return flags.help_requested() ? 0 : 2;
   }
   auto cluster = make_cluster(flags);
+  if (!apply_erasure_flag(flags, &cluster)) return 2;
   auto factory = make_workload(flags, cluster.nranks);
   auto cc = make_ckpt_config(flags);
   const double base =
@@ -351,6 +395,7 @@ int cmd_trace(int argc, const char* const* argv) {
   }
   auto cluster = make_cluster(flags);
   if (cluster.nranks > 16) cluster.nranks = 16;  // keep the chart readable
+  if (!apply_erasure_flag(flags, &cluster)) return 2;
   auto factory = make_workload(flags, cluster.nranks);
   std::vector<harness::CkptRequest> reqs;
   reqs.push_back(
@@ -395,6 +440,7 @@ int cmd_recover(int argc, const char* const* argv) {
     return flags.help_requested() ? 0 : 2;
   }
   auto cluster = make_cluster(flags);
+  if (!apply_erasure_flag(flags, &cluster)) return 2;
   auto factory = make_workload(flags, cluster.nranks);
   auto cc = make_ckpt_config(flags);
   auto clean = harness::run_experiment(cluster, factory, cc);
@@ -414,9 +460,9 @@ int cmd_recover(int argc, const char* const* argv) {
               static_cast<unsigned long long>(rec.rollback_iteration));
   if (cluster.tier.enabled) {
     std::printf("ckpts skipped (tier)  : %8d\n", rec.checkpoints_skipped);
-    std::printf("restored local/rep/pfs: %4d /%4d /%4d\n",
+    std::printf("restored loc/rep/ec/pfs: %3d /%4d /%4d /%4d\n",
                 rec.ranks_restored_local, rec.ranks_restored_replica,
-                rec.ranks_restored_pfs);
+                rec.ranks_restored_erasure, rec.ranks_restored_pfs);
   }
   std::printf("restart image reads   : %8.1f s\n", rec.restart_read_seconds);
   std::printf("time to solution      : %8.1f s\n", rec.total_seconds);
@@ -437,6 +483,7 @@ int cmd_mtbf(int argc, const char* const* argv) {
     return flags.help_requested() ? 0 : 2;
   }
   auto cluster = make_cluster(flags);
+  if (!apply_erasure_flag(flags, &cluster)) return 2;
   auto factory = make_workload(flags, cluster.nranks);
   harness::FailureModel fm;
   fm.mtbf_seconds = flags.get_double("mtbf");
@@ -618,6 +665,9 @@ void print_toplevel_usage() {
       "  --tier-capacity-mib N   local tier capacity per node (0 = unbounded)\n"
       "  --drain-mbps N          background drain rate to the PFS (0 = never)\n"
       "  --replicate             copy each image to a partner node\n"
+      "  --tier-erasure K,M      erasure-code images into K data + M parity\n"
+      "                          chunks scattered over K+M nodes (implies\n"
+      "                          --tier; M=1 uses the XOR codec)\n"
       "\n"
       "tracing / recovery flags:\n"
       "  --trace-out FILE        (trace) chrome://tracing JSON of the schedule\n"
