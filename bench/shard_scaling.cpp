@@ -68,6 +68,12 @@ struct FullstackRow {
   std::uint64_t events = 0;
   std::vector<std::uint64_t> shard_events;
   double shard0_share = 0;
+  // Per-LP delivery split from the bus (rank LPs 0..n-1, then the root
+  // service LP): the decomposition metric. service_shard0_share is the
+  // root LP's fraction of all bus deliveries — what remains of the old
+  // monolithic service LP after coordinators and storage servers moved out.
+  std::vector<std::uint64_t> lp_delivered;
+  double service_shard0_share = 0;
   std::uint64_t hash = 0;
 };
 
@@ -123,6 +129,16 @@ FullstackRow run_fullstack(int nranks, int shards, int threads,
       row.events > 0
           ? static_cast<double>(row.shard_events[0]) / row.events
           : 0.0;
+  const sim::LpBus& bus = cluster.bus();
+  std::uint64_t delivered_total = 0;
+  for (int lp = 0; lp <= nranks; ++lp) {
+    row.lp_delivered.push_back(bus.delivered(lp));
+    delivered_total += bus.delivered(lp);
+  }
+  row.service_shard0_share =
+      delivered_total > 0
+          ? static_cast<double>(row.lp_delivered.back()) / delivered_total
+          : 0.0;
   // Fold completion + per-rank state into one comparable digest.
   std::uint64_t h = static_cast<std::uint64_t>(row.completion);
   for (int r = 0; r < nranks; ++r) {
@@ -145,15 +161,24 @@ void append_fullstack_record(int ranks, int shards, const FullstackRow& r) {
                "\"threads\":%d,\"points\":1,\"wall_seconds\":%.6f,"
                "\"events\":%llu,\"events_per_second\":%.0f,"
                "\"shard0_events\":%llu,\"shard0_share\":%.4f,"
+               "\"service_shard0_share\":%.4f,"
                "\"shard_events\":[",
                shards, sha && *sha ? sha : "unknown", ranks, shards,
                r.threads_used, r.wall, static_cast<unsigned long long>(r.events),
                r.wall > 0 ? ev / r.wall : 0.0,
                static_cast<unsigned long long>(r.shard_events[0]),
-               r.shard0_share);
+               r.shard0_share, r.service_shard0_share);
   for (std::size_t s = 0; s < r.shard_events.size(); ++s) {
     std::fprintf(f, "%s%llu", s ? "," : "",
                  static_cast<unsigned long long>(r.shard_events[s]));
+  }
+  // The full per-LP delivery split (rank LPs 0..n-1, then the service LP):
+  // which *logical process* the traffic lands on, independent of how LPs are
+  // packed onto shards.
+  std::fprintf(f, "],\"lp_delivered\":[");
+  for (std::size_t lp = 0; lp < r.lp_delivered.size(); ++lp) {
+    std::fprintf(f, "%s%llu", lp ? "," : "",
+                 static_cast<unsigned long long>(r.lp_delivered[lp]));
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);
@@ -163,13 +188,14 @@ int run_fullstack_sweep(int ranks, std::uint64_t iterations) {
   bench::banner("shard scaling, full protocol stack (events/s vs DES shards)",
                 "per-rank LP sharding, DESIGN.md 13");
   harness::Table t({"shards", "threads", "wall_s", "completion_s", "events",
-                    "kev_per_s", "shard0_share", "hash"});
+                    "kev_per_s", "shard0_share", "svc_share", "hash"});
   std::FILE* csv =
       std::fopen(bench::csv_path("shard_scaling_fullstack").c_str(), "w");
   if (csv) {
     std::fprintf(csv,
                  "shards,threads,wall_seconds,completion_seconds,events,"
-                 "events_per_second,shard0_events,shard0_share,hash\n");
+                 "events_per_second,shard0_events,shard0_share,"
+                 "service_shard0_share,hash\n");
   }
   std::uint64_t first_hash = 0;
   bool hashes_agree = true;
@@ -188,15 +214,16 @@ int run_fullstack_sweep(int ranks, std::uint64_t iterations) {
                std::to_string(r.events),
                harness::Table::num(static_cast<double>(r.events) / r.wall /
                                    1e3),
-               harness::Table::num(r.shard0_share), hash});
+               harness::Table::num(r.shard0_share),
+               harness::Table::num(r.service_shard0_share), hash});
     if (csv) {
-      std::fprintf(csv, "%d,%d,%.6f,%.6f,%llu,%.0f,%llu,%.4f,%016llx\n",
+      std::fprintf(csv, "%d,%d,%.6f,%.6f,%llu,%.0f,%llu,%.4f,%.4f,%016llx\n",
                    shards, r.threads_used, r.wall,
                    sim::to_seconds(r.completion),
                    static_cast<unsigned long long>(r.events),
                    r.wall > 0 ? static_cast<double>(r.events) / r.wall : 0.0,
                    static_cast<unsigned long long>(r.shard_events[0]),
-                   r.shard0_share,
+                   r.shard0_share, r.service_shard0_share,
                    static_cast<unsigned long long>(r.hash));
     }
     append_fullstack_record(ranks, shards, r);

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json perf snapshots and flag throughput regressions.
+"""Compare BENCH_*.json perf snapshots and flag throughput regressions.
 
-Usage: scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+Usage: scripts/bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+           [--threshold PCT] [--write-median OUT.json]
 
 Matches google-benchmark entries by name on `items_per_second` and sweep
 records by their identifying fields on `events_per_second`, prints a
@@ -10,12 +11,23 @@ regressed by more than PCT percent (default 10). Entries present in only
 one snapshot are reported but never fail the check — benches come and go
 across PRs; only like-for-like slowdowns block.
 
+When more than one CURRENT snapshot is given (bench/run_benchmarks.sh
+passes GBC_BENCH_REPS=3 reruns), each entry's current value is the
+*median* across the reruns: on a single-CPU box one rerun's numbers swing
+with host load, so gating on a lone sample flips the regression flag
+between invocations (observed in PR 9). The median of three is stable.
+--write-median additionally writes the first snapshot with every matched
+metric replaced by its median — the stable file committed as
+BENCH_pr<N>.json. Pass "-" as BASELINE to skip the comparison and only
+merge (first run of a new repo, no baseline yet).
+
 Invoked from bench/run_benchmarks.sh when a baseline snapshot is present
 (GBC_BENCH_BASELINE, or the newest BENCH_pr*.json in the repo root).
 """
 
 import argparse
 import json
+import statistics
 import sys
 
 # Fields that identify a sweep record across snapshots (everything that
@@ -62,28 +74,76 @@ def sweep_rates(snap):
     return out
 
 
+def median_rates(snaps):
+    """Per-entry median of each snapshot's rate map (keys missing from some
+    reruns use the values that are present)."""
+    maps = [{**bench_rates(s), **sweep_rates(s)} for s in snaps]
+    out = {}
+    for key in {k for m in maps for k in m}:
+        out[key] = statistics.median(m[key] for m in maps if key in m)
+    return out
+
+
+def write_median(path, snaps, cur):
+    """Writes snaps[0] with every matched metric replaced by the median
+    across the reruns, so the committed snapshot is as stable as the gate."""
+    merged = snaps[0]
+    for b in merged.get("benchmarks", []):
+        if b.get("name") in cur and isinstance(
+            b.get("items_per_second"), (int, float)
+        ):
+            b["items_per_second"] = cur[b["name"]]
+    for s in merged.get("sweeps", []):
+        key = "sweep:" + ",".join(
+            f"{f}={s[f]}" for f in SWEEP_KEY_FIELDS if f in s
+        )
+        if key in cur and isinstance(
+            s.get("events_per_second"), (int, float)
+        ):
+            s["events_per_second"] = cur[key]
+    with open(path, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print(f"wrote median snapshot ({len(snaps)} rep(s)) to {path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", help='baseline snapshot, or "-" for none')
+    ap.add_argument("current", nargs="+",
+                    help="current snapshot(s); >1 = median across reruns")
     ap.add_argument(
         "--threshold",
         type=float,
         default=10.0,
         help="regression percentage that fails the check (default: 10)",
     )
+    ap.add_argument(
+        "--write-median",
+        metavar="OUT.json",
+        help="write the median-merged current snapshot here",
+    )
     args = ap.parse_args()
 
+    cur_snaps = [load(p) for p in args.current]
+    cur = median_rates(cur_snaps)
+    if args.write_median:
+        write_median(args.write_median, cur_snaps, cur)
+    if args.baseline == "-":
+        print("no baseline: comparison skipped")
+        return 0
+
     base_snap = load(args.baseline)
-    cur_snap = load(args.current)
     base = {**bench_rates(base_snap), **sweep_rates(base_snap)}
-    cur = {**bench_rates(cur_snap), **sweep_rates(cur_snap)}
 
     shared = sorted(set(base) & set(cur))
     regressions = []
     width = max((len(n) for n in shared), default=4)
     print(f"baseline: {args.baseline} ({base_snap.get('git_sha', '?')[:12]})")
-    print(f"current:  {args.current} ({cur_snap.get('git_sha', '?')[:12]})")
+    reps = len(cur_snaps)
+    cur_sha = cur_snaps[0].get("git_sha", "?")[:12]
+    print(f"current:  {', '.join(args.current)} "
+          f"({cur_sha}{f', median of {reps}' if reps > 1 else ''})")
     print(f"{'name':<{width}}  {'baseline':>14}  {'current':>14}  {'delta':>8}")
     for name in shared:
         b, c = base[name], cur[name]

@@ -10,9 +10,12 @@
 # sharded DES (label `shard`: SPSC mailbox stress, window-barrier pool,
 # thread budget, scale-model runs), the full protocol stack under relay
 # sharding (label `fullshard`: `gbcsim run --shards 4` byte-identity plus
-# the multi-threaded SimCluster integration suite), and the erasure tier
+# the multi-threaded SimCluster integration suite), the erasure tier
 # (label `erasure`: the GF(256) codec, parity-group recovery, and the fig9
-# shard-determinism run, whose encode/scatter lives on the service LP).
+# shard-determinism run), and the federated service LPs (label `svcshard`:
+# per-group coordinator dispatch, root-LP recovery of a dead coordinator,
+# partitioned-ledger determinism and the same-shard fast-path stress —
+# DESIGN.md §15).
 #
 # Usage: scripts/sanitize_check.sh [build-dir] [tsan-build-dir]
 #   build-dir       ASan/UBSan build tree (default: build-asan)
@@ -39,11 +42,16 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L fullshard
 # JoinSet-fanned chunk scatter/fetch paths get a dedicated ASan pass.
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L erasure
 
+# And the service-LP federation: coordinator dispatch forks CycleContext
+# across shards and the per-node ledger partitions hand pooled images
+# between engines — exactly the lifetimes passthrough pools expose.
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L svcshard
+
 echo "== thread sanitizer stage =="
 cmake -B "$TSAN_BUILD" -S . -DGBC_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-      -L "sweep|storage|shard|fullshard|erasure"
+      -L "sweep|storage|shard|fullshard|erasure|svcshard"
 
 echo "sanitize check passed"

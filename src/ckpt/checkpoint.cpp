@@ -161,11 +161,10 @@ void CheckpointService::request_every(sim::Time first, sim::Time interval,
   });
 }
 
-Bytes CheckpointService::image_bytes_for(int rank) const {
+Bytes CheckpointService::image_bytes_for(int rank, sim::Time now) const {
   const Bytes full = footprint(rank);
   if (!cfg_.incremental || last_snapshot_at_[rank] < 0) return full;
-  const double elapsed =
-      sim::to_seconds(eng_.now() - last_snapshot_at_[rank]);
+  const double elapsed = sim::to_seconds(now - last_snapshot_at_[rank]);
   const double dirty =
       cfg_.dirty_floor + cfg_.dirty_rate_per_second * elapsed;
   if (dirty >= 1.0) return full;
@@ -205,13 +204,30 @@ sim::Task<GlobalCheckpoint> CheckpointService::checkpoint(Protocol protocol) {
 }
 
 sim::Task<void> CheckpointService::snapshot_rank(int rank,
-                                                 GlobalCheckpoint& gc) {
+                                                 GlobalCheckpoint& gc,
+                                                 int self_lp) {
+  // The image write runs on the rank's own LP — the partitioned storage
+  // server for its node — so the snapshot machinery (footprint/capture
+  // reads, tier partition append, drain pause) touches only shard-local
+  // state. The caller (root or a group coordinator) just awaits the RPC.
+  sim::LpBus& bus = mpi_.fabric().bus();
+  CheckpointService* self = this;
+  GlobalCheckpoint* gcp = &gc;
+  const int src = self_lp < 0 ? bus.svc_lp() : self_lp;
+  co_await bus.call(src, rank, [self, rank, gcp] {
+    return self->write_snapshot(rank, *gcp);
+  });
+}
+
+sim::Task<void> CheckpointService::write_snapshot(int rank,
+                                                  GlobalCheckpoint& gc) {
+  sim::Engine& eng = mpi_.fabric().bus().engine_of(rank);
   auto& snap = gc.snapshots[rank];
-  snap.image_bytes = image_bytes_for(rank);
+  snap.image_bytes = image_bytes_for(rank, eng.now());
   if (capture_) snap.app_state = capture_(rank);
-  snap.taken_at = eng_.now();
-  last_snapshot_at_[rank] = eng_.now();
-  const sim::Time t0 = eng_.now();
+  snap.taken_at = eng.now();
+  last_snapshot_at_[rank] = eng.now();
+  const sim::Time t0 = eng.now();
   if (tier_ && tier_->enabled() && cfg_.use_tier) {
     // Multi-level staging: the frozen rank writes to its node-local tier
     // (plus the partner replica when enabled); the drain to the PFS runs on
@@ -232,9 +248,15 @@ sim::Task<void> CheckpointService::snapshot_rank(int rank,
       snap.placement = ImagePlacement::kPfs;  // capacity write-through
     }
   } else {
-    co_await fs_.write(snap.image_bytes);
+    // No staging tier: the image goes straight to the shared PFS, which is
+    // root-owned — route the write there so PFS arbitration stays on one LP.
+    sim::LpBus& bus = mpi_.fabric().bus();
+    storage::StorageSystem* fs = &fs_;
+    const Bytes bytes = snap.image_bytes;
+    co_await bus.call(rank, bus.svc_lp(),
+                      [fs, bytes] { return fs->write(bytes); });
   }
-  snap.storage_time = eng_.now() - t0;
+  snap.storage_time = eng.now() - t0;
 }
 
 // ---------------------------------------------------------------------------
@@ -243,7 +265,14 @@ sim::Task<void> CheckpointService::snapshot_rank(int rank,
 // CheckpointService internals.
 // ---------------------------------------------------------------------------
 
-sim::Engine& CycleContext::engine() noexcept { return svc_.eng_; }
+int CycleContext::self_lp() const noexcept {
+  return self_lp_ < 0 ? svc_.mpi_.fabric().bus().svc_lp() : self_lp_;
+}
+
+sim::Engine& CycleContext::engine() noexcept {
+  return self_lp_ < 0 ? svc_.eng_
+                      : svc_.mpi_.fabric().bus().engine_of(self_lp_);
+}
 mpi::MiniMPI& CycleContext::mpi() noexcept { return svc_.mpi_; }
 storage::StorageSystem& CycleContext::shared_fs() noexcept { return svc_.fs_; }
 const CkptConfig& CycleContext::config() const noexcept { return svc_.cfg_; }
@@ -299,21 +328,46 @@ void CycleContext::set_defer_active(bool on) {
 }
 
 void CycleContext::mark_on_recovery_line(int rank) {
+  assert(at_root());  // the line is root-owned state
   svc_.done_[rank] = 1;
   if (svc_.trace_) {
     svc_.trace_->add(svc_.eng_.now(), rank, "snapshot", "recovery line");
   }
 }
 
-void CycleContext::notify_gate() { svc_.gate_->notify(); }
+void CycleContext::notify_gate() {
+  assert(at_root());  // the gate fan-out sends from the service LP
+  svc_.gate_->notify();
+}
+
+sim::Task<void> CycleContext::mark_group_on_recovery_line(
+    const std::vector<int>& group) {
+  // One coordinator→root message moves the whole group across the line and
+  // triggers the gate broadcast from the LP that owns both. Merging the
+  // marks with the notify keeps the line flip atomic in bus order: no
+  // sender can observe half a group on the new side.
+  sim::LpBus& bus = svc_.mpi_.fabric().bus();
+  CheckpointService* svc = &svc_;
+  const std::vector<int>* g = &group;
+  co_await bus.call(self_lp(), bus.svc_lp(), [svc, g]() -> sim::Task<void> {
+    for (int m : *g) {
+      svc->done_[m] = 1;
+      if (svc->trace_) {
+        svc->trace_->add(svc->eng_.now(), m, "snapshot", "recovery line");
+      }
+    }
+    svc->gate_->notify();
+    co_return;
+  });
+}
 
 sim::Task<void> CycleContext::freeze(int rank) {
   sim::LpBus& bus = svc_.mpi_.fabric().bus();
   mpi::MiniMPI* mpi = &svc_.mpi_;
   // The pause lands on the rank's shard one bus hop out; the RPC reply only
   // tells us it happened. Stamp the instant the rank actually stopped.
-  const sim::Time pause_at = svc_.eng_.now() + bus.floor();
-  co_await bus.call(bus.svc_lp(), rank, [mpi, rank]() -> sim::Task<void> {
+  const sim::Time pause_at = engine().now() + bus.floor();
+  co_await bus.call(self_lp(), rank, [mpi, rank]() -> sim::Task<void> {
     mpi->rank(rank).freeze();
     co_return;
   });
@@ -324,51 +378,92 @@ sim::Task<void> CycleContext::freeze(int rank) {
 void CycleContext::thaw(int rank) {
   sim::LpBus& bus = svc_.mpi_.fabric().bus();
   mpi::MiniMPI* mpi = &svc_.mpi_;
-  bus.send(bus.svc_lp(), rank, [mpi, rank] { mpi->rank(rank).thaw(); });
-  const sim::Time resume_at = svc_.eng_.now() + bus.floor();
+  bus.send(self_lp(), rank, [mpi, rank] { mpi->rank(rank).thaw(); });
+  const sim::Time resume_at = engine().now() + bus.floor();
   gc_.snapshots[rank].resume_at = resume_at;
   if (svc_.trace_) {
     // The resume lands one bus floor out; emit the trace event *at* that
     // instant so the trace stays append-ordered in time.
     sim::Trace* tr = svc_.trace_;
-    svc_.eng_.schedule_at(resume_at, [tr, resume_at, rank] {
+    engine().schedule_at(resume_at, [tr, resume_at, rank] {
       tr->add(resume_at, rank, "resume", "");
     });
   }
 }
 
 sim::Task<void> CycleContext::snapshot_rank(int rank) {
-  return svc_.snapshot_rank(rank, gc_);
+  return svc_.snapshot_rank(rank, gc_, self_lp_);
 }
 
 namespace {
 /// Waits (by RPC on the peer's shard) for the peer's progress engine to
 /// service a passive coordination request (Sec. 4.2/4.4).
-sim::Task<void> await_peer_service(CheckpointService& svc,
-                                   mpi::MiniMPI& mpi, int peer) {
+sim::Task<void> await_peer_service(CheckpointService& svc, mpi::MiniMPI& mpi,
+                                   int peer, int self_lp) {
   sim::LpBus& bus = mpi.fabric().bus();
   mpi::MiniMPI* m = &mpi;
   const bool ap = svc.config().async_progress;
   const sim::Time hi = svc.config().helper_interval;
-  co_await bus.call(bus.svc_lp(), peer, [m, peer, ap, hi] {
+  co_await bus.call(self_lp, peer, [m, peer, ap, hi] {
     return m->rank(peer).exec().await_service_point(ap, hi);
   });
 }
 }  // namespace
 
+sim::Task<std::vector<int>> CycleContext::connected_peers(int m) {
+  net::Fabric* fab = &svc_.mpi_.fabric();
+  if (at_root()) co_return fab->connections().connected_peers(m);
+  // The connection manager lives on the root LP; a coordinator asks for the
+  // peer list by message.
+  sim::LpBus& bus = fab->bus();
+  std::vector<int> peers;
+  std::vector<int>* out = &peers;
+  co_await bus.call(self_lp_, bus.svc_lp(), [fab, m, out]() -> sim::Task<void> {
+    *out = fab->connections().connected_peers(m);
+    co_return;
+  });
+  co_return peers;
+}
+
+bool CycleContext::take_coordinator_failure(int coord) {
+  if (svc_.abandon_coordinator_ != coord) return false;
+  svc_.abandon_coordinator_ = -1;
+  return true;
+}
+
 sim::Task<void> CycleContext::teardown_one(int m, int peer,
                                            bool peer_passive) {
   // A peer outside the checkpointing set participates passively: the request
   // first waits until the peer's progress engine services it (Sec. 4.2/4.4).
-  if (peer_passive) co_await await_peer_service(svc_, svc_.mpi_, peer);
-  co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // disconnect RPC
-  co_await svc_.mpi_.fabric().connections().disconnect(m, peer);
+  if (peer_passive) {
+    co_await await_peer_service(svc_, svc_.mpi_, peer, self_lp());
+  }
+  co_await engine().delay(svc_.cfg_.control_latency);  // disconnect RPC
+  net::Fabric* fab = &svc_.mpi_.fabric();
+  if (at_root()) {
+    co_await fab->connections().disconnect(m, peer);
+  } else {
+    sim::LpBus& bus = fab->bus();
+    co_await bus.call(self_lp_, bus.svc_lp(), [fab, m, peer] {
+      return fab->connections().disconnect(m, peer);
+    });
+  }
 }
 
 sim::Task<void> CycleContext::rebuild_one(int m, int peer, bool peer_passive) {
-  if (peer_passive) co_await await_peer_service(svc_, svc_.mpi_, peer);
-  co_await svc_.eng_.delay(svc_.cfg_.control_latency);  // reconnect RPC
-  co_await svc_.mpi_.fabric().connections().ensure_connected(m, peer);
+  if (peer_passive) {
+    co_await await_peer_service(svc_, svc_.mpi_, peer, self_lp());
+  }
+  co_await engine().delay(svc_.cfg_.control_latency);  // reconnect RPC
+  net::Fabric* fab = &svc_.mpi_.fabric();
+  if (at_root()) {
+    co_await fab->connections().ensure_connected(m, peer);
+  } else {
+    sim::LpBus& bus = fab->bus();
+    co_await bus.call(self_lp_, bus.svc_lp(), [fab, m, peer] {
+      return fab->connections().ensure_connected(m, peer);
+    });
+  }
 }
 
 sim::Time CycleContext::fanout_latency(int width) const {
@@ -377,14 +472,14 @@ sim::Time CycleContext::fanout_latency(int width) const {
 
 void CycleContext::phase_begin(Phase p, int actor) {
   if (svc_.trace_) {
-    svc_.trace_->add(svc_.eng_.now(), actor,
+    svc_.trace_->add(engine().now(), actor,
                      std::string("phase/") + phase_name(p), "begin");
   }
 }
 
 void CycleContext::phase_end(Phase p, int actor) {
   if (svc_.trace_) {
-    svc_.trace_->add(svc_.eng_.now(), actor,
+    svc_.trace_->add(engine().now(), actor,
                      std::string("phase/") + phase_name(p), "end");
   }
 }

@@ -189,6 +189,13 @@ class CheckpointService {
   bool tracking_ranks() const noexcept { return live_ranks_ >= 0; }
   int live_ranks() const noexcept { return live_ranks_; }
 
+  /// Test hook (coordinator federation): arms a one-shot failure of the
+  /// group coordinator anchored at `rank` — its next dispatch aborts before
+  /// any member is touched (the coordinator's node "died" right after the
+  /// fan-out reached it) and the root LP runs that group itself. Arm at
+  /// quiescence, before the cycle.
+  void fail_coordinator_once(int rank) { abandon_coordinator_ = rank; }
+
  private:
   /// The consistency rule, evaluated on the *sender's* shard: each shard
   /// owns a mirror (ShardView) of the recovery-line state, anchored at its
@@ -219,12 +226,19 @@ class CheckpointService {
   /// The per-cycle façade protocol runners act through (protocol.hpp).
   friend class CycleContext;
 
-  sim::Task<void> snapshot_rank(int rank, GlobalCheckpoint& gc);
+  /// Routes the image write to `rank`'s own LP (the partitioned storage
+  /// server for its node) from the anchor LP `self_lp` (-1 = service LP).
+  sim::Task<void> snapshot_rank(int rank, GlobalCheckpoint& gc, int self_lp);
+  /// The write itself: runs on `rank`'s home engine — footprint/capture
+  /// callbacks read rank-owned workload slots, the tier write lands in the
+  /// node's partition, and only the shared-PFS legs leave the shard.
+  sim::Task<void> write_snapshot(int rank, GlobalCheckpoint& gc);
   Bytes footprint(int rank) const {
     return footprint_ ? footprint_(rank) : storage::mib(64);
   }
-  /// Bytes actually written for this snapshot (full or incremental).
-  Bytes image_bytes_for(int rank) const;
+  /// Bytes actually written for this snapshot (full or incremental), given
+  /// the writing engine's current time.
+  Bytes image_bytes_for(int rank, sim::Time now) const;
 
   sim::Engine& eng_;
   mpi::MiniMPI& mpi_;
@@ -240,6 +254,7 @@ class CheckpointService {
   bool defer_active_ = false;   // gate enforces the done/not-done rule
   sim::Condition cycle_done_;
   int live_ranks_ = -1;  // -1: harness not reporting rank liveness
+  int abandon_coordinator_ = -1;  // one-shot test hook, see above
   sim::Trace* trace_ = nullptr;
   std::vector<sim::Time> last_snapshot_at_;  // -1: no snapshot yet
   std::vector<GlobalCheckpoint> history_;

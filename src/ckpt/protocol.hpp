@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ckpt/group_formation.hpp"
 #include "sim/task.hpp"
@@ -43,11 +44,32 @@ const char* phase_name(Phase p);
 /// do during one global checkpoint, and nothing else. Wraps the service's
 /// internals (deferral gate, trace, tier-aware snapshot writes) so protocol
 /// TUs cannot reach into CheckpointService state directly.
+///
+/// A context is anchored at an LP (`self_lp`): the service LP by default,
+/// or — via fork_for() — a per-group checkpoint coordinator LP, which runs
+/// the group phase machine on its own home shard (DESIGN.md §15). Every
+/// control-plane primitive below uses self_lp as its bus source, and the
+/// ones that touch root-owned state (connection manager, recovery line,
+/// shared PFS) route there by message when anchored away from the root.
 class CycleContext {
  public:
   CycleContext(CheckpointService& svc, GlobalCheckpoint& gc)
       : svc_(svc), gc_(gc) {}
 
+  /// A copy of this context anchored at `self_lp` (a group coordinator).
+  /// The fork shares the cycle and service; only the anchor differs.
+  CycleContext fork_for(int self_lp) const {
+    CycleContext c(svc_, gc_);
+    c.self_lp_ = self_lp;
+    return c;
+  }
+  /// The LP this context runs on (resolves the root anchor to the bus's
+  /// service LP id).
+  int self_lp() const noexcept;
+  bool at_root() const noexcept { return self_lp_ < 0; }
+
+  /// The anchor's engine: the service engine at root, the coordinator's
+  /// home shard engine in a fork.
   sim::Engine& engine() noexcept;
   mpi::MiniMPI& mpi() noexcept;
   storage::StorageSystem& shared_fs() noexcept;
@@ -68,11 +90,17 @@ class CycleContext {
   /// Installs the plan's rank→group map and clears the recovery-line state.
   void assign_groups(const GroupPlan& plan);
   /// Enables/disables traffic deferral across the recovery line.
+  /// Root-anchored contexts only (the flag is root-owned).
   void set_defer_active(bool on);
   /// Flips `rank` onto the new side of the recovery line (traced).
+  /// Root-anchored contexts only; coordinators use the group form below.
   void mark_on_recovery_line(int rank);
-  /// Wakes senders blocked on the gate after the line moved.
+  /// Wakes senders blocked on the gate after the line moved. Root only.
   void notify_gate();
+  /// Coordinator form: flips a whole group onto the new side of the line
+  /// and wakes the gate, as ONE message to the root LP (which owns the
+  /// line and the gate fan-out). Works from any anchor.
+  sim::Task<void> mark_group_on_recovery_line(const std::vector<int>& group);
 
   // --- per-rank BLCR-style control (all traced) ---
   /// Freezes `rank` by RPC to its shard; resolves once the pause landed
@@ -85,8 +113,17 @@ class CycleContext {
   sim::Task<void> snapshot_rank(int rank);
 
   // --- connection churn with passive-peer service points ---
+  /// Rank m's currently-connected peers. The connection manager is
+  /// root-owned: a forked context fetches the list by RPC.
+  sim::Task<std::vector<int>> connected_peers(int m);
   sim::Task<void> teardown_one(int m, int peer, bool peer_passive);
   sim::Task<void> rebuild_one(int m, int peer, bool peer_passive);
+
+  /// Test hook: true exactly once for the group coordinator `coord` after
+  /// CheckpointService::fail_coordinator_once(coord) armed it — the
+  /// coordinator then abandons its dispatch (its node "died" right after
+  /// the fan-out reached it) and the root LP recovers the group.
+  bool take_coordinator_failure(int coord);
 
   /// Latency of a binomial-tree control fan-out over `width` endpoints.
   sim::Time fanout_latency(int width) const;
@@ -98,6 +135,7 @@ class CycleContext {
  private:
   CheckpointService& svc_;
   GlobalCheckpoint& gc_;
+  int self_lp_ = -1;  ///< -1 = the root (service) LP
 };
 
 /// One checkpoint protocol: runs a full cycle phase by phase. Implementations

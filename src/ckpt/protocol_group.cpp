@@ -21,6 +21,9 @@ namespace {
 /// One group's cycle: quiesce → drain/teardown → snapshot → resume →
 /// rebuild. Resume precedes rebuild on purpose — members start computing
 /// again while their connections are re-established lazily or eagerly.
+/// Runs on `ctx`'s anchor: normally a forked context on the group
+/// coordinator's home shard, or the root context when the root recovers an
+/// abandoned group.
 sim::Task<void> checkpoint_group(CycleContext& ctx,
                                  const std::vector<int>& group) {
   auto in_group = [&group](int r) {
@@ -51,7 +54,7 @@ sim::Task<void> checkpoint_group(CycleContext& ctx,
   {
     sim::JoinSet teardown(ctx.engine());
     for (int m : group) {
-      for (int peer : ctx.mpi().fabric().connections().connected_peers(m)) {
+      for (int peer : co_await ctx.connected_peers(m)) {
         if (in_group(peer) && peer < m) continue;  // counted from the other end
         torn_down.emplace_back(m, peer);
         teardown.launch(ctx.teardown_one(m, peer, !in_group(peer)));
@@ -67,9 +70,10 @@ sim::Task<void> checkpoint_group(CycleContext& ctx,
   // any group on the other side of the line must be deferred (paper
   // Sec. 3.2) — flipping the flag any later would let a not-yet-
   // checkpointed rank slip a message into a snapshotted one during the
-  // write/rebuild window (a lost-in-transit message on restart).
-  for (int m : group) ctx.mark_on_recovery_line(m);
-  ctx.notify_gate();
+  // write/rebuild window (a lost-in-transit message on restart). One
+  // message to the root LP (the line's owner) flips the whole group and
+  // rebroadcasts the gate.
+  co_await ctx.mark_group_on_recovery_line(group);
 
   // Local checkpointing: members write their images concurrently; with a
   // small group each gets a large share of the storage bandwidth.
@@ -97,6 +101,29 @@ sim::Task<void> checkpoint_group(CycleContext& ctx,
   }
 }
 
+/// Dispatches one group's cycle to its coordinator LP — the home LP of the
+/// group's lowest rank, an anchor that is invariant under re-sharding — and
+/// awaits completion. Returns false if the coordinator abandoned the
+/// dispatch (its node died after the fan-out reached it; test hook): the
+/// root then recovers the group by running its phase machine itself.
+sim::Task<bool> run_group_at_coordinator(CycleContext& ctx,
+                                         const std::vector<int>& group) {
+  sim::LpBus& bus = ctx.mpi().fabric().bus();
+  const int coord = *std::min_element(group.begin(), group.end());
+  bool completed = false;
+  CycleContext* parent = &ctx;
+  const std::vector<int>* g = &group;
+  bool* done = &completed;
+  co_await bus.call(ctx.self_lp(), coord,
+                    [parent, g, done, coord]() -> sim::Task<void> {
+                      CycleContext cctx = parent->fork_for(coord);
+                      if (cctx.take_coordinator_failure(coord)) co_return;
+                      co_await checkpoint_group(cctx, *g);
+                      *done = true;
+                    });
+  co_return completed;
+}
+
 class GroupRunner final : public ProtocolRunner {
  public:
   const char* name() const override { return "group-based"; }
@@ -115,7 +142,9 @@ class GroupRunner final : public ProtocolRunner {
 namespace detail {
 
 sim::Task<void> run_group_schedule(CycleContext& ctx) {
-  // Initial synchronization: coordinator fans the request out.
+  // The root LP is deliberately thin here: it fans the request out, then
+  // only *sequences* the groups — each group's phase machine runs on its
+  // coordinator's home shard — and commits the schedule's end state.
   ctx.phase_begin(Phase::kQuiesce);
   co_await ctx.engine().delay(ctx.fanout_latency(ctx.nranks()));
   ctx.phase_end(Phase::kQuiesce);
@@ -123,7 +152,11 @@ sim::Task<void> run_group_schedule(CycleContext& ctx) {
     // checkpoint_group flips the recovery line at the snapshot instant —
     // not at thaw — so no message can slip between a group's snapshot and
     // its resume.
-    co_await checkpoint_group(ctx, group);
+    if (!co_await run_group_at_coordinator(ctx, group)) {
+      // The coordinator's node died before touching any member: the group
+      // is untouched, so the root runs its whole cycle monolithically.
+      co_await checkpoint_group(ctx, group);
+    }
     ctx.notify_gate();  // deferred pairs on the new line may proceed
   }
   ctx.set_defer_active(false);

@@ -243,11 +243,13 @@ struct RestartCtx {
   workloads::Workload* wl;
 };
 
-/// One chunk fetch of a degraded read, bussed to the service LP like the
-/// replica leg (the staging lanes are service-LP state).
+/// One chunk fetch of a degraded read, bussed to the *holder's* LP: the
+/// staging lanes are partitioned per source node (fabric.hpp StagingLane),
+/// so the transfer serializes on the holder's shard against that node's
+/// replica/erasure traffic — same arbitration point at any shard count.
 sim::Task<void> fetch_chunk(sim::LpBus* bus, net::Fabric* fab, int from,
                             int world, storage::Bytes bytes) {
-  co_await bus->call(world, bus->svc_lp(), [fab, from, world, bytes] {
+  co_await bus->call(world, from, [fab, from, world, bytes] {
     return fab->bulk_transfer(from, world, bytes);
   });
 }
@@ -261,10 +263,10 @@ sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
   // add the partner's disk plus a real fabric transfer. kNone (a fresh
   // first attempt) skips the reload entirely.
   //
-  // Runs on the rank's home engine. The PFS queue and the staging lanes are
-  // service-LP state, so those two legs go through the bus as RPCs; `done`
-  // and `read_seconds` are this rank's private slots, folded by the caller
-  // after the run.
+  // Runs on the rank's home engine. The PFS queue is service-LP state and
+  // each staging lane belongs to its holder node's LP, so those legs go
+  // through the bus as RPCs to their owners; `done` and `read_seconds` are
+  // this rank's private slots, folded by the caller after the run.
   const int world = rank->world_rank();
   sim::LpBus& bus = *ctx->bus;
   const sim::Time t0 = rank->engine().now();
@@ -282,12 +284,10 @@ sim::Task<void> restart_rank(RestartCtx* ctx, mpi::RankCtx* rank,
     case RestoreSource::kReplica: {
       co_await rank->engine().delay(
           storage::transfer_time(src.bytes, ctx->tier->local_read_mbps));
-      net::Fabric* fab = ctx->fabric;
-      const int from_node = src.from_node;
-      const storage::Bytes b = src.bytes;
-      co_await bus.call(world, bus.svc_lp(), [fab, from_node, world, b] {
-        return fab->bulk_transfer(from_node, world, b);
-      });
+      // The partner's staging lane is the partner's shard state: route the
+      // transfer to the holder, not the service LP.
+      co_await fetch_chunk(&bus, ctx->fabric, src.from_node, world,
+                           src.bytes);
       break;
     }
     case RestoreSource::kErasure: {

@@ -47,7 +47,7 @@ SimCluster::SimCluster(const ClusterPreset& preset,
       mpi_(eng_, fabric_, preset_.mpi),
       ckpt_(mpi_, fs_, ckpt_cfg) {
   if (preset_.tier.enabled && opts.attach_tier) {
-    tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks);
+    tier_.emplace(eng_, fs_, preset_.tier, preset_.nranks, &bus_);
     tier_->set_replica_transport(
         [this](int src, int dst, storage::Bytes b) {
           return fabric_.bulk_transfer(src, dst, b);

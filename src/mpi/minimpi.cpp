@@ -154,7 +154,10 @@ Request RankCtx::make_request(bool is_recv) {
 
 void RankCtx::complete(const Request& req) {
   req->done = true;
-  req->cv.notify_all();
+  // Deliveries run in a top-level event (the settle sweep or a self-send in
+  // the application's own frame), so the waiter can resume inline — no
+  // schedule_now hop between a message landing and its recv returning.
+  req->cv.notify_all_inline();
   any_complete_.notify_all();
   exec_->mark_progress();
 }
@@ -241,7 +244,21 @@ void RankCtx::push_out(int dst, OutItem item) {
   assert(dst != rank_);
   auto& ob = outbound_[dst];
   CommGate* gate = mpi_.gate_;
-  if (item.gated && gate && !gate->allowed(rank_, dst)) {
+  const bool deferred = item.gated && gate && !gate->allowed(rank_, dst);
+  // Fast path: lane idle, gate open, link up, and no sender-side tax to
+  // pay — transmit right here instead of parking the item and spinning up
+  // a pump frame. The pump would run exactly this with no suspension.
+  if (!ob.pump_running && ob.q.empty() && !deferred &&
+      mpi_.fabric_.mirror_connected(rank_, dst)) {
+    const bool payload = item.kind == OutItem::Kind::kEager ||
+                         item.kind == OutItem::Kind::kRdma;
+    if (hooks() == nullptr || !payload) {
+      if (payload) record_transmit(item.env.id, dst, item.env.bytes);
+      mpi_.fabric_.transmit(to_packet(item));
+      return;
+    }
+  }
+  if (deferred) {
     account_buffered(item);  // parked immediately: the pair is deferred
   }
   ob.q.push_back(std::move(item));
@@ -379,8 +396,12 @@ Request RankCtx::isend(const Comm& c, int dst, Tag tag, Bytes bytes,
 }
 
 sim::Task<RecvInfo> RankCtx::recv(const Comm& c, int src, Tag tag) {
+  // wait(req) inlined: saves a nested task frame on the hot path.
   Request req = irecv(c, src, tag);
-  co_await wait(req);
+  co_await exec_->freeze_point();
+  while (!req->done) co_await req->cv.wait();
+  co_await exec_->freeze_point();
+  exec_->mark_progress();
   co_return req->info;
 }
 

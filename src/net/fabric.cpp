@@ -139,7 +139,7 @@ Fabric::Fabric(sim::Engine& eng, NetConfig cfg, int n_endpoints,
       cfg_(cfg),
       n_(n_endpoints),
       receivers_(n_endpoints),
-      staging_busy_(n_endpoints, 0),
+      staging_(static_cast<std::size_t>(n_endpoints)),
       traffic_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0),
       msgcount_(static_cast<std::size_t>(n_endpoints) * n_endpoints, 0) {
   if (!cfg_.topology.flat()) tree_.emplace(cfg_.topology, n_endpoints);
@@ -213,10 +213,21 @@ void Fabric::enqueue(Packet p, bool data_plane) {
   rec->home_shard = home;
   // arrival >= now + per_message_overhead + min_latency = now + floor, so
   // this respects the lookahead floor at any shard layout.
-  bus_->post_raw(src, dst, arrival, FlightArrive{rec});
+  if (bus_->shard_of(dst) == home) {
+    // Same-shard fast path: the delivery goes straight into the
+    // destination's settle bucket at the arrival time — no FlightArrive
+    // wrapper event, and the record never leaves its home pool's shard.
+    bus_->inbox_push_at(dst, src, rec->oseq, arrival, FlightDeliver{rec});
+  } else {
+    bus_->post_raw(src, dst, arrival, FlightArrive{rec});
+  }
   // Sender-side completion: the packet leaves the in-flight lane at its
-  // arrival instant (drain watches these counters).
-  src_eng.schedule_at(arrival, [this, src, dst] {
+  // arrival instant (drain watches these counters). It rides the sender's
+  // settle pre-lane — push order is the sender's own execution order, and
+  // only sender-owned state is touched — so the decrement lands at the same
+  // canonical point (before the sorted deliveries at the arrival sweep) in
+  // serial and sharded runs alike, without paying for an origin sequence.
+  bus_->settle_at(src, arrival, [this, src, dst] {
     RankNet& s = *rank_net_[src];
     if (--s.out[dst] == 0) s.out_cv.notify_all();
   });
@@ -297,9 +308,8 @@ sim::Task<void> Fabric::drain_outbound(int src, int dst) {
 }
 
 std::int64_t Fabric::outbound_in_flight(int src, int dst) const {
-  const auto& out = rank_net_[src]->out;
-  auto it = out.find(dst);
-  return it == out.end() ? 0 : it->second;
+  const std::int64_t* n = rank_net_[src]->out.find(dst);
+  return n == nullptr ? 0 : *n;
 }
 
 void Fabric::request_lock(int ep) {
@@ -314,26 +324,33 @@ void Fabric::request_unlock(int ep) {
 
 sim::Task<void> Fabric::bulk_transfer(int src, int dst, Bytes bytes) {
   assert(src >= 0 && src < n_ && dst >= 0 && dst < n_ && src != dst);
-  ++staging_packets_;
-  staging_bytes_ += bytes;
+  // Runs on src's home engine: callers (replica copies, erasure scatters,
+  // restore staging) are routed to the source node's LP, so the lane state
+  // below is only ever touched from src's shard.
+  sim::Engine& eng = bus_->engine_of(src);
+  StagingLane& lane = staging_[static_cast<std::size_t>(src)];
+  ++lane.packets;
+  lane.bytes += bytes;
   const double bps =
       cfg_.link_bandwidth_mbps * static_cast<double>(storage::kMiB);
   const auto xfer = static_cast<sim::Time>(
       static_cast<double>(bytes) / bps * static_cast<double>(sim::kSecond));
-  const sim::Time start = std::max(eng_.now(), staging_busy_[src]);
+  const sim::Time start = std::max(eng.now(), lane.busy_until);
   const sim::Time done = start + cfg_.per_message_overhead + xfer;
-  staging_busy_[src] = done;
-  co_await eng_.delay_until(done + latency(src, dst));
+  lane.busy_until = done;
+  co_await eng.delay_until(done + latency(src, dst));
 }
 
 std::int64_t Fabric::packets_sent() const noexcept {
-  std::int64_t total = staging_packets_;
+  std::int64_t total = 0;
+  for (const auto& lane : staging_) total += lane.packets;
   for (const auto& rn : rank_net_) total += rn->packets;
   return total;
 }
 
 Bytes Fabric::bytes_sent() const noexcept {
-  Bytes total = staging_bytes_;
+  Bytes total = 0;
+  for (const auto& lane : staging_) total += lane.bytes;
   for (const auto& rn : rank_net_) total += rn->bytes;
   return total;
 }

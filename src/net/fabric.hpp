@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <deque>
 #include <map>
 #include <memory>
 #include <new>
@@ -284,9 +285,8 @@ class Fabric {
   /// Sender-side connection mirror check (the pump's fast path). Call on
   /// src's shard.
   bool mirror_connected(int src, int dst) const {
-    const auto& links = rank_net_[src]->links;
-    auto it = links.find(dst);
-    return it != links.end() && it->second.mirror == ConnState::kConnected;
+    const auto* link = rank_net_[src]->links.find(dst);
+    return link != nullptr && link->mirror == ConnState::kConnected;
   }
 
   /// Rank-side establish-or-wait: consults src's local connection mirror,
@@ -391,6 +391,30 @@ class Fabric {
     void operator()();
   };
 
+  /// Tiny per-peer table: a rank talks to a handful of peers, so a linear
+  /// scan beats a node-based map on the per-message hot path (mirror check
+  /// + in-flight count on every transmit). Deque storage keeps references
+  /// stable across inserts — pumps and connection waiters hold a slot
+  /// reference across suspension points while other peers get added.
+  template <typename V>
+  class PeerTable {
+   public:
+    V& operator[](int peer) {
+      for (auto& s : slots_)
+        if (s.first == peer) return s.second;
+      slots_.emplace_back(peer, V{});
+      return slots_.back().second;
+    }
+    const V* find(int peer) const {
+      for (const auto& s : slots_)
+        if (s.first == peer) return &s.second;
+      return nullptr;
+    }
+
+   private:
+    std::deque<std::pair<int, V>> slots_;
+  };
+
   /// Mutable state owned by one rank's shard.
   struct RankNet {
     explicit RankNet(sim::Engine& eng) : conn_cv(eng), out_cv(eng) {}
@@ -403,10 +427,10 @@ class Fabric {
       ConnState mirror = ConnState::kDisconnected;
       bool requested = false;
     };
-    std::map<int, Link> links;
+    PeerTable<Link> links;
     sim::Condition conn_cv;
     /// Sender-side in-flight packets per destination.
-    std::map<int, std::int64_t> out;
+    PeerTable<std::int64_t> out;
     sim::Condition out_cv;
   };
 
@@ -430,10 +454,15 @@ class Fabric {
   std::vector<std::unique_ptr<sim::Pool<FlightRec>>> flight_pool_;
   std::unique_ptr<ReturnStack[]> return_stack_;
   std::unique_ptr<ConnectionManager> conn_mgr_;
-  // Staging lane (service LP): bulk transfers serialize per source node.
-  std::vector<sim::Time> staging_busy_;
-  std::int64_t staging_packets_ = 0;
-  Bytes staging_bytes_ = 0;
+  // Staging lanes, src-row ownership: node src's bulk transfers (replica /
+  // erasure / restore staging) run on src's shard and serialize on src's
+  // lane; counters are summed at quiescence by packets_sent()/bytes_sent().
+  struct alignas(64) StagingLane {
+    sim::Time busy_until = 0;
+    std::int64_t packets = 0;
+    Bytes bytes = 0;
+  };
+  std::vector<StagingLane> staging_;
   // Data-plane accounting, sender-row ownership: row src is written only by
   // src's shard.
   std::vector<std::int64_t> traffic_;   // bytes, [src*n+dst]

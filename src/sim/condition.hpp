@@ -51,12 +51,30 @@ class Condition {
   }
 
   void notify_all() {
+    if (waiters_.empty()) return;
     auto snapshot = std::move(waiters_);
     waiters_.clear();
     // The snapshot's references are dead after this loop, so hand each one
     // to the engine by move: the wake callback inherits the reference
     // instead of paying an atomic refcount bump per waiter.
     for (auto& s : snapshot) eng_->wake(std::move(s));
+  }
+
+  /// Resumes every waiter *inline*, without the usual schedule_now hop.
+  /// Only for callers already running in a top-level event context (the LP
+  /// bus settle sweep) where re-entering the waiters immediately is safe:
+  /// the waiter's continuation runs to its next suspension inside this
+  /// call. Saves one wheel event per waiter on the message hot path.
+  void notify_all_inline() {
+    if (waiters_.empty()) return;
+    auto snapshot = std::move(waiters_);
+    waiters_.clear();
+    for (auto& s : snapshot) {
+      if (!s->settled && s->alive) {
+        s->settled = true;
+        s->handle.resume();
+      }
+    }
   }
 
   void notify_one() {

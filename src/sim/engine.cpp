@@ -55,6 +55,12 @@ void Engine::schedule_after(Time delay, InlineFn fn) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
 }
 
+void Engine::schedule_at_back(Time t, InlineFn fn) {
+  assert(t >= now_ && "scheduling into the past");
+  queue_.push(WheelEvent{t < now_ ? now_ : t, next_seq_++ | kBackBand,
+                         acquire_slot(std::move(fn))});
+}
+
 void Engine::schedule_at_reserved(Time t, std::uint64_t seq, InlineFn fn) {
   assert(t >= now_ && "scheduling into the past");
   assert(seq < next_seq_ && "sequence number was never reserved");

@@ -42,6 +42,17 @@ class Engine {
   /// Schedules fn at the current time, after already-queued same-time events.
   void schedule_now(InlineFn fn) { schedule_at(now_, std::move(fn)); }
 
+  /// Sequence-number band for end-of-timestamp events: schedule_at_back
+  /// ORs this bit into the event's tie-break key, so the event runs after
+  /// every normally-scheduled event at the same timestamp regardless of
+  /// when it was created. Back-band events keep creation order among
+  /// themselves (the low bits still come from the shared counter).
+  static constexpr std::uint64_t kBackBand = std::uint64_t{1} << 63;
+  /// Schedules fn at time t, *after* every event scheduled at t through
+  /// schedule_at/schedule_now — the LP bus settle sweep runs here so every
+  /// same-instant arrival is already queued when deliveries sort.
+  void schedule_at_back(Time t, InlineFn fn);
+
   /// Consumes the next schedule sequence number without queueing anything.
   /// Paired with schedule_at_reserved: a cross-shard relay reserves its
   /// delivery's place in this engine's FIFO order at send time, then the

@@ -18,41 +18,55 @@ namespace gbc::sim {
 /// Which shard owns logical process `lp` when `nlps` LPs are split across
 /// `shards` contiguous blocks. This is the single ownership rule shared by
 /// the scale model and the full protocol stack (DESIGN.md §13): rank r lives
-/// on shard r*S/n, and the service LP (id = nlps) is pinned to shard 0.
+/// on shard r*S/n, and the root service LP (id = nlps) is pinned to shard 0.
 constexpr int lp_owner_shard(int lp, int nlps, int shards) {
   return static_cast<int>(static_cast<std::int64_t>(lp) * shards / nlps);
 }
 
 /// Message bus between logical processes (LPs) of one simulated cluster.
 ///
-/// LP ids 0..nranks-1 are the MPI ranks; id nranks is the *service LP*
-/// (checkpoint coordinator, connection manager, shared storage), pinned to
-/// shard 0. Every cross-LP interaction — wire flights, control messages,
-/// RPCs — flows through here with latency >= `floor()`, the lookahead-matrix
-/// floor, so the conservative horizons of ShardedEngine stay valid and no
-/// LP ever reaches into another LP's state directly.
+/// LP ids 0..nranks-1 are the MPI ranks; id nranks is the *root service LP*
+/// (inter-group checkpoint sequencing, connection manager, shared PFS),
+/// pinned to shard 0. Every cross-LP interaction — wire flights, control
+/// messages, RPCs — flows through here with latency >= `floor()`, the
+/// lookahead-matrix floor, so the conservative horizons of ShardedEngine
+/// stay valid and no LP ever reaches into another LP's state directly.
 ///
-/// ## Determinism: the per-LP inbox discipline
+/// ## Determinism: the settle-sweep discipline
 ///
 /// Cross-shard merge order at equal timestamps is (t, src_shard, seq),
 /// which is not shard-count-invariant. The bus therefore never hands a
-/// message straight to model code: arrivals are appended to the destination
-/// LP's inbox, and the first same-t arrival schedules a flush at t that
-/// sorts the batch by (origin LP, per-origin sequence) — a key that depends
-/// only on the model, not on the shard layout. Because every message
-/// carries latency >= floor() > 0, all arrivals for (lp, t) are scheduled
-/// strictly before t executes, so exactly one flush batch forms per (lp, t)
-/// at any shard count and the delivery order is canonical.
+/// message straight to model code: every delivery lands in its destination
+/// shard's *settle bucket* for the delivery time, and one back-band sweep
+/// event per (shard, t) — scheduled after every normal event at t
+/// (Engine::schedule_at_back) — sorts the bucket by (dst LP, origin LP,
+/// per-origin sequence) and runs it. The key depends only on the model,
+/// never on the shard layout, so the delivery order each LP observes is
+/// canonical at any shard/thread count.
 ///
-/// In single-engine mode (direct-construction tests) the same inbox path
-/// runs on one engine, so serial and sharded runs are order-identical.
+/// Two paths feed a bucket:
+///  - *Same-shard fast path*: the sender pushes the entry straight into the
+///    bucket at send time — no wrapper event, no cross-shard post. Because
+///    every message carries latency >= floor() > 0, the entry is in place
+///    strictly before its delivery time executes.
+///  - *Cross-shard path*: a wrapper posted through ShardedEngine runs as a
+///    normal event at the delivery time and pushes the entry then; the
+///    back-band sweep at the same t runs after it by construction.
+///
+/// Handlers run inside the sweep only touch their own LP's state (the LP
+/// discipline), so the interleaving of *different* LPs' handlers at one
+/// (shard, t) — the only thing the layout can change — is unobservable.
+///
+/// In single-engine mode (direct-construction tests and serial tools) every
+/// LP shares one engine and every send takes the fast path, so serial and
+/// sharded runs deliver in the same canonical order.
 class LpBus {
  public:
   /// Sharded mode: rank LPs in contiguous blocks across se.shards().
   LpBus(ShardedEngine& se, int nranks, Time floor)
       : se_(&se), nranks_(nranks), floor_(floor) {
     assert(floor_ > 0 && "LpBus floor must be positive");
-    init();
+    init(se.shards());
   }
 
   /// Single-engine mode: every LP lives on `eng` (direct-construction
@@ -60,14 +74,16 @@ class LpBus {
   LpBus(Engine& eng, int nranks, Time floor)
       : single_(&eng), nranks_(nranks), floor_(floor) {
     assert(floor_ > 0 && "LpBus floor must be positive");
-    init();
+    init(1);
   }
 
   LpBus(const LpBus&) = delete;
   LpBus& operator=(const LpBus&) = delete;
 
   int nranks() const noexcept { return nranks_; }
-  /// The service LP: connection manager, storage, checkpoint coordinator.
+  /// The root service LP: connection manager, shared PFS, inter-group
+  /// checkpoint sequencing and ledger commit. Group coordinators and
+  /// storage servers live on rank LPs (harness/service_map.hpp).
   int svc_lp() const noexcept { return nranks_; }
   /// Minimum cross-LP message latency (the lookahead-matrix floor).
   Time floor() const noexcept { return floor_; }
@@ -97,22 +113,40 @@ class LpBus {
   /// execution order, which is shard-count-invariant.
   std::uint64_t next_oseq(int origin) { return ++oseq_[origin].v; }
 
-  /// Appends to dst's inbox. Must run on dst's shard at the delivery time;
-  /// this is the zero-allocation entry the fabric's pooled flight path uses.
-  void inbox_push(int dst_lp, int origin, std::uint64_t oseq, InlineFn fn) {
-    Inbox& ib = inbox_[dst_lp];
-    ib.batch.push_back(Entry{origin, oseq, std::move(fn)});
-    if (!ib.flush_scheduled) {
-      ib.flush_scheduled = true;
-      Engine& eng = engine_of(dst_lp);
-      eng.schedule_at(eng.now(), [this, dst_lp] { flush(dst_lp); });
-    }
+  /// Appends a delivery for `dst_lp` to its shard's settle bucket at
+  /// absolute time t. Callable from any LP on dst's shard (the same-shard
+  /// fast path calls it at send time with a future t; cross-shard wrappers
+  /// call it at the delivery time via inbox_push). The first entry for a
+  /// (shard, t) schedules that shard's back-band sweep.
+  void inbox_push_at(int dst_lp, int origin, std::uint64_t oseq, Time t,
+                     InlineFn fn) {
+    bucket_at(shard_of(dst_lp), t)
+        .entries.push_back(Entry{dst_lp, origin, oseq, std::move(fn)});
   }
 
-  /// Raw cross-shard dispatch at absolute time t, bypassing the inbox (no
-  /// origin sequencing). Only for callers that do their own canonical
-  /// ordering at the destination — the fabric's pooled flight path, which
-  /// pushes into the inbox itself on arrival. `t` must respect the floor.
+  /// Appends to dst's settle bucket at the current time. Must run on dst's
+  /// shard at the delivery time; this is the zero-allocation entry the
+  /// fabric's cross-shard flight wrappers use.
+  void inbox_push(int dst_lp, int origin, std::uint64_t oseq, InlineFn fn) {
+    inbox_push_at(dst_lp, origin, oseq, engine_of(dst_lp).now(),
+                  std::move(fn));
+  }
+
+  /// Runs `fn` in lp's shard's settle sweep at time t, *before* the sorted
+  /// deliveries, in push order. No origin sequencing: only for callbacks
+  /// that mutate lp's own state and need no canonical order against other
+  /// LPs' callbacks — the fabric's sender-side completion counters, whose
+  /// push order is the pushing LP's own execution order at any layout.
+  /// Must be called from lp's shard with t in its future.
+  void settle_at(int lp, Time t, InlineFn fn) {
+    bucket_at(shard_of(lp), t).pre.push_back(Pre{lp, std::move(fn)});
+  }
+
+  /// Raw cross-shard dispatch at absolute time t, bypassing the settle
+  /// buckets (no origin sequencing). Only for callers that do their own
+  /// canonical ordering at the destination — the fabric's pooled flight
+  /// path, whose wrapper pushes into the bucket itself on arrival. `t` must
+  /// respect the floor.
   void post_raw(int src_lp, int dst_lp, Time t, InlineFn fn) {
     const int ss = shard_of(src_lp);
     const int ds = shard_of(dst_lp);
@@ -123,16 +157,22 @@ class LpBus {
     }
   }
 
-  /// Delivers `fn` into dst's inbox at absolute time t, clamped up to
-  /// src-now + floor(). Call from code running on src's shard.
+  /// Delivers `fn` into dst's settle bucket at absolute time t, clamped up
+  /// to src-now + floor(). Call from code running on src's shard.
   void send_at(int src_lp, int dst_lp, Time t, InlineFn fn) {
     Engine& src_eng = engine_of(src_lp);
     const Time t_eff = std::max(t, src_eng.now() + floor_);
     const std::uint64_t oseq = next_oseq(src_lp);
-    post_raw(src_lp, dst_lp, t_eff,
-             [this, dst_lp, src_lp, oseq, fn = std::move(fn)]() mutable {
-               inbox_push(dst_lp, src_lp, oseq, std::move(fn));
-             });
+    const int ss = shard_of(src_lp);
+    const int ds = shard_of(dst_lp);
+    if (!se_ || ss == ds) {
+      inbox_push_at(dst_lp, src_lp, oseq, t_eff, std::move(fn));
+    } else {
+      se_->post(ss, ds, t_eff,
+                [this, dst_lp, src_lp, oseq, fn = std::move(fn)]() mutable {
+                  inbox_push(dst_lp, src_lp, oseq, std::move(fn));
+                });
+    }
   }
 
   /// Delivers `fn` one floor hop from now (the common control-plane case).
@@ -155,26 +195,48 @@ class LpBus {
     while (!w.done) co_await w.cv.wait();
   }
 
-  /// Drops every queued inbox entry (teardown of an aborted run): entry
-  /// destructors run, releasing pooled resources they hold.
+  /// Messages delivered to `lp` so far (settle-sweep executions). Owner
+  /// shard writes, anyone may read at a quiescent point — the per-LP event
+  /// split bench/shard_scaling --fullstack reports.
+  std::uint64_t delivered(int lp) const {
+    return delivered_[static_cast<std::size_t>(lp)];
+  }
+  std::uint64_t delivered_total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t d : delivered_) sum += d;
+    return sum;
+  }
+
+  /// Drops every queued settle bucket (teardown of an aborted run): entry
+  /// destructors run, releasing pooled resources they hold. The engines'
+  /// pending sweep events are dropped by abort_all alongside.
   void clear() {
-    for (Inbox& ib : inbox_) {
-      ib.batch.clear();
-      ib.scratch.clear();
-      ib.flush_scheduled = false;
+    for (ShardState& st : shards_) {
+      st.buckets.clear();
+      st.pool.clear();
     }
   }
 
  private:
   struct Entry {
+    int dst;
     int origin;
     std::uint64_t oseq;
     InlineFn fn;
   };
-  struct Inbox {
-    std::vector<Entry> batch;
-    std::vector<Entry> scratch;  // recycled flush buffer (keeps capacity)
-    bool flush_scheduled = false;
+  struct Pre {
+    int lp;
+    InlineFn fn;
+  };
+  /// All deliveries for one (shard, t); exists iff a sweep is scheduled.
+  struct Bucket {
+    Time t = 0;
+    std::vector<Pre> pre;       // unsequenced own-LP callbacks, push order
+    std::vector<Entry> entries; // sorted by (dst, origin, oseq) at sweep
+  };
+  struct alignas(64) ShardState {
+    std::vector<Bucket> buckets;  // ascending t
+    std::vector<Bucket> pool;     // recycled buckets (vectors keep capacity)
   };
   struct RpcWait {
     explicit RpcWait(Engine& eng) : cv(eng) {}
@@ -185,9 +247,38 @@ class LpBus {
     std::uint64_t v = 0;
   };
 
-  void init() {
-    inbox_.resize(static_cast<std::size_t>(nranks_) + 1);
+  void init(int nshards) {
     oseq_.resize(static_cast<std::size_t>(nranks_) + 1);
+    delivered_.assign(static_cast<std::size_t>(nranks_) + 1, 0);
+    shards_.resize(static_cast<std::size_t>(nshards));
+  }
+
+  Engine& engine_of_shard(int s) {
+    return single_ ? *single_ : se_->shard(s);
+  }
+
+  /// The settle bucket for (shard, t), creating it — and scheduling the
+  /// shard's back-band sweep at t — on first touch. Buckets are kept
+  /// sorted by t; inserts land at/near the back in practice (arrivals are
+  /// roughly time-ordered), and the count of live buckets is the number of
+  /// distinct pending delivery times on the shard, which stays small.
+  Bucket& bucket_at(int shard, Time t) {
+    ShardState& st = shards_[shard];
+    auto it = std::lower_bound(
+        st.buckets.begin(), st.buckets.end(), t,
+        [](const Bucket& b, Time when) { return b.t < when; });
+    if (it == st.buckets.end() || it->t != t) {
+      Bucket b;
+      if (!st.pool.empty()) {
+        b = std::move(st.pool.back());
+        st.pool.pop_back();
+      }
+      b.t = t;
+      it = st.buckets.insert(it, std::move(b));
+      engine_of_shard(shard).schedule_at_back(
+          t, [this, shard] { sweep(shard); });
+    }
+    return *it;
   }
 
   template <typename F>
@@ -200,26 +291,46 @@ class LpBus {
     });
   }
 
-  void flush(int lp) {
-    Inbox& ib = inbox_[lp];
-    ib.scratch.clear();
-    ib.scratch.swap(ib.batch);
-    ib.flush_scheduled = false;
-    std::sort(ib.scratch.begin(), ib.scratch.end(),
-              [](const Entry& a, const Entry& b) {
-                return a.origin != b.origin ? a.origin < b.origin
-                                            : a.oseq < b.oseq;
-              });
-    for (Entry& e : ib.scratch) e.fn();
-    ib.scratch.clear();
+  /// The per-(shard, t) settle sweep: runs the pre-lane in push order, then
+  /// sorts the deliveries by the canonical (dst LP, origin, oseq) key and
+  /// runs them. Runs back-band, after every normal event at t, so all
+  /// same-instant arrivals are already in.
+  void sweep(int shard) {
+    ShardState& st = shards_[shard];
+    Engine& eng = engine_of_shard(shard);
+    if (st.buckets.empty() || st.buckets.front().t != eng.now()) {
+      return;  // bus cleared under a still-queued sweep (aborted run)
+    }
+    Bucket batch = std::move(st.buckets.front());
+    st.buckets.erase(st.buckets.begin());
+    for (Pre& p : batch.pre) {
+      ++delivered_[static_cast<std::size_t>(p.lp)];
+      p.fn();
+    }
+    if (batch.entries.size() > 1) {
+      std::sort(batch.entries.begin(), batch.entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.dst != b.dst) return a.dst < b.dst;
+                  return a.origin != b.origin ? a.origin < b.origin
+                                              : a.oseq < b.oseq;
+                });
+    }
+    for (Entry& e : batch.entries) {
+      ++delivered_[static_cast<std::size_t>(e.dst)];
+      e.fn();
+    }
+    batch.pre.clear();
+    batch.entries.clear();
+    st.pool.push_back(std::move(batch));
   }
 
   ShardedEngine* se_ = nullptr;
   Engine* single_ = nullptr;
   int nranks_;
   Time floor_;
-  std::vector<Inbox> inbox_;
+  std::vector<ShardState> shards_;
   std::vector<OriginSeq> oseq_;
+  std::vector<std::uint64_t> delivered_;
 };
 
 }  // namespace gbc::sim

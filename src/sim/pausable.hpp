@@ -65,11 +65,26 @@ class Pausable {
   }
 
   /// Entry guard for library calls: parks while frozen so that a process is
-  /// observed at a quiescent point for the duration of a snapshot.
-  Task<void> freeze_point() {
-    mark_progress();
-    while (paused()) co_await unpaused_.wait();
-  }
+  /// observed at a quiescent point for the duration of a snapshot. Returns a
+  /// plain awaiter so the overwhelmingly common un-frozen case costs no
+  /// coroutine frame; only an actually-frozen caller starts the slow-path
+  /// wait task.
+  struct FreezeAwaiter {
+    Pausable* self;
+    Task<void> slow{};
+    bool await_ready() noexcept {
+      self->mark_progress();
+      return !self->paused();
+    }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      slow = self->freeze_wait();
+      return slow.await_suspend(h);
+    }
+    void await_resume() {
+      if (slow.valid()) slow.await_resume();
+    }
+  };
+  FreezeAwaiter freeze_point() { return FreezeAwaiter{this}; }
 
   /// Called by the messaging library whenever this process drives progress
   /// (entering/leaving a call, completing a request).
@@ -106,6 +121,10 @@ class Pausable {
   }
 
  private:
+  Task<void> freeze_wait() {
+    while (paused()) co_await unpaused_.wait();
+  }
+
   Engine* eng_;
   Condition unpaused_;
   Condition progress_;

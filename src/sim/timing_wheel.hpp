@@ -55,8 +55,12 @@ struct WheelEvent {
 /// bucket can mix directly-inserted events with events cascaded down from
 /// coarser wheels (whose seq may be lower), so each leaf bucket is sorted by
 /// seq once when its drain starts; events appended *during* the drain
-/// (schedule_now from a callback) always carry a larger seq than everything
-/// already there, preserving order.
+/// (schedule_now from a callback) run in append position. For normal
+/// schedules that equals seq order (a fresh schedule always draws a larger
+/// seq than everything already sorted); an appended event can carry a
+/// smaller raw key than a back-band (Engine::kBackBand) event already in
+/// the bucket, but append-position execution is exactly the contract there:
+/// work spawned at t after the settle sweep runs after it.
 ///
 /// Clock invariant: cur_ only moves forward, never past the earliest pending
 /// event and never past the pop limit (run_until must be able to schedule at

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,16 +23,22 @@ class Trace {
   void enable(bool on) { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// Safe from any shard thread: the partitioned storage tier traces on the
+  /// nodes' home engines. The lock is only ever taken when tracing is on
+  /// (tools and tests), so the disabled hot path stays a lone branch.
   void add(Time t, int actor, std::string category, std::string detail) {
     if (!enabled_) return;
+    std::lock_guard<std::mutex> lk(mu_);
     events_.push_back(Event{t, actor, std::move(category), std::move(detail)});
   }
 
+  /// Only read the buffer at quiescence (after the run / between cycles).
   const std::vector<Event>& events() const noexcept { return events_; }
   void clear() { events_.clear(); }
 
  private:
   bool enabled_ = false;
+  std::mutex mu_;
   std::vector<Event> events_;
 };
 

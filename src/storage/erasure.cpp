@@ -36,8 +36,10 @@ void ErasureTier::validate(const ErasureConfig& cfg, int nnodes) {
 
 ErasureTier::ErasureTier(sim::Engine& eng, ErasureConfig cfg, int nnodes,
                          int replica_offset)
-    : eng_(eng), cfg_(cfg), nnodes_(nnodes), replica_offset_(replica_offset) {
+    : cfg_(cfg), nnodes_(nnodes), replica_offset_(replica_offset) {
+  (void)eng;
   validate(cfg_, nnodes_);
+  stats_.resize(static_cast<std::size_t>(nnodes_));
 }
 
 std::vector<int> ErasureTier::parity_group(int node) const {
@@ -88,27 +90,28 @@ sim::Time ErasureTier::decode_time(const ErasureConfig& cfg, Bytes image,
   return invert + transfer_time(rebuilt, cfg.decode_mbps);
 }
 
-sim::Task<void> ErasureTier::place_chunk(int node, int dst, Bytes bytes,
-                                         std::uint64_t image_id, int chunk,
-                                         ErasureChunks* out,
+sim::Task<void> ErasureTier::place_chunk(sim::Engine& eng, int node, int dst,
+                                         Bytes bytes, std::uint64_t image_id,
+                                         int chunk, ErasureChunks* out,
                                          const Transport& transport,
                                          double fallback_mbps) {
   if (transport) {
     co_await transport(node, dst, bytes);
   } else {
-    co_await eng_.delay(transfer_time(bytes, fallback_mbps));
+    co_await eng.delay(transfer_time(bytes, fallback_mbps));
   }
-  out->done_at[static_cast<std::size_t>(chunk)] = eng_.now();
-  ++chunks_placed_;
-  chunk_bytes_sent_ += bytes;
+  out->done_at[static_cast<std::size_t>(chunk)] = eng.now();
+  NodeStats& st = stats_[static_cast<std::size_t>(node)];
+  ++st.chunks_placed;
+  st.chunk_bytes_sent += bytes;
   if (trace_) {
-    trace_->add(eng_.now(), node, "ec-chunk",
+    trace_->add(eng.now(), node, "ec-chunk",
                 "img=" + std::to_string(image_id) + " c=" +
                     std::to_string(chunk) + " to=" + std::to_string(dst));
   }
 }
 
-sim::Task<void> ErasureTier::protect(int node, Bytes image,
+sim::Task<void> ErasureTier::protect(sim::Engine& eng, int node, Bytes image,
                                      std::uint64_t image_id,
                                      ErasureChunks* out,
                                      const Transport& transport,
@@ -119,27 +122,27 @@ sim::Task<void> ErasureTier::protect(int node, Bytes image,
   out->nodes = parity_group(node);
   out->done_at.assign(out->nodes.size(), -1);
   if (trace_) {
-    trace_->add(eng_.now(), node, "ec-encode",
+    trace_->add(eng.now(), node, "ec-encode",
                 "begin img=" + std::to_string(image_id) + " " +
                     erasure_codec_name(cfg_.codec) + "(" +
                     std::to_string(cfg_.k) + "," + std::to_string(cfg_.m) +
                     ")");
   }
   // The frozen rank computes the parity chunks...
-  co_await eng_.delay(encode_time(image));
+  co_await eng.delay(encode_time(image));
   // ...then the stripe fans out to the parity group concurrently; the home
   // node's single staging lane serializes the actual wire occupancy.
-  sim::JoinSet scatter(eng_);
+  sim::JoinSet scatter(eng);
   for (std::size_t c = 0; c < out->nodes.size(); ++c) {
-    scatter.launch(place_chunk(node, out->nodes[c], out->chunk_bytes,
+    scatter.launch(place_chunk(eng, node, out->nodes[c], out->chunk_bytes,
                                image_id, static_cast<int>(c), out, transport,
                                fallback_mbps));
   }
   co_await scatter.join();
-  out->encoded_at = eng_.now();
-  ++images_encoded_;
+  out->encoded_at = eng.now();
+  ++stats_[static_cast<std::size_t>(node)].images_encoded;
   if (trace_) {
-    trace_->add(eng_.now(), node, "ec-encode",
+    trace_->add(eng.now(), node, "ec-encode",
                 "end img=" + std::to_string(image_id));
   }
 }

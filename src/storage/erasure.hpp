@@ -85,6 +85,8 @@ class ErasureTier {
                                                   Bytes bytes)>;
 
   /// Throws std::invalid_argument on an unusable config (validate()).
+  /// `eng` is unused since the partitioning (every operation takes the
+  /// caller's engine); kept so existing construction sites stay valid.
   ErasureTier(sim::Engine& eng, ErasureConfig cfg, int nnodes,
               int replica_offset);
 
@@ -123,30 +125,50 @@ class ErasureTier {
   /// simulation clock), then scatters the k+m chunks to the parity group in
   /// parallel over `transport` (falling back to `fallback_mbps` transfers
   /// when none is installed), recording per-chunk placement/completion into
-  /// `out`. Resolves when the whole stripe is placed.
-  sim::Task<void> protect(int node, Bytes image, std::uint64_t image_id,
-                          ErasureChunks* out, const Transport& transport,
-                          double fallback_mbps);
+  /// `out`. Resolves when the whole stripe is placed. `eng` is the home
+  /// node's engine — in a partitioned TieredStore each node protects its
+  /// own images on its home shard, so all bookkeeping lands in that node's
+  /// stat slot.
+  sim::Task<void> protect(sim::Engine& eng, int node, Bytes image,
+                          std::uint64_t image_id, ErasureChunks* out,
+                          const Transport& transport, double fallback_mbps);
 
-  // --- stats ---
-  std::int64_t images_encoded() const noexcept { return images_encoded_; }
-  std::int64_t chunks_placed() const noexcept { return chunks_placed_; }
-  Bytes chunk_bytes_sent() const noexcept { return chunk_bytes_sent_; }
+  // --- stats (per-node slots, summed at quiescence) ---
+  std::int64_t images_encoded() const noexcept {
+    std::int64_t n = 0;
+    for (const auto& s : stats_) n += s.images_encoded;
+    return n;
+  }
+  std::int64_t chunks_placed() const noexcept {
+    std::int64_t n = 0;
+    for (const auto& s : stats_) n += s.chunks_placed;
+    return n;
+  }
+  Bytes chunk_bytes_sent() const noexcept {
+    Bytes n = 0;
+    for (const auto& s : stats_) n += s.chunk_bytes_sent;
+    return n;
+  }
 
  private:
-  sim::Task<void> place_chunk(int node, int dst, Bytes bytes,
-                              std::uint64_t image_id, int chunk,
+  /// Written only from the owning node's engine; aligned so two nodes'
+  /// counters never share a cache line across shard threads.
+  struct alignas(64) NodeStats {
+    std::int64_t images_encoded = 0;
+    std::int64_t chunks_placed = 0;
+    Bytes chunk_bytes_sent = 0;
+  };
+
+  sim::Task<void> place_chunk(sim::Engine& eng, int node, int dst,
+                              Bytes bytes, std::uint64_t image_id, int chunk,
                               ErasureChunks* out, const Transport& transport,
                               double fallback_mbps);
 
-  sim::Engine& eng_;
   ErasureConfig cfg_;
   int nnodes_;
   int replica_offset_;
   sim::Trace* trace_ = nullptr;
-  std::int64_t images_encoded_ = 0;
-  std::int64_t chunks_placed_ = 0;
-  Bytes chunk_bytes_sent_ = 0;
+  std::vector<NodeStats> stats_;
 };
 
 }  // namespace gbc::storage

@@ -6,9 +6,11 @@
 namespace gbc::storage {
 
 TieredStore::TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
-                         int nnodes)
-    : eng_(eng), pfs_(pfs), cfg_(cfg), idle_cv_(eng) {
-  for (int i = 0; i < nnodes; ++i) nodes_.emplace_back(eng_);
+                         int nnodes, sim::LpBus* bus)
+    : eng_(eng), pfs_(pfs), cfg_(cfg), bus_(bus), idle_cv_(eng) {
+  // Each node's condition variable lives on the node's home engine so that
+  // pause/resume wakeups stay shard-local.
+  for (int i = 0; i < nnodes; ++i) nodes_.emplace_back(engine_of(i));
   if (cfg_.enabled && cfg_.erasure.enabled) {
     erasure_ = std::make_unique<ErasureTier>(eng_, cfg_.erasure, nnodes,
                                              cfg_.replica_offset);
@@ -17,7 +19,22 @@ TieredStore::TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
 
 void TieredStore::trace_event(int node, const char* category,
                               std::string detail) {
-  if (trace_) trace_->add(eng_.now(), node, category, std::move(detail));
+  if (trace_) trace_->add(engine_of(node).now(), node, category,
+                          std::move(detail));
+}
+
+sim::Task<void> TieredStore::pfs_write_from(int node, Bytes bytes) {
+  if (bus_ == nullptr) {
+    co_await pfs_.write(bytes);
+    co_return;
+  }
+  // The PFS is the one shared resource left in the partitioned store: every
+  // write is an RPC to the service LP, so the arbitration order the
+  // StorageSystem sees is the bus's canonical delivery order — identical at
+  // any shard count.
+  StorageSystem* pfs = &pfs_;
+  co_await bus_->call(node, bus_->svc_lp(),
+                      [pfs, bytes] { return pfs->write(bytes); });
 }
 
 bool TieredStore::make_room(int node, Bytes need) {
@@ -28,35 +45,35 @@ bool TieredStore::make_room(int node, Bytes need) {
   if (st.used + need <= cap) return true;
   // Evict oldest fully-drained images first; undrained images are pinned
   // (dropping them would lose the only copy before it reached the PFS).
-  for (auto& img : images_) {
+  for (auto& img : st.images) {
     if (st.used + need <= cap) break;
-    if (img.node != node || !local_available(img) || !pfs_durable(img)) {
-      continue;
-    }
+    if (!local_available(img) || !pfs_durable(img)) continue;
     img.evicted = true;
     st.used -= img.bytes;
-    ++images_evicted_;
+    ++st.images_evicted;
     trace_event(node, "tier-evict", "img=" + std::to_string(img.id));
   }
   return st.used + need <= cap;
 }
 
 sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
-  images_.push_back(ImageInfo{});
-  ImageInfo& img = images_.back();
-  img.id = images_.size();
+  sim::Engine& eng = engine_of(node);
+  NodeState& st = nodes_[node];
+  st.images.push_back(ImageInfo{});
+  ImageInfo& img = st.images.back();
+  img.id = (static_cast<std::uint64_t>(node) + 1) << kIdNodeShift |
+           ++st.next_seq;
   img.node = node;
   img.bytes = bytes;
 
-  NodeState& st = nodes_[node];
   if (!make_room(node, bytes)) {
     // Local tier full of not-yet-durable images: fall through to the shared
     // PFS, paying the storage bottleneck this subsystem exists to avoid.
-    ++write_throughs_;
+    ++st.write_throughs;
     trace_event(node, "pfs-write", "begin img=" + std::to_string(img.id));
-    co_await pfs_.write(bytes);
-    img.written_at = eng_.now();
-    img.drained_at = eng_.now();  // already on the PFS
+    co_await pfs_write_from(node, bytes);
+    img.written_at = eng.now();
+    img.drained_at = eng.now();  // already on the PFS
     trace_event(node, "pfs-write", "end img=" + std::to_string(img.id));
     co_return img.id;
   }
@@ -65,12 +82,12 @@ sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
   // disk, no cross-node contention.
   img.local = true;
   st.used += bytes;
-  const sim::Time start = std::max(eng_.now(), st.disk_busy_until);
+  const sim::Time start = std::max(eng.now(), st.disk_busy_until);
   const sim::Time done = start + transfer_time(bytes, cfg_.local_write_mbps);
   st.disk_busy_until = done;
   trace_event(node, "local-write", "begin img=" + std::to_string(img.id));
-  co_await eng_.delay_until(done);
-  img.written_at = eng_.now();
+  co_await eng.delay_until(done);
+  img.written_at = eng.now();
   trace_event(node, "local-write", "end img=" + std::to_string(img.id));
 
   // Hand the image to the background drain before replicating, so the PFS
@@ -79,7 +96,7 @@ sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
     st.drain_queue.push_back(img.id);
     if (!st.drain_running) {
       st.drain_running = true;
-      eng_.spawn(drain_service(node));
+      eng.spawn(drain_service(node));
     }
   }
 
@@ -89,14 +106,15 @@ sim::Task<std::uint64_t> TieredStore::snapshot(int node, Bytes bytes) {
   // schedule-dependent order. The write-through PFS path above skips this:
   // those images are already durable against any node loss.
   if (erasure_) {
-    co_await erasure_->protect(node, bytes, img.id, &img.ec, transport_,
+    co_await erasure_->protect(eng, node, bytes, img.id, &img.ec, transport_,
                                cfg_.replica_fallback_mbps);
   }
   co_return img.id;
 }
 
 sim::Task<void> TieredStore::replicate_image(std::uint64_t id) {
-  ImageInfo& img = images_[id - 1];
+  ImageInfo& img = *find_mut(id);
+  sim::Engine& eng = engine_of(img.node);
   img.partner = (img.node + cfg_.replica_offset) % nnodes();
   trace_event(img.node, "replicate",
               "begin img=" + std::to_string(id) + " to=" +
@@ -104,29 +122,31 @@ sim::Task<void> TieredStore::replicate_image(std::uint64_t id) {
   if (transport_) {
     co_await transport_(img.node, img.partner, img.bytes);
   } else {
-    co_await eng_.delay(transfer_time(img.bytes, cfg_.replica_fallback_mbps));
+    co_await eng.delay(transfer_time(img.bytes, cfg_.replica_fallback_mbps));
   }
-  img.replicated_at = eng_.now();
-  ++replicas_made_;
+  img.replicated_at = eng.now();
+  ++nodes_[img.node].replicas_made;
   trace_event(img.node, "replicate", "end img=" + std::to_string(id));
 }
 
 sim::Task<void> TieredStore::read_local(int node, Bytes bytes) {
+  sim::Engine& eng = engine_of(node);
   NodeState& st = nodes_[node];
-  const sim::Time start = std::max(eng_.now(), st.disk_busy_until);
+  const sim::Time start = std::max(eng.now(), st.disk_busy_until);
   const sim::Time done = start + transfer_time(bytes, cfg_.local_read_mbps);
   st.disk_busy_until = done;
-  co_await eng_.delay_until(done);
+  co_await eng.delay_until(done);
 }
 
 sim::Task<void> TieredStore::drain_service(int node) {
+  sim::Engine& eng = engine_of(node);
   NodeState& st = nodes_[node];
   while (!st.drain_queue.empty()) {
     while (st.paused) co_await st.cv.wait();
     const std::uint64_t id = st.drain_queue.front();
     st.drain_queue.pop_front();
     st.draining = id;
-    ImageInfo& img = images_[id - 1];
+    ImageInfo& img = st.images[seq_of_id(id) - 1];
     trace_event(node, "drain", "begin img=" + std::to_string(id));
     Bytes remaining = img.bytes;
     const Bytes chunk = chunk_bytes();
@@ -135,21 +155,21 @@ sim::Task<void> TieredStore::drain_service(int node) {
       const Bytes piece = std::min(chunk, remaining);
       // Each chunk is a real PFS write, so the drain contends with
       // foreground flows; pacing tops the rate out at drain_mbps.
-      const sim::Time t0 = eng_.now();
-      co_await pfs_.write(piece);
+      const sim::Time t0 = eng.now();
+      co_await pfs_write_from(node, piece);
       const sim::Time target = transfer_time(piece, cfg_.drain_mbps);
-      const sim::Time elapsed = eng_.now() - t0;
-      if (elapsed < target) co_await eng_.delay(target - elapsed);
+      const sim::Time elapsed = eng.now() - t0;
+      if (elapsed < target) co_await eng.delay(target - elapsed);
       remaining -= piece;
     }
-    img.drained_at = eng_.now();
+    img.drained_at = eng.now();
     st.draining = 0;
-    ++images_drained_;
+    ++st.images_drained;
     trace_event(node, "drain", "end img=" + std::to_string(id));
-    idle_cv_.notify_all();
+    if (bus_ == nullptr) idle_cv_.notify_all();
   }
   st.drain_running = false;
-  idle_cv_.notify_all();
+  if (bus_ == nullptr) idle_cv_.notify_all();
 }
 
 void TieredStore::pause_drain(int node) { nodes_[node].paused = true; }
@@ -178,6 +198,8 @@ int TieredStore::drain_backlog() const {
 }
 
 sim::Task<void> TieredStore::quiesce() {
+  // Bus-less (single-engine) callers only: sharded runs reach drain
+  // completion by running the cluster to quiescence instead.
   for (;;) {
     bool busy = false;
     for (const auto& st : nodes_) {

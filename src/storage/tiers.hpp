@@ -8,6 +8,7 @@
 
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "sim/lp_bus.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -76,6 +77,15 @@ inline sim::Time transfer_time(Bytes bytes, double mbps) {
 ///   drained_at     PFS copy complete (survives anything)
 /// Recovery reads this ledger to decide which checkpoint is restorable
 /// after a node loss (harness/recovery.cpp; DESIGN.md §10).
+///
+/// The store is *partitioned by node* (DESIGN.md §15): each node owns its
+/// ledger shard, staging-disk schedule, drain queue, and stat slots, and —
+/// when an LpBus is attached — all of a node's tier work (foreground write,
+/// drain pacing, replica/erasure scatter) runs on that node's home shard
+/// engine. Only the shared PFS stays central: every PFS leg is routed to the
+/// service LP by message, so PFS arbitration order is canonical at any shard
+/// count. Without a bus (standalone storage tests) everything runs on the
+/// single constructor engine, same as before the partitioning.
 class TieredStore {
  public:
   /// Copies `bytes` from node `src` to node `dst` over the interconnect.
@@ -83,7 +93,7 @@ class TieredStore {
                                                   Bytes bytes)>;
 
   struct ImageInfo {
-    std::uint64_t id = 0;  ///< ledger id, 1-based; 0 means "no image"
+    std::uint64_t id = 0;  ///< node-encoded ledger id; 0 means "no image"
     int node = -1;
     Bytes bytes = 0;
     bool local = false;    ///< written to the local tier (vs PFS write-through)
@@ -95,8 +105,11 @@ class TieredStore {
     ErasureChunks ec;              ///< chunk placement, inactive when k == 0
   };
 
+  /// With a bus, node i's partition lives on LP i's home shard (node ids and
+  /// rank LP ids coincide in the harness) and PFS legs become RPCs to the
+  /// service LP. `eng` is then only the fallback engine for bus-less use.
   TieredStore(sim::Engine& eng, StorageSystem& pfs, TierConfig cfg,
-              int nnodes);
+              int nnodes, sim::LpBus* bus = nullptr);
   TieredStore(const TieredStore&) = delete;
   TieredStore& operator=(const TieredStore&) = delete;
 
@@ -119,34 +132,47 @@ class TieredStore {
   /// the local tier cannot make room. Resolves when the image is durable at
   /// checkpoint-completion level (local [+replica], or PFS for
   /// write-through); the drain to the PFS continues in the background.
-  /// Returns the ledger id.
+  /// Returns the ledger id. Must be called on `node`'s engine (rank LP).
   sim::Task<std::uint64_t> snapshot(int node, Bytes bytes);
 
   /// Local restore read on `node` (dedicated bandwidth, serialized on the
-  /// node's disk like writes).
+  /// node's disk like writes). Must be called on `node`'s engine.
   sim::Task<void> read_local(int node, Bytes bytes);
 
-  /// Pauses / resumes node's background drain (between chunks).
+  /// Pauses / resumes node's background drain (between chunks). Pure state
+  /// flips on node-owned slots: callers route them to the node's shard.
   void pause_drain(int node);
   void resume_drain(int node);
   bool drain_paused(int node) const { return nodes_[node].paused; }
 
   /// Waits until every enqueued image has fully drained to the PFS (no-op
-  /// when draining is disabled).
+  /// when draining is disabled). Single-engine (bus-less) use only.
   sim::Task<void> quiesce();
 
   // --- ledger / durability queries (recovery) ---
-  const std::deque<ImageInfo>& images() const noexcept { return images_; }
-  /// Ledger ids are 1-based; nullptr for 0 / out-of-range.
-  static const ImageInfo* find_in(const std::deque<ImageInfo>& images,
-                                  std::uint64_t id) {
-    return id >= 1 && id <= images.size() ? &images[id - 1] : nullptr;
+  /// Ledger ids encode (node, per-node sequence): the partitioned shards
+  /// stay independently appendable on their home engines while ids remain
+  /// globally resolvable. 0 stays "no image".
+  static constexpr int kIdNodeShift = 40;
+  static int node_of_id(std::uint64_t id) noexcept {
+    return static_cast<int>(id >> kIdNodeShift) - 1;
   }
+  static std::uint64_t seq_of_id(std::uint64_t id) noexcept {
+    return id & ((std::uint64_t{1} << kIdNodeShift) - 1);
+  }
+  /// Resolves an id against the owning node's partition; nullptr for 0 /
+  /// unknown. Safe from any engine once that image's writer has synced with
+  /// the reader (recovery reads after the run; cycle code reads its own).
   const ImageInfo* find(std::uint64_t id) const {
-    return find_in(images_, id);
+    const int node = node_of_id(id);
+    if (node < 0 || node >= nnodes()) return nullptr;
+    const std::uint64_t seq = seq_of_id(id);
+    const auto& part = nodes_[node].images;
+    return seq >= 1 && seq <= part.size() ? &part[seq - 1] : nullptr;
   }
   /// Detached copy of the ledger that outlives the store (recovery keeps
-  /// one after the failed simulation is torn down).
+  /// one after the failed simulation is torn down). Gathers the per-node
+  /// partitions in node order; only call when the run is quiescent.
   TierLedger ledger() const;
   static bool local_available(const ImageInfo& img) {
     return img.local && !img.evicted;
@@ -185,12 +211,20 @@ class TieredStore {
     return alive >= img.ec.k;
   }
 
-  // --- stats ---
+  // --- stats (per-node slots, summed at quiescence) ---
   Bytes local_used(int node) const { return nodes_[node].used; }
-  std::int64_t write_throughs() const noexcept { return write_throughs_; }
-  std::int64_t images_drained() const noexcept { return images_drained_; }
-  std::int64_t images_evicted() const noexcept { return images_evicted_; }
-  std::int64_t replicas_made() const noexcept { return replicas_made_; }
+  std::int64_t write_throughs() const noexcept {
+    return sum_nodes(&NodeState::write_throughs);
+  }
+  std::int64_t images_drained() const noexcept {
+    return sum_nodes(&NodeState::images_drained);
+  }
+  std::int64_t images_evicted() const noexcept {
+    return sum_nodes(&NodeState::images_evicted);
+  }
+  std::int64_t replicas_made() const noexcept {
+    return sum_nodes(&NodeState::replicas_made);
+  }
   std::int64_t images_encoded() const noexcept {
     return erasure_ ? erasure_->images_encoded() : 0;
   }
@@ -205,7 +239,11 @@ class TieredStore {
   int drain_tasks_running() const;
 
  private:
-  struct NodeState {
+  /// One node's partition of the store: ledger shard, staging-disk
+  /// schedule, drain queue, and stat slots, all owned by the node's home
+  /// shard engine when a bus is attached. Cache-line aligned so two nodes'
+  /// hot counters never share a line across shard threads.
+  struct alignas(64) NodeState {
     explicit NodeState(sim::Engine& eng) : cv(eng) {}
     Bytes used = 0;               // resident (non-evicted) local image bytes
     sim::Time disk_busy_until = 0;
@@ -213,8 +251,29 @@ class TieredStore {
     std::uint64_t draining = 0;  // image currently being drained, 0 if none
     bool drain_running = false;
     bool paused = false;
-    sim::Condition cv;  // pause/resume wakeups
+    sim::Condition cv;  // pause/resume wakeups (on the node's engine)
+    std::deque<ImageInfo> images;  // ledger shard; stable refs across waits
+    std::uint64_t next_seq = 0;    // per-node id sequence (1-based)
+    std::int64_t write_throughs = 0;
+    std::int64_t images_drained = 0;
+    std::int64_t images_evicted = 0;
+    std::int64_t replicas_made = 0;
   };
+
+  sim::Engine& engine_of(int node) const {
+    return bus_ != nullptr ? bus_->engine_of(node) : eng_;
+  }
+  /// The one shared resource: PFS writes are arbitrated on the service LP,
+  /// so their interleaving is canonical at any shard count.
+  sim::Task<void> pfs_write_from(int node, Bytes bytes);
+  ImageInfo* find_mut(std::uint64_t id) {
+    return const_cast<ImageInfo*>(find(id));
+  }
+  std::int64_t sum_nodes(std::int64_t NodeState::* slot) const {
+    std::int64_t n = 0;
+    for (const auto& st : nodes_) n += st.*slot;
+    return n;
+  }
 
   sim::Task<void> drain_service(int node);
   sim::Task<void> replicate_image(std::uint64_t id);
@@ -229,25 +288,23 @@ class TieredStore {
   }
   void trace_event(int node, const char* category, std::string detail);
 
-  sim::Engine& eng_;
+  sim::Engine& eng_;   // fallback engine when no bus is attached
   StorageSystem& pfs_;
   TierConfig cfg_;
+  sim::LpBus* bus_ = nullptr;
   Transport transport_;
   std::unique_ptr<ErasureTier> erasure_;
   sim::Trace* trace_ = nullptr;
   std::deque<NodeState> nodes_;  // deque: Condition is immovable
-  std::deque<ImageInfo> images_;  // deque: stable refs across coroutine waits
-  sim::Condition idle_cv_;
-  std::int64_t write_throughs_ = 0;
-  std::int64_t images_drained_ = 0;
-  std::int64_t images_evicted_ = 0;
-  std::int64_t replicas_made_ = 0;
+  sim::Condition idle_cv_;       // quiesce() wakeups; bus-less mode only
 };
 
 /// Value-type snapshot of a TieredStore's durability ledger. Recovery holds
 /// one across simulations: the failed run's store (and engine) are gone by
 /// the time restore sources are chosen, and under multiple failures the
-/// same ledger is re-queried with a growing set of dead nodes.
+/// same ledger is re-queried with a growing set of dead nodes. The images
+/// sit flat in (node, per-node sequence) order — the gather of the per-node
+/// partitions — and lookups resolve node-encoded ids by scan.
 class TierLedger {
  public:
   TierLedger() = default;
@@ -259,15 +316,24 @@ class TierLedger {
   const std::deque<TieredStore::ImageInfo>& images() const noexcept {
     return images_;
   }
-  /// Ledger ids are 1-based; nullptr for 0 / out-of-range.
   const TieredStore::ImageInfo* find(std::uint64_t id) const {
-    return TieredStore::find_in(images_, id);
+    if (id == 0) return nullptr;
+    for (const auto& img : images_) {
+      if (img.id == id) return &img;
+    }
+    return nullptr;
   }
 
  private:
   std::deque<TieredStore::ImageInfo> images_;
 };
 
-inline TierLedger TieredStore::ledger() const { return TierLedger(images_); }
+inline TierLedger TieredStore::ledger() const {
+  std::deque<ImageInfo> flat;
+  for (const auto& st : nodes_) {
+    flat.insert(flat.end(), st.images.begin(), st.images.end());
+  }
+  return TierLedger(std::move(flat));
+}
 
 }  // namespace gbc::storage

@@ -126,10 +126,13 @@ bool validate_shard_flags(const harness::FlagSet& flags, int ranks) {
                  flags.usage().c_str());
     return false;
   }
-  if (threads < 0 || threads > shards) {
+  // Workers beyond the shard count are clamped by the engine itself
+  // (ShardedEngine::Options::threads is [1, shards]), so any non-negative
+  // value is acceptable here — --shards 3 --threads 4 runs 3 workers.
+  if (threads < 0) {
     std::fprintf(stderr,
-                 "--threads must be in [0, --shards] (0 = lease from the "
-                 "shared thread budget)\n%s",
+                 "--threads must be >= 0 (0 = lease from the shared "
+                 "thread budget)\n%s",
                  flags.usage().c_str());
     return false;
   }

@@ -144,10 +144,10 @@ TEST(ErasureProtect, ScattersOneChunkToEachGroupMember) {
     sent_bytes += b;
     co_await eng.delay(sim::kSecond);
   };
-  eng.spawn([](ErasureTier& t, ErasureChunks& out,
+  eng.spawn([](Engine& e, ErasureTier& t, ErasureChunks& out,
                const ErasureTier::Transport& tr) -> Task<void> {
-    co_await t.protect(5, mib(64), 1, &out, tr, 1250.0);
-  }(tier, ec, transport));
+    co_await t.protect(e, 5, mib(64), 1, &out, tr, 1250.0);
+  }(eng, tier, ec, transport));
   eng.run();
 
   ASSERT_TRUE(ec.active());

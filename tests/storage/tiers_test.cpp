@@ -100,7 +100,8 @@ TEST(TieredStore, DrainPacedByDrainRateWhenPfsIsFaster) {
   auto tc = tier_config();
   tc.drain_mbps = 16.0;  // well under the 108 MB/s single-client PFS share
   Fixture f(tc, 2);
-  timed_snapshot(f, 0, mib(64));
+  auto [id, write_secs] = timed_snapshot(f, 0, mib(64));
+  (void)write_secs;
   Time drained_at = -1;
   f.eng.spawn([](TieredStore& t, Engine& e, Time& at) -> Task<void> {
     co_await t.quiesce();
@@ -110,7 +111,7 @@ TEST(TieredStore, DrainPacedByDrainRateWhenPfsIsFaster) {
   ASSERT_EQ(f.tier.images_drained(), 1);
   // 64 MiB at 16 MB/s = 4 s of draining after the 0.16 s local write.
   EXPECT_NEAR(sim::to_seconds(drained_at), 0.16 + 4.0, 0.05);
-  EXPECT_TRUE(TieredStore::pfs_durable(*f.tier.find(1)));
+  EXPECT_TRUE(TieredStore::pfs_durable(*f.tier.find(id)));
 }
 
 TEST(TieredStore, DrainLimitedByPfsFairShareWhenRateIsHigher) {
